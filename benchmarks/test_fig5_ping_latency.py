@@ -1,0 +1,15 @@
+"""Figure 5 bench: ping RTT vs configured link latency (§IV-A)."""
+
+from conftest import full_scale
+
+from repro.experiments import fig5_ping
+
+
+def test_fig5_ping_latency(run_once):
+    result = run_once(fig5_ping.run, quick=not full_scale())
+    print()
+    print(result.table())
+    overheads = [p.overhead_us for p in result.points]
+    # Measured parallels ideal with a fixed ~34 us offset (paper §IV-A).
+    assert max(overheads) - min(overheads) < 1.0
+    assert 30 < overheads[0] < 38

@@ -1,0 +1,22 @@
+"""Figure 6 bench: saturating network bandwidth (§IV-D).
+
+Paper series: aggregate bandwidth at the root switch maxes out at 8 and
+80 Gbit/s for 1 and 10 Gbit/s senders, and saturates the 200 Gbit/s
+uplink for 40 and 100 Gbit/s senders (after 5 and 2 senders enter).
+"""
+
+from conftest import full_scale
+
+from repro.experiments import fig6_saturation
+
+
+def test_fig6_saturation(run_once):
+    result = run_once(fig6_saturation.run, quick=not full_scale())
+    print()
+    print(result.table())
+    by_rate = {s.rate_gbps: s for s in result.series}
+    assert 6 < by_rate[1.0].steady_gbps < 10  # 8 x 1G senders
+    assert 70 < by_rate[10.0].steady_gbps < 90  # 8 x 10G senders
+    # 40G and 100G saturate the ~200 Gbit/s (204.8 raw) uplink.
+    assert by_rate[40.0].steady_gbps > 190
+    assert by_rate[100.0].steady_gbps > 190

@@ -1,0 +1,20 @@
+"""Figure 7 bench: memcached thread-imbalance tail latency (§IV-E)."""
+
+from conftest import full_scale
+
+from repro.experiments import fig7_memcached
+
+
+def test_fig7_memcached(run_once):
+    result = run_once(fig7_memcached.run, quick=not full_scale())
+    print()
+    print(result.table())
+    # At the highest common load, the 5-thread tail must exceed the
+    # 4-thread tails while medians stay much closer (paper Figure 7).
+    top = max(p.target_qps for p in result.points)
+    at_top = {p.config_name: p for p in result.points if p.target_qps == top}
+    five = at_top["5 threads"]
+    four = at_top["4 threads"]
+    pinned = at_top["4 threads pinned"]
+    assert five.p95_us > 1.3 * min(four.p95_us, pinned.p95_us)
+    assert five.p50_us < 0.6 * five.p95_us

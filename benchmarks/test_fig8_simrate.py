@@ -1,0 +1,14 @@
+"""Figure 8 bench: simulation rate vs number of simulated nodes (§V-A)."""
+
+from repro.experiments import fig8_simrate
+
+
+def test_fig8_simrate(run_once):
+    result = run_once(fig8_simrate.run)
+    print()
+    print(result.table())
+    standard = [p.standard_mhz for p in result.points]
+    assert standard == sorted(standard, reverse=True)
+    anchor = result.points[-1]
+    assert anchor.num_nodes == 1024
+    assert abs(anchor.supernode_mhz - 3.42) < 0.15

@@ -1,0 +1,23 @@
+"""Figure 9 bench: simulation rate vs target link latency (§V-B)."""
+
+from repro.experiments import fig9_latency_sweep
+
+
+def test_fig9_latency_sweep(run_once):
+    result = run_once(fig9_latency_sweep.run)
+    print()
+    print(result.table())
+    rates = [p.rate_mhz for p in result.points]
+    assert rates == sorted(rates)  # batching amortizes per-round cost
+
+
+def test_fig9_functional_probe(run_once):
+    """The same batching shape measured on this Python host."""
+    points = run_once(fig9_latency_sweep.run_functional_probe)
+    print()
+    for p in points:
+        print(
+            f"  python host @ l={p.link_latency_cycles}: "
+            f"{p.rate_mhz:.3f} MHz"
+        )
+    assert points[-1].rate_mhz > points[0].rate_mhz

@@ -1,0 +1,10 @@
+"""Section IV-B bench: iperf3 TCP bandwidth (paper: 1.4 Gbit/s)."""
+
+from repro.experiments import sec4b_iperf
+
+
+def test_sec4b_iperf(run_once):
+    result = run_once(sec4b_iperf.run)
+    print()
+    print(result.table())
+    assert 1.2 < result.goodput_gbps < 1.6

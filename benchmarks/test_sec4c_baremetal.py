@@ -1,0 +1,11 @@
+"""Section IV-C bench: bare-metal NIC bandwidth (paper: ~100 Gbit/s)."""
+
+from repro.experiments import sec4c_baremetal
+
+
+def test_sec4c_baremetal(run_once):
+    result = run_once(sec4c_baremetal.run)
+    print()
+    print(result.table())
+    assert 90 < result.bandwidth_gbps < 115
+    assert result.in_order

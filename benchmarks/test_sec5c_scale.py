@@ -1,0 +1,15 @@
+"""Section V-C bench: 1024-node deployment headline numbers."""
+
+from repro.experiments import sec5c_scale
+
+
+def test_sec5c_scale(run_once):
+    result = run_once(sec5c_scale.run)
+    print()
+    print(result.table())
+    assert result.num_f1 == 32 and result.num_m4 == 5
+    assert abs(result.spot_per_hour - 100.0) < 1.0
+    assert abs(result.on_demand_per_hour - 440.0) < 5.0
+    assert abs(result.fpga_value_musd - 12.8) < 0.01
+    assert abs(result.sim_rate_mhz - 3.42) < 0.15
+    assert result.slowdown < 1000

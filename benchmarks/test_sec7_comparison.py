@@ -1,0 +1,13 @@
+"""Section VII bench: simulator comparison table."""
+
+from repro.experiments import sec7_comparison
+from repro.host.baselines import DIST_GEM5
+
+
+def test_sec7_comparison(run_once):
+    result = run_once(sec7_comparison.run)
+    print()
+    print(result.table())
+    firesim = result.envelope("FireSim")
+    assert firesim.node_rate_hz / DIST_GEM5.node_rate_hz > 50
+    assert firesim.slowdown_vs() < 1000

@@ -1,0 +1,15 @@
+"""Section VIII bench: massively parallel single-node SPECint farm."""
+
+from conftest import full_scale
+
+from repro.experiments import sec8_singlenode
+
+
+def test_sec8_singlenode(run_once):
+    result = run_once(sec8_singlenode.run, quick=not full_scale())
+    print()
+    print(result.table())
+    # "Cycle-exact results in roughly one day": tens of host-hours per
+    # benchmark when farmed in parallel.
+    assert 5 < result.suite_host_hours < 120
+    assert all(r.simulated_cycles > 0 for r in result.rows)

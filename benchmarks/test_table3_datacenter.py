@@ -1,0 +1,26 @@
+"""Table III bench: datacenter memcached latencies by pairing (§V-C).
+
+Runs the structurally identical scaled tree by default (64 servers + 64
+clients over 8 ToR / 4 aggregation / 1 root); FIRESIM_FULL=1 runs the
+paper's full 1024-node shape (slow on a Python host).
+"""
+
+from conftest import full_scale
+
+from repro.experiments import table3_datacenter
+
+
+def test_table3_datacenter(run_once):
+    shape = (
+        table3_datacenter.PAPER_SHAPE
+        if full_scale()
+        else table3_datacenter.DatacenterShape()
+    )
+    result = run_once(table3_datacenter.run, shape=shape, quick=not full_scale())
+    print()
+    print(result.table())
+    p50s = [r.p50_us for r in result.rows]
+    # Median rises by ~4 link latencies + switching (~8 us) per tier.
+    assert p50s[0] < p50s[1] < p50s[2]
+    assert 5.0 < p50s[1] - p50s[0] < 11.0
+    assert 5.0 < p50s[2] - p50s[1] < 11.0

@@ -1,0 +1,59 @@
+#!/usr/bin/env python3
+"""Thousand-node datacenter simulation, end to end (Section V-C).
+
+Builds the paper's Figure 10 topology — 1024 quad-core nodes under 32
+ToR switches, 4 aggregation switches, and one root switch — maps it with
+supernode packing onto 32 f1.16xlarge + 5 m4.16xlarge instances, and
+reports the headline platform numbers ($100/hour spot, $12.8M of FPGAs,
+3.42 MHz).  It then runs a structurally identical scaled-down tree
+*functionally* (cycle-exact) with memcached traffic crossing each switch
+tier, reproducing Table III's shape: +4 link latencies (+ switching) of
+median latency per tier crossed.
+
+Run:  python examples/datacenter_scale.py
+"""
+
+from repro import FireSimManager, datacenter_tree
+from repro.experiments.table3_datacenter import (
+    DatacenterShape,
+    PAIRINGS,
+    run_pairing,
+)
+from repro.manager.mapper import SUPERNODE_HOST
+
+
+def platform_math() -> None:
+    print("=== Full 1024-node deployment (mapping + cost + rate) ===")
+    topology = datacenter_tree()  # 4 agg x 8 racks x 32 nodes
+    manager = FireSimManager(topology, host_config=SUPERNODE_HOST)
+    manager.buildafi()
+    manager.launchrunfarm()
+    nodes = len(list(topology.iter_servers()))
+    print(f"simulated nodes: {nodes} ({nodes * 4} cores, "
+          f"{nodes * 16 / 1024:.0f} TB of target DRAM)")
+    print(manager.cost_report())
+    rate = manager.rate_estimate()
+    print(f"simulation rate: {rate.rate_mhz:.2f} MHz "
+          f"({rate.slowdown_vs_target(3.2e9):.0f}x slowdown)")
+    print(f"aggregate instruction rate: "
+          f"~{nodes * 4 * rate.rate_hz / 1e9:.0f} billion instr/s\n")
+
+
+def functional_run() -> None:
+    print("=== Scaled functional run (64 servers + 64 clients) ===")
+    shape = DatacenterShape()  # 4 agg x 2 racks x 8 nodes
+    for pairing in PAIRINGS:
+        row = run_pairing(pairing, shape, measure_seconds=0.008)
+        print(f"{pairing:18s} p50={row.p50_us:6.2f} us  "
+              f"p95={row.p95_us:6.2f} us  QPS={row.aggregate_qps:,.0f}")
+    print("\nEach switch tier crossed adds ~4 link latencies (+switching) "
+          "of median latency, as in Table III.")
+
+
+def main() -> None:
+    platform_math()
+    functional_run()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,75 @@
+#!/usr/bin/env python3
+"""Datacenter QoS study: memcached tail latency under thread imbalance.
+
+Reproduces the experiment of the paper's Section IV-E (Figure 7) at one
+load level: an 8-node cluster where one 4-core blade serves memcached
+and seven blades generate open-loop load with the mutilate model.  The
+server is run with 4 worker threads, 5 worker threads (imbalanced), and
+4 threads pinned one-per-core, showing the tail-latency blowup caused by
+overcommitting cores.
+
+Run:  python examples/memcached_qos.py
+"""
+
+from repro import RunFarmConfig, elaborate, single_rack
+from repro.experiments.common import cycles_to_us, percentile
+from repro.swmodel.apps.memcached import MemcachedConfig, start_memcached
+from repro.swmodel.apps.mutilate import (
+    RESULT_LATENCY,
+    MutilateConfig,
+    start_mutilate,
+)
+
+AGGREGATE_QPS = 120_000
+NUM_CLIENTS = 7
+MEASURE_SECONDS = 0.02
+
+
+def run_config(name: str, config: MemcachedConfig) -> None:
+    sim = elaborate(single_rack(8), RunFarmConfig())
+    server = sim.blade(0)
+    start_memcached(server, config)
+    duration_cycles = int(MEASURE_SECONDS * 3.2e9)
+    for client_index in range(NUM_CLIENTS):
+        start_mutilate(
+            sim.blade(1 + client_index),
+            MutilateConfig(
+                server_mac=server.mac,
+                target_qps=AGGREGATE_QPS / NUM_CLIENTS,
+                duration_cycles=duration_cycles,
+                num_connections=16,
+                server_threads=config.num_threads,
+                seed=42 + client_index,
+            ),
+        )
+    sim.run_seconds(MEASURE_SECONDS + 0.003)
+
+    samples = []
+    for client_index in range(NUM_CLIENTS):
+        samples.extend(
+            sim.blade(1 + client_index).results.get(RESULT_LATENCY, [])
+        )
+    p50 = cycles_to_us(percentile(samples, 50))
+    p95 = cycles_to_us(percentile(samples, 95))
+    print(
+        f"{name:18s}  requests={len(samples):5d}  "
+        f"p50={p50:7.1f} us  p95={p95:8.1f} us"
+    )
+
+
+def main() -> None:
+    print(f"memcached on 4 cores at {AGGREGATE_QPS} offered QPS "
+          f"({NUM_CLIENTS} mutilate clients):\n")
+    run_config("4 threads", MemcachedConfig(num_threads=4))
+    run_config("5 threads", MemcachedConfig(num_threads=5))
+    run_config(
+        "4 threads pinned", MemcachedConfig(num_threads=4, pin_threads=True)
+    )
+    print("\nExpected shape (paper Fig. 7): the 5-thread tail (p95) is "
+          "inflated versus the pinned 4-thread\nconfiguration while medians "
+          "stay close; the unpinned 4-thread tail tracks the 5-thread\ncurve "
+          "(poor placement) until the scheduler spreads threads at high load.")
+
+
+if __name__ == "__main__":
+    main()

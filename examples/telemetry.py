@@ -1,0 +1,75 @@
+#!/usr/bin/env python3
+"""Cycle-exact telemetry: uartlogs, packet traces, and energy sampling.
+
+FireSim users collect performance data that is cycle-exact; this example
+shows the reproduction's observability stack on a small cluster:
+
+* each blade boots the Linux model and produces a timestamped uartlog;
+* a link tracer spliced between a node and its ToR records every packet
+  with first/last-flit cycles (a cycle-stamped pcap);
+* a Strober-style sampler integrates the blade's activity counters into
+  an average-power estimate while an iperf stream runs.
+
+Run:  python examples/telemetry.py
+"""
+
+from repro import Simulation, SwitchConfig, SwitchModel, mac_address
+from repro.host.strober import StroberSampler
+from repro.net.tracer import LinkTracer, splice_tracer
+from repro.swmodel.apps.boot import make_linux_boot
+from repro.swmodel.apps.iperf import make_iperf_client, make_iperf_server
+from repro.swmodel.server import ServerBlade
+
+CLOCK_HZ = 3.2e9
+
+
+def main() -> None:
+    sim = Simulation()
+    a = sim.add_model(ServerBlade("node0", node_index=0))
+    b = sim.add_model(ServerBlade("node1", node_index=1))
+    switch = sim.add_model(
+        SwitchModel(
+            "tor",
+            SwitchConfig(num_ports=2),
+            mac_table={mac_address(0): 0, mac_address(1): 1},
+        )
+    )
+    tracer = splice_tracer(sim, a, "net", switch, "port0", 6400, "trace0")
+    sim.connect(switch, "port1", b, "net", 6400)
+
+    for blade in (a, b):
+        blade.spawn("init", make_linux_boot())
+    b.spawn("iperf-server", make_iperf_server())
+    a.spawn("iperf-client", make_iperf_client(b.mac, total_bytes=400_000))
+
+    sampler = StroberSampler(a, interval_cycles=2_000_000)
+    for _ in range(8):
+        sim.run_seconds(0.001)
+        sampler.sample(sim.current_cycle)
+
+    print("=== uartlog (node0) ===")
+    for cycle, line in a.uart.log:
+        print(f"[{cycle / CLOCK_HZ * 1e3:8.3f} ms] {line}")
+
+    print("\n=== packet trace (node0 <-> ToR, first 5 each way) ===")
+    for direction in ("a_to_b", "b_to_a"):
+        for record in tracer.packets(direction)[:5]:
+            print(
+                f"  {direction}: frame {record.frame_id} "
+                f"{record.size_bytes:5d} B  flits "
+                f"[{record.first_flit_cycle}, {record.last_flit_cycle}]"
+            )
+    print(f"  ... {len(tracer.records)} packets total")
+
+    report = sampler.report()
+    print(
+        f"\n=== energy (node0) ===\n"
+        f"  {report.samples} samples over "
+        f"{report.total_cycles / CLOCK_HZ * 1e3:.1f} ms of target time: "
+        f"{report.total_energy_j * 1e3:.2f} mJ, "
+        f"avg {report.average_power_w:.2f} W"
+    )
+
+
+if __name__ == "__main__":
+    main()

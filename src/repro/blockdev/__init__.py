@@ -1,0 +1,1 @@
+"""Block device controller and pluggable storage technology timing models."""

@@ -1,0 +1,164 @@
+"""Pluggable storage timing models (Section VIII).
+
+The paper's ongoing work replaces the functional block device with "a
+timing-accurate model with pluggable timing mechanisms for various
+storage technologies (Disks, SSDs, 3D XPoint)".  This module implements
+that plug point: a :class:`StorageTiming` strategy prices each request,
+and :func:`block_config_for` builds a
+:class:`~repro.blockdev.controller.BlockDeviceConfig`-compatible device
+around it.
+
+Three technologies are modeled:
+
+* :class:`DiskTiming` — spinning rust: seek (distance-dependent) +
+  rotational latency + media transfer at the platter rate;
+* :class:`SSDTiming` — flash: per-channel parallelism, read/program
+  asymmetry, and a write-amplification term standing in for GC;
+* :class:`XPointTiming` — 3D XPoint-class persistent memory: near-DRAM
+  read latency, modest write penalty, no seek/rotation at all.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.blockdev.controller import SECTOR_BYTES
+
+
+class StorageTiming(ABC):
+    """Prices one transfer: device-side cycles at the 3.2 GHz clock."""
+
+    #: Human-readable technology name.
+    name: str = "storage"
+
+    @abstractmethod
+    def request_cycles(
+        self, sector: int, num_sectors: int, is_write: bool, last_sector: int
+    ) -> int:
+        """Device occupancy for one request.
+
+        ``last_sector`` is where the head/accessor ended up after the
+        previous request, letting seek-class models price locality.
+        """
+
+
+def _us(value: float) -> int:
+    """Microseconds to 3.2 GHz cycles."""
+    return round(value * 3200)
+
+
+@dataclass
+class DiskTiming(StorageTiming):
+    """7200 RPM-class hard disk.
+
+    Attributes:
+        full_seek_us: worst-case head sweep.
+        rotational_period_us: one revolution (8333 us at 7200 RPM); the
+            expected rotational delay is half of it.
+        transfer_mbps: sustained media rate.
+        total_sectors: geometry for scaling seek distance.
+    """
+
+    name: str = "disk"
+    full_seek_us: float = 8000.0
+    rotational_period_us: float = 8333.0
+    transfer_mbps: float = 180.0
+    total_sectors: int = 32 * 1024 * 1024
+
+    def request_cycles(self, sector, num_sectors, is_write, last_sector):
+        distance = abs(sector - last_sector) / max(self.total_sectors, 1)
+        seek_us = self.full_seek_us * (0.3 + 0.7 * distance) if distance else 0.0
+        rotation_us = self.rotational_period_us / 2
+        transfer_us = (
+            num_sectors * SECTOR_BYTES / (self.transfer_mbps * 1e6) * 1e6
+        )
+        return _us(seek_us + rotation_us + transfer_us)
+
+
+@dataclass
+class SSDTiming(StorageTiming):
+    """NVMe-flash-class SSD."""
+
+    name: str = "ssd"
+    read_latency_us: float = 80.0
+    program_latency_us: float = 500.0
+    channels: int = 8
+    page_bytes: int = 4096
+    write_amplification: float = 1.3
+
+    def request_cycles(self, sector, num_sectors, is_write, last_sector):
+        transfer_bytes = num_sectors * SECTOR_BYTES
+        pages = -(-transfer_bytes // self.page_bytes)
+        waves = -(-pages // self.channels)
+        if is_write:
+            return _us(waves * self.program_latency_us * self.write_amplification)
+        return _us(waves * self.read_latency_us)
+
+
+@dataclass
+class XPointTiming(StorageTiming):
+    """3D XPoint-class persistent memory on the storage interface."""
+
+    name: str = "3dxpoint"
+    read_latency_us: float = 10.0
+    write_latency_us: float = 30.0
+    bandwidth_gbps: float = 2.4  # GB/s
+
+    def request_cycles(self, sector, num_sectors, is_write, last_sector):
+        base_us = self.write_latency_us if is_write else self.read_latency_us
+        transfer_us = (
+            num_sectors * SECTOR_BYTES / (self.bandwidth_gbps * 1e9) * 1e6
+        )
+        return _us(base_us + transfer_us)
+
+
+class TimedStorageDevice:
+    """A sector store whose requests are priced by a pluggable model.
+
+    This is the §VIII upgrade path for the block device: the controller
+    keeps its frontend/tracker structure, and the per-request device time
+    comes from the chosen technology model instead of the fixed
+    latency+per-sector constants.
+    """
+
+    def __init__(self, timing: StorageTiming, capacity_sectors: int = 32 * 1024 * 1024) -> None:
+        self.timing = timing
+        self.capacity_sectors = capacity_sectors
+        self._last_sector = 0
+        self._busy_until = 0
+        self.requests = 0
+
+    def submit(self, cycle: int, sector: int, num_sectors: int, is_write: bool) -> int:
+        """Queue one request; returns its completion cycle."""
+        if sector < 0 or sector + num_sectors > self.capacity_sectors:
+            raise ValueError("request outside device")
+        if num_sectors < 1:
+            raise ValueError("request must cover at least one sector")
+        start = max(cycle, self._busy_until)
+        device_cycles = self.timing.request_cycles(
+            sector, num_sectors, is_write, self._last_sector
+        )
+        completion = start + device_cycles
+        self._busy_until = completion
+        self._last_sector = sector + num_sectors
+        self.requests += 1
+        return completion
+
+
+#: Registry for manager configuration by name.
+STORAGE_MODELS = {
+    "disk": DiskTiming,
+    "ssd": SSDTiming,
+    "3dxpoint": XPointTiming,
+}
+
+
+def storage_model(name: str, **kwargs) -> StorageTiming:
+    try:
+        return STORAGE_MODELS[name](**kwargs)
+    except KeyError:
+        raise ValueError(
+            f"unknown storage technology {name!r}; known: {sorted(STORAGE_MODELS)}"
+        ) from None

@@ -1,0 +1,1 @@
+"""Core simulation framework: tokens, links, FAME-1 models, orchestration."""

@@ -1,0 +1,146 @@
+"""Simulated links: latency-buffered token channels.
+
+A :class:`Link` models a target link of latency ``l`` cycles connecting two
+FAME-1 decoupled endpoints.  Exactly ``l`` tokens are in flight in each
+direction at any time: if an endpoint issues a token at cycle ``M`` the
+other side consumes it at cycle ``M + l`` (paper Section III-B2).  The link
+implements this by relabelling batches with ``+l`` as they are sent, and by
+priming each direction with ``l`` empty tokens covering cycles ``[0, l)``
+(step 1 of the walk-through in Section III-B2).
+
+The simulation advances in rounds of a fixed *quantum* ``Q <= l`` cycles.
+Each round, each endpoint consumes one window of ``Q`` input tokens from
+each link and produces one window of ``Q`` output tokens, so the in-flight
+count is invariant and the distributed simulation is deadlock-free and
+deterministic.  Batching up to the link latency does not compromise cycle
+accuracy (Section III-B2); a smaller quantum is equally exact, merely
+slower on the host.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque
+
+from repro.core.token import Flit, TokenBatch
+
+
+class LinkEndpoint:
+    """One direction's consuming end of a link (a token queue)."""
+
+    __slots__ = ("_queue", "_consumed_until")
+
+    def __init__(self) -> None:
+        self._queue: Deque[TokenBatch] = deque()
+        self._consumed_until = 0
+
+    def push(self, batch: TokenBatch) -> None:
+        """Enqueue a batch; batches must be contiguous in cycle order."""
+        if self._queue:
+            expected = self._queue[-1].end_cycle
+        else:
+            expected = self._consumed_until
+        if batch.start_cycle != expected:
+            raise ValueError(
+                f"non-contiguous batch: expected start {expected}, "
+                f"got {batch.start_cycle}"
+            )
+        self._queue.append(batch)
+
+    def pop(self, length: int) -> TokenBatch:
+        """Consume exactly ``length`` tokens from the head of the queue.
+
+        Gathers across queued batches and splits the final one if needed,
+        so any quantum not exceeding the buffered token count works.
+        """
+        if self.available_tokens < length:
+            raise LookupError(
+                f"token queue holds {self.available_tokens} tokens, "
+                f"need {length}: endpoint would deadlock"
+            )
+        out = TokenBatch(self._consumed_until, length)
+        remaining = length
+        while remaining > 0:
+            head = self._queue[0]
+            if head.length <= remaining:
+                self._queue.popleft()
+                out.flits.update(head.flits)
+                remaining -= head.length
+            else:
+                split_at = head.start_cycle + remaining
+                tail = TokenBatch(split_at, head.length - remaining)
+                for cycle, flit in head.flits.items():
+                    if cycle < split_at:
+                        out.flits[cycle] = flit
+                    else:
+                        tail.flits[cycle] = flit
+                self._queue[0] = tail
+                remaining = 0
+        self._consumed_until += length
+        return out
+
+    @property
+    def available_tokens(self) -> int:
+        return sum(batch.length for batch in self._queue)
+
+    @property
+    def consumed_until(self) -> int:
+        return self._consumed_until
+
+
+class Link:
+    """A bidirectional target link of fixed latency between sides A and B.
+
+    ``send_from_a(batch)`` relabels the batch by ``+latency`` cycles and
+    enqueues it for consumption at side B, and vice versa.  Statistics
+    track the number of valid tokens moved in each direction.
+    """
+
+    def __init__(self, latency_cycles: int, name: str = "") -> None:
+        if latency_cycles <= 0:
+            raise ValueError(
+                f"link latency must be positive, got {latency_cycles}"
+            )
+        self.latency = latency_cycles
+        self.name = name
+        self.to_b = LinkEndpoint()  # tokens travelling A -> B
+        self.to_a = LinkEndpoint()  # tokens travelling B -> A
+        self.flits_a_to_b = 0
+        self.flits_b_to_a = 0
+        self._primed = False
+
+    def prime(self) -> None:
+        """Seed both directions with one link latency of empty tokens."""
+        if self._primed:
+            raise RuntimeError(f"link {self.name!r} already primed")
+        self.to_b.push(TokenBatch.empty(0, self.latency))
+        self.to_a.push(TokenBatch.empty(0, self.latency))
+        self._primed = True
+
+    @property
+    def primed(self) -> bool:
+        return self._primed
+
+    def _shift(self, batch: TokenBatch) -> TokenBatch:
+        shifted = TokenBatch(batch.start_cycle + self.latency, batch.length)
+        for cycle, flit in batch.flits.items():
+            shifted.flits[cycle + self.latency] = flit
+        return shifted
+
+    def send_from_a(self, batch: TokenBatch) -> None:
+        """Side A transmits a window; side B will consume it ``l`` later."""
+        self.flits_a_to_b += batch.valid_count
+        self.to_b.push(self._shift(batch))
+
+    def send_from_b(self, batch: TokenBatch) -> None:
+        """Side B transmits a window; side A will consume it ``l`` later."""
+        self.flits_b_to_a += batch.valid_count
+        self.to_a.push(self._shift(batch))
+
+    def in_flight(self, direction: str) -> int:
+        """Tokens currently buffered in one direction ('a_to_b'/'b_to_a')."""
+        if direction == "a_to_b":
+            return self.to_b.available_tokens
+        if direction == "b_to_a":
+            return self.to_a.available_tokens
+        raise ValueError(f"unknown direction {direction!r}")

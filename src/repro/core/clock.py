@@ -1,0 +1,57 @@
+"""Target clock domain.
+
+FireSim models every target component against a single notion of target
+time: when the configuration says the processor runs at ``f`` Hz, every
+model that needs target time (the network, the DRAM timing model, the OS
+model) treats one cycle as ``1/f`` seconds (paper Section III-A1, Table I).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core import units
+
+
+@dataclass(frozen=True)
+class TargetClock:
+    """An immutable description of the target clock domain.
+
+    Attributes:
+        freq_hz: target clock frequency in Hz.  The paper's server blades
+            run at 3.2 GHz.
+    """
+
+    freq_hz: float = 3.2e9
+
+    def __post_init__(self) -> None:
+        if self.freq_hz <= 0:
+            raise ValueError(f"frequency must be positive, got {self.freq_hz}")
+
+    @property
+    def period_s(self) -> float:
+        """Length of one target cycle in seconds."""
+        return 1.0 / self.freq_hz
+
+    def cycles(self, seconds: float) -> int:
+        """Convert seconds of target time to cycles (nearest)."""
+        return units.cycles_from_seconds(seconds, self.freq_hz)
+
+    def seconds(self, cycles: int) -> float:
+        """Convert cycles to seconds of target time."""
+        return units.seconds_from_cycles(cycles, self.freq_hz)
+
+    def micros(self, cycles: int) -> float:
+        """Convert cycles to microseconds of target time."""
+        return self.seconds(cycles) / units.MICROSECONDS
+
+    def cycles_per_microsecond(self) -> float:
+        return self.freq_hz * units.MICROSECONDS
+
+    def link_bandwidth_bps(self) -> float:
+        """Bandwidth of one flit-per-cycle link in this clock domain."""
+        return units.link_bandwidth_bps(self.freq_hz)
+
+
+#: The default clock used throughout the paper's evaluation (3.2 GHz).
+DEFAULT_CLOCK = TargetClock(3.2e9)

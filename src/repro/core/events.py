@@ -1,0 +1,76 @@
+"""A minimal deterministic event queue for intra-model scheduling.
+
+Server blades internally run a discrete-event simulation (cores, DMA
+engines, interrupts) inside each token window.  This queue is deliberately
+tiny: events are ``(cycle, sequence, callback)`` tuples, with the sequence
+number breaking ties so same-cycle events fire in insertion order — a
+requirement for deterministic simulations (paper Section III-B2 stresses
+that token exchange makes every target cycle deterministic; intra-model
+scheduling must not reintroduce host nondeterminism).
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Callable, List, Optional, Tuple
+
+EventCallback = Callable[[int], None]
+
+
+class EventQueue:
+    """A deterministic min-heap of cycle-stamped callbacks."""
+
+    def __init__(self) -> None:
+        self._heap: List[Tuple[int, int, EventCallback]] = []
+        self._seq = itertools.count()
+        self._cancelled: set[int] = set()
+
+    def schedule(self, cycle: int, callback: EventCallback) -> int:
+        """Schedule ``callback(cycle)`` to fire at the given cycle.
+
+        Returns a handle usable with :meth:`cancel`.
+        """
+        if cycle < 0:
+            raise ValueError(f"cycle must be >= 0, got {cycle}")
+        handle = next(self._seq)
+        heapq.heappush(self._heap, (cycle, handle, callback))
+        return handle
+
+    def cancel(self, handle: int) -> None:
+        """Cancel a previously scheduled event (lazy removal)."""
+        self._cancelled.add(handle)
+
+    def next_cycle(self) -> Optional[int]:
+        """Cycle of the earliest pending event, or None if empty."""
+        while self._heap and self._heap[0][1] in self._cancelled:
+            _, handle, _ = heapq.heappop(self._heap)
+            self._cancelled.discard(handle)
+        if not self._heap:
+            return None
+        return self._heap[0][0]
+
+    def run_until(self, end_cycle: int) -> int:
+        """Fire all events with cycle < ``end_cycle``; return count fired.
+
+        Events may schedule further events; newly scheduled events inside
+        the window also fire, in cycle order.
+        """
+        fired = 0
+        while True:
+            nxt = self.next_cycle()
+            if nxt is None or nxt >= end_cycle:
+                return fired
+            cycle, handle, callback = heapq.heappop(self._heap)
+            if handle in self._cancelled:
+                self._cancelled.discard(handle)
+                continue
+            callback(cycle)
+            fired += 1
+
+    def __len__(self) -> int:
+        return len(self._heap) - len(self._cancelled)
+
+    @property
+    def empty(self) -> bool:
+        return self.next_cycle() is None

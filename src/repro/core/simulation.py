@@ -1,0 +1,213 @@
+"""Global simulation orchestration.
+
+FireSim coordinates target time globally through token exchange: no NIC or
+switch port advances unless it has input tokens to consume, so every
+server simulation computes each target cycle deterministically even though
+host nodes are decoupled (paper Section III-B2).
+
+This orchestrator reproduces that execution model on one host process:
+
+* models (:class:`~repro.core.fame.Fame1Model`) attach their ports to
+  :class:`~repro.core.channel.Link` objects of per-link latency;
+* simulation advances in rounds of a *quantum* ``Q`` equal to the smallest
+  link latency (token batching up to the link latency, Section III-B2);
+* each round every model pops one ``Q``-cycle window per input port, ticks,
+  and pushes one ``Q``-cycle window per output port.
+
+Because links are primed with one latency of empty tokens, every pop is
+guaranteed to succeed — the simulated cluster can never deadlock — and the
+result is bit-identical regardless of the order models are ticked in.  We
+still tick in deterministic insertion order so host-side state (RNG draws
+inside models) is reproducible too.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from math import gcd
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.channel import Link, LinkEndpoint
+from repro.core.clock import DEFAULT_CLOCK, TargetClock
+from repro.core.fame import Fame1Model
+from repro.core.token import TokenBatch, TokenWindow
+
+
+@dataclass
+class _Attachment:
+    """Where one (model, port) sends to and receives from."""
+
+    link: Link
+    side: str  # "a" or "b"
+
+    def receive(self, length: int) -> TokenBatch:
+        endpoint = self.link.to_a if self.side == "a" else self.link.to_b
+        return endpoint.pop(length)
+
+    def transmit(self, batch: TokenBatch) -> None:
+        if self.side == "a":
+            self.link.send_from_a(batch)
+        else:
+            self.link.send_from_b(batch)
+
+
+@dataclass
+class SimulationStats:
+    """Aggregate counters the orchestrator maintains while running."""
+
+    rounds: int = 0
+    cycles: int = 0
+    tokens_moved: int = 0
+    valid_tokens_moved: int = 0
+
+    @property
+    def utilization(self) -> float:
+        """Fraction of moved tokens that carried valid data."""
+        if self.tokens_moved == 0:
+            return 0.0
+        return self.valid_tokens_moved / self.tokens_moved
+
+
+class Simulation:
+    """A cycle-exact, token-coordinated simulation of a target cluster."""
+
+    def __init__(
+        self,
+        clock: TargetClock = DEFAULT_CLOCK,
+        quantum_override: Optional[int] = None,
+    ) -> None:
+        self.clock = clock
+        self.models: List[Fame1Model] = []
+        self.links: List[Link] = []
+        self._attachments: Dict[Tuple[int, str], _Attachment] = {}
+        self.current_cycle = 0
+        self.stats = SimulationStats()
+        self._started = False
+        if quantum_override is not None and quantum_override < 1:
+            raise ValueError("quantum override must be >= 1 cycle")
+        #: Optional smaller-than-latency round quantum.  Batching *up to*
+        #: the link latency is what preserves cycle accuracy; any smaller
+        #: quantum is equally exact, just slower on the host — the
+        #: batching-ablation bench demonstrates both properties.
+        self.quantum_override = quantum_override
+
+    # -- construction --------------------------------------------------
+
+    def add_model(self, model: Fame1Model) -> Fame1Model:
+        """Register a model; all of its ports must be connected later."""
+        if self._started:
+            raise RuntimeError("cannot add models after simulation start")
+        if any(existing is model for existing in self.models):
+            raise ValueError(f"model {model.name!r} already added")
+        self.models.append(model)
+        return model
+
+    def connect(
+        self,
+        model_a: Fame1Model,
+        port_a: str,
+        model_b: Fame1Model,
+        port_b: str,
+        latency_cycles: int,
+        name: str = "",
+    ) -> Link:
+        """Create a link of the given latency between two model ports."""
+        if self._started:
+            raise RuntimeError("cannot connect links after simulation start")
+        for model, port in ((model_a, port_a), (model_b, port_b)):
+            if port not in model.ports:
+                raise ValueError(f"{model.name} has no port {port!r}")
+            key = (id(model), port)
+            if key in self._attachments:
+                raise ValueError(f"{model.name}.{port} already connected")
+        link = Link(latency_cycles, name or f"{model_a.name}.{port_a}<->{model_b.name}.{port_b}")
+        self.links.append(link)
+        self._attachments[(id(model_a), port_a)] = _Attachment(link, "a")
+        self._attachments[(id(model_b), port_b)] = _Attachment(link, "b")
+        return link
+
+    # -- execution --------------------------------------------------------
+
+    @property
+    def quantum(self) -> int:
+        """Cycles advanced per round: the smallest link latency.
+
+        Token batches of up to one link latency preserve cycle accuracy;
+        using the minimum across links keeps every link's exchange exact.
+        """
+        if not self.links:
+            return 1
+        natural = min(link.latency for link in self.links)
+        if self.quantum_override is not None:
+            if self.quantum_override > natural:
+                raise ValueError(
+                    f"quantum override {self.quantum_override} exceeds the "
+                    f"smallest link latency {natural}; tokens would be "
+                    "consumed before they exist"
+                )
+            return self.quantum_override
+        return natural
+
+    def _start(self) -> None:
+        for model in self.models:
+            for port in model.ports:
+                if (id(model), port) not in self._attachments:
+                    raise RuntimeError(
+                        f"{model.name}.{port} is not connected; attach a "
+                        "NullModel to terminate unused ports"
+                    )
+        for link in self.links:
+            link.prime()
+        self._started = True
+
+    def run_cycles(self, cycles: int) -> None:
+        """Advance the whole target by at least ``cycles`` target cycles.
+
+        Rounds are whole quanta, so the simulation may run up to one
+        quantum beyond the requested point (check ``current_cycle``).
+        """
+        if cycles < 0:
+            raise ValueError(f"cycles must be >= 0, got {cycles}")
+        self.run_until(self.current_cycle + cycles)
+
+    def run_until(self, target_cycle: int) -> None:
+        """Advance until ``current_cycle >= target_cycle``."""
+        if not self._started:
+            self._start()
+        quantum = self.quantum
+        while self.current_cycle < target_cycle:
+            self._run_round(quantum)
+
+    def run_seconds(self, seconds: float) -> None:
+        """Advance by a duration of target time."""
+        self.run_cycles(self.clock.cycles(seconds))
+
+    def _run_round(self, quantum: int) -> None:
+        window = TokenWindow(self.current_cycle, self.current_cycle + quantum)
+        for model in self.models:
+            inputs = {
+                port: self._attachments[(id(model), port)].receive(quantum)
+                for port in model.ports
+            }
+            outputs = model.tick(window, inputs)
+            for port, batch in outputs.items():
+                self._attachments[(id(model), port)].transmit(batch)
+                self.stats.tokens_moved += batch.length
+                self.stats.valid_tokens_moved += batch.valid_count
+        self.current_cycle = window.end
+        self.stats.rounds += 1
+        self.stats.cycles += quantum
+
+    # -- inspection --------------------------------------------------------
+
+    @property
+    def current_time_s(self) -> float:
+        """Target time reached so far, in seconds."""
+        return self.clock.seconds(self.current_cycle)
+
+    def link_between(
+        self, model_a: Fame1Model, port_a: str
+    ) -> Optional[Link]:
+        """The link attached to a model port, if any."""
+        attachment = self._attachments.get((id(model_a), port_a))
+        return attachment.link if attachment else None

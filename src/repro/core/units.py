@@ -1,0 +1,91 @@
+"""Unit helpers: frequencies, bandwidths, times, and cycle conversions.
+
+All target-time arithmetic in the simulator is done in integer *cycles* of
+the target clock (paper Section III-A1: a target frequency ``f`` means one
+cycle is ``1/f`` seconds).  This module centralizes the conversions so that
+experiments can be written in natural units (microseconds, Gbit/s) while the
+core stays exact.
+"""
+
+from __future__ import annotations
+
+# -- SI prefixes -------------------------------------------------------------
+
+KILO = 1_000
+MEGA = 1_000_000
+GIGA = 1_000_000_000
+TERA = 1_000_000_000_000
+
+KHZ = KILO
+MHZ = MEGA
+GHZ = GIGA
+
+# Times are expressed in seconds (float) at API boundaries.
+NANOSECONDS = 1e-9
+MICROSECONDS = 1e-6
+MILLISECONDS = 1e-3
+
+KIB = 1024
+MIB = 1024 * 1024
+GIB = 1024 * 1024 * 1024
+
+#: Width of one network flit in bytes (paper Section III-B2: 64-bit data
+#: field per token for the 200 Gbit/s links at 3.2 GHz).
+FLIT_BYTES = 8
+FLIT_BITS = FLIT_BYTES * 8
+
+
+def cycles_from_seconds(seconds: float, freq_hz: float) -> int:
+    """Convert a duration in seconds to a whole number of target cycles.
+
+    Rounds to the nearest cycle; guards against negative durations.
+
+    >>> cycles_from_seconds(2e-6, 3.2e9)
+    6400
+    """
+    if seconds < 0:
+        raise ValueError(f"duration must be non-negative, got {seconds}")
+    return round(seconds * freq_hz)
+
+
+def seconds_from_cycles(cycles: int, freq_hz: float) -> float:
+    """Convert a cycle count back to seconds of target time."""
+    return cycles / freq_hz
+
+
+def bits_per_cycle(bandwidth_bps: float, freq_hz: float) -> float:
+    """How many bits one target cycle carries at a given link bandwidth."""
+    return bandwidth_bps / freq_hz
+
+
+def link_bandwidth_bps(freq_hz: float, flit_bits: int = FLIT_BITS) -> float:
+    """Raw bandwidth of a link that moves one flit per target cycle.
+
+    At 3.2 GHz with 64-bit flits this is 204.8 Gbit/s, which the paper
+    rounds to the nominal "200 Gbit/s" link.
+    """
+    return freq_hz * flit_bits
+
+
+def flits_for_bytes(size_bytes: int, flit_bytes: int = FLIT_BYTES) -> int:
+    """Number of flits needed to carry ``size_bytes`` of payload."""
+    if size_bytes < 0:
+        raise ValueError(f"size must be non-negative, got {size_bytes}")
+    if size_bytes == 0:
+        return 1  # a zero-length frame still occupies one token
+    return -(-size_bytes // flit_bytes)  # ceil division
+
+
+def gbps(value: float) -> float:
+    """Gigabits per second expressed in bits per second."""
+    return value * GIGA
+
+
+def microseconds(value: float) -> float:
+    """Microseconds expressed in seconds."""
+    return value * MICROSECONDS
+
+
+def nanoseconds(value: float) -> float:
+    """Nanoseconds expressed in seconds."""
+    return value * NANOSECONDS

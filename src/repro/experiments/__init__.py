@@ -1,0 +1,20 @@
+"""Evaluation reproduction: one module per table/figure.
+
+* :mod:`repro.experiments.fig5_ping` — ping RTT vs link latency (§IV-A)
+* :mod:`repro.experiments.sec4b_iperf` — TCP goodput ceiling (§IV-B)
+* :mod:`repro.experiments.sec4c_baremetal` — bare-metal NIC rate (§IV-C)
+* :mod:`repro.experiments.fig6_saturation` — bandwidth saturation (§IV-D)
+* :mod:`repro.experiments.fig7_memcached` — thread-imbalance tails (§IV-E)
+* :mod:`repro.experiments.fig8_simrate` — rate vs cluster size (§V-A)
+* :mod:`repro.experiments.fig9_latency_sweep` — rate vs batch size (§V-B)
+* :mod:`repro.experiments.table3_datacenter` — 1024-node memcached (§V-C)
+* :mod:`repro.experiments.sec5c_scale` — platform/cost headline math (§V-C)
+* :mod:`repro.experiments.fig11_pfa` — PFA vs software paging (§VI)
+* :mod:`repro.experiments.sec7_comparison` — simulator comparison (§VII)
+* :mod:`repro.experiments.sec8_singlenode` — SPECint single-node farm (§VIII)
+
+Each module's ``run(quick=...)`` returns a result object with a
+``table()`` that prints the same rows/series the paper reports; the
+benchmarks under ``benchmarks/`` drive them and assert the paper's
+qualitative findings.
+"""

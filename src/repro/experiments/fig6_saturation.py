@@ -1,0 +1,141 @@
+"""Figure 6: saturating network bandwidth (Section IV-D).
+
+A 16-node cluster — two ToR switches under one root switch — where each
+server on the first ToR streams bare-metal traffic to the corresponding
+server on the second ToR, so every flow crosses the root.  Senders enter
+staggered in time, and each run sets the NIC token-bucket rate limiter
+to a standard Ethernet bandwidth (1, 10, 40, 100 Gbit/s).
+
+Expected series (paper): aggregate root-switch bandwidth ramps by one
+sender's rate per entry; the 1 and 10 Gbit/s runs max out at 8 and 80
+Gbit/s (never saturating the 200 Gbit/s ToR uplink), the 40 Gbit/s run
+saturates at 200 Gbit/s after five senders, and the 100 Gbit/s run after
+two.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Tuple
+
+from repro.experiments.common import Table, us_to_cycles
+from repro.manager.runfarm import RunFarmConfig, elaborate
+from repro.manager.topology import two_tier
+from repro.nic.ratelimit import rate_settings_for_bandwidth
+from repro.swmodel.apps.streamer import (
+    STREAM_FRAME_BYTES,
+    attach_baremetal_receiver,
+    make_baremetal_sender,
+)
+
+#: The standard Ethernet bandwidths the paper sweeps.
+DEFAULT_RATES_GBPS = (1.0, 10.0, 40.0, 100.0)
+
+#: Nominal link rate: one 64-bit flit per 3.2 GHz cycle.
+LINK_GBPS = 204.8
+
+
+@dataclass
+class SaturationSeries:
+    """One rate-limit setting's bandwidth-over-time series."""
+
+    rate_gbps: float
+    bucket_us: float
+    #: Aggregate Gbit/s at the root switch per time bucket.
+    series_gbps: List[float]
+    sender_entry_us: List[float]
+
+    @property
+    def peak_gbps(self) -> float:
+        return max(self.series_gbps) if self.series_gbps else 0.0
+
+    @property
+    def steady_gbps(self) -> float:
+        """Mean of the last quarter of the series (all senders active)."""
+        if not self.series_gbps:
+            return 0.0
+        tail = self.series_gbps[-max(1, len(self.series_gbps) // 4):]
+        return sum(tail) / len(tail)
+
+
+@dataclass
+class Fig6Result:
+    series: List[SaturationSeries]
+
+    def table(self) -> Table:
+        table = Table(
+            "Figure 6: aggregate bandwidth at the root switch "
+            "(paper: maxes at 8 / 80 / 200 / 200 Gbit/s)",
+            ["per-sender rate (Gbit/s)", "peak (Gbit/s)", "steady (Gbit/s)"],
+        )
+        for s in self.series:
+            table.add_row(
+                s.rate_gbps, round(s.peak_gbps, 1), round(s.steady_gbps, 1)
+            )
+        return table
+
+
+def run_rate(
+    rate_gbps: float,
+    num_senders: int = 8,
+    stagger_us: float = 50.0,
+    tail_us: float = 150.0,
+    bucket_us: float = 25.0,
+) -> SaturationSeries:
+    """One Figure 6 run at one rate-limit setting."""
+    sim = elaborate(two_tier(num_racks=2, servers_per_rack=8), RunFarmConfig())
+    root_switch = sim.switches[sim.root.switch_id]
+    root_switch.enable_bandwidth_probe()
+
+    duration_us = stagger_us * num_senders + tail_us
+    duration_cycles = us_to_cycles(duration_us)
+    frame_bits = STREAM_FRAME_BYTES * 8
+    entries = []
+    for index in range(num_senders):
+        sender = sim.blade(index)
+        receiver = sim.blade(8 + index)
+        attach_baremetal_receiver(receiver)
+        k, p = rate_settings_for_bandwidth(rate_gbps * 1e9, LINK_GBPS * 1e9)
+        sender.nic.set_bandwidth(k, p)
+        start_cycle = us_to_cycles(stagger_us * index)
+        active_seconds = (duration_us - stagger_us * index) * 1e-6
+        frames = int(rate_gbps * 1e9 * active_seconds / frame_bits) + 64
+        sender.spawn(
+            f"stream{index}",
+            make_baremetal_sender(
+                receiver.mac, num_frames=frames, start_delay_cycles=start_cycle
+            ),
+        )
+        entries.append(stagger_us * index)
+
+    sim.run_cycles(duration_cycles)
+
+    bucket_cycles = us_to_cycles(bucket_us)
+    num_buckets = duration_cycles // bucket_cycles
+    bytes_per_bucket = [0] * num_buckets
+    for cycle, size in root_switch.egress_log or []:
+        bucket = min(cycle // bucket_cycles, num_buckets - 1)
+        bytes_per_bucket[bucket] += size
+    bucket_seconds = bucket_cycles / 3.2e9
+    series = [b * 8 / bucket_seconds / 1e9 for b in bytes_per_bucket]
+    return SaturationSeries(
+        rate_gbps=rate_gbps,
+        bucket_us=bucket_us,
+        series_gbps=series,
+        sender_entry_us=entries,
+    )
+
+
+def run(
+    rates_gbps: Sequence[float] = DEFAULT_RATES_GBPS, quick: bool = False
+) -> Fig6Result:
+    """The full Figure 6 sweep."""
+    if quick:
+        kwargs = dict(stagger_us=30.0, tail_us=90.0, bucket_us=15.0)
+    else:
+        kwargs = {}
+    return Fig6Result([run_rate(rate, **kwargs) for rate in rates_gbps])
+
+
+if __name__ == "__main__":  # pragma: no cover - manual run
+    print(run(quick=True).table())

@@ -1,0 +1,151 @@
+"""Figure 7: thread imbalance in memcached and tail latency (Section IV-E).
+
+End-to-end validation against Leverich & Kozyrakis [32]: an 8-node
+cluster (200 Gbit/s, 2 us network) with one 4-core blade running
+memcached and seven blades running the mutilate load generator.  The
+server runs 4 or 5 worker threads; a third configuration pins 4 threads
+one-to-a-core.
+
+Expected phenomena:
+
+* **5 threads on 4 cores** — tail (95th percentile) latency rises
+  sharply while median latency is essentially unaffected;
+* **4 threads unpinned** — at low-to-medium load the tail tracks the
+  5-thread curve (poor thread placement), then smooths;
+* **4 threads pinned** — the smoothed tail curve, overlapping unpinned
+  at high load where the scheduler places threads as if pinned.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.experiments.common import Table, cycles_to_us, percentile
+from repro.manager.runfarm import RunFarmConfig, elaborate
+from repro.manager.topology import single_rack
+from repro.swmodel.apps.memcached import MemcachedConfig, start_memcached
+from repro.swmodel.apps.mutilate import (
+    RESULT_LATENCY,
+    MutilateConfig,
+    start_mutilate,
+)
+
+NUM_CLIENTS = 7
+SERVER_NODE = 0
+
+#: The three Figure 7 configurations.
+CONFIGS: Dict[str, MemcachedConfig] = {
+    "4 threads": MemcachedConfig(num_threads=4, pin_threads=False),
+    "5 threads": MemcachedConfig(num_threads=5, pin_threads=False),
+    "4 threads pinned": MemcachedConfig(num_threads=4, pin_threads=True),
+}
+
+DEFAULT_QPS_SWEEP = (20_000, 40_000, 60_000, 80_000, 100_000, 120_000, 130_000)
+
+
+@dataclass
+class LoadPoint:
+    config_name: str
+    target_qps: float
+    achieved_qps: float
+    p50_us: float
+    p95_us: float
+    samples: int
+
+
+@dataclass
+class Fig7Result:
+    points: List[LoadPoint]
+
+    def series(self, config_name: str) -> List[LoadPoint]:
+        return [p for p in self.points if p.config_name == config_name]
+
+    def table(self) -> Table:
+        table = Table(
+            "Figure 7: memcached thread imbalance "
+            "(p95 inflates with 5 threads on 4 cores; p50 stays flat)",
+            ["config", "target QPS", "achieved QPS", "p50 (us)", "p95 (us)"],
+        )
+        for p in self.points:
+            table.add_row(
+                p.config_name,
+                int(p.target_qps),
+                int(p.achieved_qps),
+                round(p.p50_us, 1),
+                round(p.p95_us, 1),
+            )
+        return table
+
+
+def run_point(
+    config: MemcachedConfig,
+    config_name: str,
+    aggregate_qps: float,
+    measure_seconds: float = 0.04,
+    warmup_seconds: float = 0.004,
+) -> LoadPoint:
+    """One (configuration, offered load) measurement."""
+    sim = elaborate(single_rack(8), RunFarmConfig())
+    server = sim.blade(SERVER_NODE)
+    start_memcached(server, config)
+
+    duration_cycles = int((warmup_seconds + measure_seconds) * 3.2e9)
+    per_client_qps = aggregate_qps / NUM_CLIENTS
+    for client_index in range(NUM_CLIENTS):
+        client = sim.blade(1 + client_index)
+        start_mutilate(
+            client,
+            MutilateConfig(
+                server_mac=server.mac,
+                target_qps=per_client_qps,
+                duration_cycles=duration_cycles,
+                num_connections=16,
+                server_threads=config.num_threads,
+                seed=1000 + client_index,
+            ),
+        )
+
+    sim.run_seconds(warmup_seconds + measure_seconds + 0.002)
+
+    warmup_cycles = int(warmup_seconds * 3.2e9)
+    latencies: List[int] = []
+    for client_index in range(NUM_CLIENTS):
+        samples = sim.blade(1 + client_index).results.get(RESULT_LATENCY, [])
+        latencies.extend(samples)
+    # Drop the warmup fraction of samples (in arrival order per client).
+    if not latencies:
+        raise RuntimeError(f"no latency samples at {aggregate_qps} QPS")
+    keep = latencies[int(len(latencies) * warmup_seconds / (warmup_seconds + measure_seconds)):]
+    achieved = len(keep) / measure_seconds
+    return LoadPoint(
+        config_name=config_name,
+        target_qps=aggregate_qps,
+        achieved_qps=achieved,
+        p50_us=cycles_to_us(percentile(keep, 50)),
+        p95_us=cycles_to_us(percentile(keep, 95)),
+        samples=len(keep),
+    )
+
+
+def run(
+    qps_sweep: Sequence[float] = DEFAULT_QPS_SWEEP,
+    configs: Optional[Dict[str, MemcachedConfig]] = None,
+    quick: bool = False,
+) -> Fig7Result:
+    """The full Figure 7 sweep: three configurations x offered load."""
+    configs = configs or CONFIGS
+    measure = 0.015 if quick else 0.04
+    if quick:
+        qps_sweep = tuple(qps_sweep)[::2] or tuple(qps_sweep)
+    points = []
+    for name, config in configs.items():
+        for qps in qps_sweep:
+            points.append(
+                run_point(config, name, qps, measure_seconds=measure)
+            )
+    return Fig7Result(points)
+
+
+if __name__ == "__main__":  # pragma: no cover - manual run
+    print(run(quick=True).table())

@@ -1,0 +1,85 @@
+"""Figure 8: simulation rate vs. number of simulated target nodes (§V-A).
+
+The paper's benchmark boots Linux to userspace and powers down, so no
+target network traffic flows — but because FireSim performs no token
+compression, the host moves exactly as many tokens as a fully loaded
+network would, making the measured rate workload-independent.  The
+figure shows the overhead of distributing the simulation: first between
+FPGAs on one instance, then between instances, for both the standard and
+supernode FPGA configurations.
+
+Per DESIGN.md, host wall-clock cannot be measured without an F1 fleet;
+this experiment evaluates the calibrated host performance model
+(:mod:`repro.host.perfmodel`) across the node-count sweep.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from repro.experiments.common import Table
+from repro.host.perfmodel import HostPerfConfig, RateEstimate, SimulationRateModel
+
+DEFAULT_NODE_COUNTS = (2, 4, 8, 16, 32, 64, 128, 256, 512, 1024)
+LINK_LATENCY_CYCLES = 6400  # the 2 us network used throughout the paper
+
+
+@dataclass
+class SimRatePoint:
+    num_nodes: int
+    standard_mhz: float
+    supernode_mhz: float
+    standard_bottleneck: str
+    supernode_bottleneck: str
+
+
+@dataclass
+class Fig8Result:
+    points: List[SimRatePoint]
+
+    def table(self) -> Table:
+        table = Table(
+            "Figure 8: simulation rate vs simulated nodes "
+            "(2 us / 200 Gbit/s network; paper anchor: 1024 supernode "
+            "nodes at 3.42 MHz)",
+            ["nodes", "standard (MHz)", "supernode (MHz)", "bottleneck (std/super)"],
+        )
+        for p in self.points:
+            table.add_row(
+                p.num_nodes,
+                round(p.standard_mhz, 2),
+                round(p.supernode_mhz, 2),
+                f"{p.standard_bottleneck}/{p.supernode_bottleneck}",
+            )
+        return table
+
+
+def run(
+    node_counts: Sequence[int] = DEFAULT_NODE_COUNTS,
+    link_latency_cycles: int = LINK_LATENCY_CYCLES,
+    config: Optional[HostPerfConfig] = None,
+    quick: bool = False,
+) -> Fig8Result:
+    """Evaluate the simulation-rate model across cluster sizes."""
+    model = SimulationRateModel(config)
+    points = []
+    for num_nodes in node_counts:
+        standard = model.cluster_rate(num_nodes, link_latency_cycles)
+        supernode = model.cluster_rate(
+            num_nodes, link_latency_cycles, supernode=True
+        )
+        points.append(
+            SimRatePoint(
+                num_nodes=num_nodes,
+                standard_mhz=standard.rate_mhz,
+                supernode_mhz=supernode.rate_mhz,
+                standard_bottleneck=standard.bottleneck,
+                supernode_bottleneck=supernode.bottleneck,
+            )
+        )
+    return Fig8Result(points)
+
+
+if __name__ == "__main__":  # pragma: no cover - manual run
+    print(run().table())

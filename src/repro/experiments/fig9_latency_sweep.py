@@ -1,0 +1,115 @@
+"""Figure 9: simulation rate vs. simulated network link latency (§V-B).
+
+Moving tokens between distributed simulations is the fundamental
+bottleneck; token exchange is batched up to the target link latency, so
+decreasing the target latency shrinks the batch and costs simulation
+performance (the benefits of request batching are lost).  The paper
+focuses on 2 us links as the realistic experimental point.
+
+As with Figure 8, host wall-clock requires the F1 fleet, so the sweep
+evaluates the calibrated host performance model.  For cross-checking,
+``run_functional_probe`` also measures *this reproduction's own* host
+simulation rate across batch sizes, which exhibits the same shape
+(bigger batches amortize per-round overhead).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from repro.experiments.common import Table, cycles_to_us
+from repro.host.perfmodel import HostPerfConfig, SimulationRateModel
+from repro.manager.runfarm import RunFarmConfig, elaborate
+from repro.manager.topology import single_rack
+
+#: Target link latencies swept, in cycles at 3.2 GHz (100 ns .. 8 us).
+DEFAULT_LATENCIES_CYCLES = (320, 800, 1600, 3200, 6400, 12800, 25600)
+
+NUM_NODES = 8
+
+
+@dataclass
+class LatencyPoint:
+    link_latency_cycles: int
+    link_latency_us: float
+    rate_mhz: float
+    bottleneck: str
+
+
+@dataclass
+class Fig9Result:
+    points: List[LatencyPoint]
+
+    def table(self) -> Table:
+        table = Table(
+            "Figure 9: simulation rate vs target link latency "
+            "(8-node cluster; rate grows with batch size, then saturates)",
+            ["link latency (us)", "batch (tokens)", "sim rate (MHz)", "bottleneck"],
+        )
+        for p in self.points:
+            table.add_row(
+                round(p.link_latency_us, 2),
+                p.link_latency_cycles,
+                round(p.rate_mhz, 2),
+                p.bottleneck,
+            )
+        return table
+
+
+def run(
+    latencies_cycles: Sequence[int] = DEFAULT_LATENCIES_CYCLES,
+    num_nodes: int = NUM_NODES,
+    config: Optional[HostPerfConfig] = None,
+    quick: bool = False,
+) -> Fig9Result:
+    """Evaluate the simulation-rate model across link latencies."""
+    model = SimulationRateModel(config)
+    points = []
+    for latency in latencies_cycles:
+        estimate = model.cluster_rate(num_nodes, latency)
+        points.append(
+            LatencyPoint(
+                link_latency_cycles=latency,
+                link_latency_us=cycles_to_us(latency),
+                rate_mhz=estimate.rate_mhz,
+                bottleneck=estimate.bottleneck,
+            )
+        )
+    return Fig9Result(points)
+
+
+def run_functional_probe(
+    latencies_cycles: Sequence[int] = (800, 3200, 12800),
+    target_cycles: int = 400_000,
+) -> List[LatencyPoint]:
+    """Measure this reproduction's own host rate vs batch size.
+
+    An idle 4-node cluster is advanced ``target_cycles`` of target time
+    at each link latency; since the orchestrator's quantum equals the
+    link latency, this exposes the same batching-amortization shape on
+    the Python host that Figure 9 shows on EC2 F1.
+    """
+    points = []
+    for latency in latencies_cycles:
+        sim = elaborate(
+            single_rack(4), RunFarmConfig(link_latency_cycles=latency)
+        )
+        start = time.perf_counter()
+        sim.run_cycles(target_cycles)
+        elapsed = time.perf_counter() - start
+        rate = sim.simulation.current_cycle / elapsed
+        points.append(
+            LatencyPoint(
+                link_latency_cycles=latency,
+                link_latency_us=cycles_to_us(latency),
+                rate_mhz=rate / 1e6,
+                bottleneck="python-host",
+            )
+        )
+    return points
+
+
+if __name__ == "__main__":  # pragma: no cover - manual run
+    print(run().table())

@@ -1,0 +1,67 @@
+"""Section IV-B: iperf3 TCP bandwidth between two nodes.
+
+Runs the iperf3 model on Linux-model nodes behind one ToR switch and
+measures goodput.  Paper result: ~1.4 Gbit/s — far below the 200 Gbit/s
+link, bottlenecked by the network stack on the single-issue in-order
+Rocket core.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.experiments.common import Table
+from repro.manager.runfarm import RunFarmConfig, elaborate
+from repro.manager.topology import single_rack
+from repro.swmodel.apps.iperf import (
+    RESULT_BYTES,
+    RESULT_CYCLES,
+    goodput_bps,
+    make_iperf_client,
+    make_iperf_server,
+)
+
+
+@dataclass
+class IperfResult:
+    goodput_gbps: float
+    bytes_transferred: int
+    link_gbps: float = 200.0
+
+    def table(self) -> Table:
+        table = Table(
+            "Section IV-B: iperf3 TCP bandwidth (paper: 1.4 Gbit/s)",
+            ["nominal link (Gbit/s)", "measured TCP goodput (Gbit/s)"],
+        )
+        table.add_row(self.link_gbps, round(self.goodput_gbps, 3))
+        return table
+
+
+def run(total_bytes: int = 2_000_000, quick: bool = False) -> IperfResult:
+    """Measure single-stream TCP goodput between two cluster nodes."""
+    if quick:
+        total_bytes = min(total_bytes, 400_000)
+    sim = elaborate(single_rack(8), RunFarmConfig())
+    server = sim.blade(1)
+    server.spawn("iperf-server", make_iperf_server())
+    sim.blade(0).spawn("iperf-client", make_iperf_client(server.mac, total_bytes))
+    # CPU-bound at ~8.5 us/segment: budget generously, then stop at FIN.
+    segments = total_bytes // 1460 + 2
+    budget_cycles = segments * 40_000 + 2_000_000
+    step = budget_cycles // 20
+    for _ in range(20):
+        sim.run_cycles(step)
+        if RESULT_BYTES in server.results:
+            break
+    if RESULT_BYTES not in server.results:
+        raise RuntimeError("iperf transfer did not complete in budget")
+    received = server.results[RESULT_BYTES][0]
+    cycles = server.results[RESULT_CYCLES][0]
+    return IperfResult(
+        goodput_gbps=goodput_bps(received, cycles, 3.2e9) / 1e9,
+        bytes_transferred=received,
+    )
+
+
+if __name__ == "__main__":  # pragma: no cover - manual run
+    print(run(quick=True).table())

@@ -1,0 +1,112 @@
+"""Section V-C: the thousand-node datacenter simulation's platform math.
+
+Assembles every headline number of the 1024-node deployment:
+
+* the Figure 10 topology (32 ToRs x 32 quad-core nodes, 4 aggregation
+  switches, 1 root) mapped with supernode packing onto
+  **32 f1.16xlarge + 5 m4.16xlarge** instances;
+* FPGA utilization: single-node designs use 32.6% of LUTs (14.4% for
+  blade RTL); supernodes raise blade utilization to ~57.7% and total to
+  ~76% (Section III-A5);
+* cost: ~$100/hour at stable spot prices, ~$440/hour on-demand,
+  harnessing 256 FPGAs (~$12.8M retail);
+* simulation rate: 3.42 MHz at 2 us links (< 1000x slowdown of the
+  3.2 GHz target), ~14 billion aggregate instructions per second.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.experiments.common import Table
+from repro.host.fpga import STANDARD_FPGA, SUPERNODE_FPGA
+from repro.host.perfmodel import SimulationRateModel
+from repro.manager.manager import FireSimManager
+from repro.manager.mapper import SUPERNODE_HOST
+from repro.manager.topology import datacenter_tree
+
+
+@dataclass
+class Sec5cResult:
+    num_nodes: int
+    num_cores: int
+    num_f1: int
+    num_m4: int
+    spot_per_hour: float
+    on_demand_per_hour: float
+    total_fpgas: int
+    fpga_value_musd: float
+    sim_rate_mhz: float
+    slowdown: float
+    aggregate_bips: float
+    single_node_lut_fraction: float
+    single_node_blade_fraction: float
+    supernode_blade_fraction: float
+    supernode_lut_fraction: float
+
+    def table(self) -> Table:
+        table = Table(
+            "Section V-C: 1024-node datacenter simulation "
+            "(paper: 32xf1.16xlarge + 5xm4.16xlarge, ~$100/hr spot, "
+            "~$440/hr on-demand, $12.8M FPGAs, 3.42 MHz)",
+            ["quantity", "value"],
+        )
+        table.add_row("simulated nodes", self.num_nodes)
+        table.add_row("simulated cores", self.num_cores)
+        table.add_row("f1.16xlarge instances", self.num_f1)
+        table.add_row("m4.16xlarge instances", self.num_m4)
+        table.add_row("spot $/hour", round(self.spot_per_hour, 2))
+        table.add_row("on-demand $/hour", round(self.on_demand_per_hour, 2))
+        table.add_row("FPGAs harnessed", self.total_fpgas)
+        table.add_row("FPGA retail value ($M)", round(self.fpga_value_musd, 1))
+        table.add_row("simulation rate (MHz)", round(self.sim_rate_mhz, 2))
+        table.add_row("slowdown vs 3.2 GHz", round(self.slowdown, 1))
+        table.add_row("aggregate BIPS", round(self.aggregate_bips, 1))
+        table.add_row(
+            "single-node FPGA LUT util",
+            f"{self.single_node_lut_fraction:.1%}",
+        )
+        table.add_row(
+            "supernode FPGA LUT util", f"{self.supernode_lut_fraction:.1%}"
+        )
+        return table
+
+
+def run(quick: bool = False) -> Sec5cResult:
+    """Map and price the full 1024-node target."""
+    topology = datacenter_tree()  # 4 agg x 8 racks x 32 nodes = 1024
+    manager = FireSimManager(topology, host_config=SUPERNODE_HOST)
+    manager.buildafi()
+    deployment = manager.launchrunfarm()
+    cost = manager.cost_report()
+    rate = manager.rate_estimate()
+
+    num_nodes = len(deployment.server_placements)
+    cores_per_node = 4
+    num_cores = num_nodes * cores_per_node
+    # Aggregate instructions per second: every simulated core retires
+    # about one instruction per simulated cycle (Rocket is single-issue,
+    # CPI ~1), at the achieved simulation rate.
+    aggregate_ips = num_cores * rate.rate_hz
+
+    return Sec5cResult(
+        num_nodes=num_nodes,
+        num_cores=num_cores,
+        num_f1=deployment.num_f1_instances,
+        num_m4=deployment.num_m4_instances,
+        spot_per_hour=cost.spot_per_hour,
+        on_demand_per_hour=cost.on_demand_per_hour,
+        total_fpgas=cost.total_fpgas,
+        fpga_value_musd=cost.fpga_retail_value / 1e6,
+        sim_rate_mhz=rate.rate_mhz,
+        slowdown=rate.slowdown_vs_target(3.2e9),
+        aggregate_bips=aggregate_ips / 1e9,
+        single_node_lut_fraction=STANDARD_FPGA.total_lut_fraction,
+        single_node_blade_fraction=STANDARD_FPGA.blade_lut_fraction,
+        supernode_blade_fraction=SUPERNODE_FPGA.blade_lut_fraction,
+        supernode_lut_fraction=SUPERNODE_FPGA.total_lut_fraction,
+    )
+
+
+if __name__ == "__main__":  # pragma: no cover - manual run
+    print(run().table())

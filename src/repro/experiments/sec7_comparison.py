@@ -1,0 +1,65 @@
+"""Section VII: comparison against prior scale-out simulators.
+
+Regenerates the related-work comparison as a table: FireSim versus
+dist-gem5 (software full-system simulation scaled out), Graphite
+(relaxed-synchronization parallel simulation), and DIABLO (custom-FPGA
+abstract models), with this Python reproduction's own measured rate as a
+bonus row — it is itself a software simulator, and lands orders of
+magnitude below FireSim exactly as Section VII describes for software
+approaches.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from repro.experiments.common import Table
+from repro.host.baselines import SimulatorEnvelope, comparison_rows
+
+
+@dataclass
+class Sec7Result:
+    rows: List[SimulatorEnvelope]
+
+    def envelope(self, name: str) -> SimulatorEnvelope:
+        for row in self.rows:
+            if row.name == name:
+                return row
+        raise LookupError(f"no comparison row named {name!r}")
+
+    def table(self) -> Table:
+        table = Table(
+            "Section VII: scale-out simulator comparison "
+            "(FireSim: cycle-exact, full OS, tapeout RTL, no CapEx)",
+            [
+                "simulator",
+                "node rate",
+                "slowdown vs 3.2 GHz",
+                "cycle-exact",
+                "full OS",
+                "CapEx ($)",
+            ],
+        )
+        for row in self.rows:
+            if row.node_rate_hz >= 1e6:
+                rate = f"{row.node_rate_hz / 1e6:.2f} MHz"
+            else:
+                rate = f"{row.node_rate_hz / 1e3:.0f} KIPS"
+            table.add_row(
+                row.name,
+                rate,
+                round(row.slowdown_vs(), 1),
+                row.cycle_exact,
+                row.runs_full_os,
+                int(row.capex_usd),
+            )
+        return table
+
+
+def run(include_measured: bool = True, quick: bool = False) -> Sec7Result:
+    return Sec7Result(comparison_rows(include_measured=include_measured))
+
+
+if __name__ == "__main__":  # pragma: no cover - manual run
+    print(run().table())

@@ -1,0 +1,149 @@
+"""Section VIII: reproducible, massively parallel single-node experiments.
+
+FireSim's management framework, built for thousand-node simulations, is
+"immensely useful" for single-node work too: the manager distributes jobs
+to many parallel single-node simulations, so the entire SPECint17 suite
+runs with full reference inputs and yields cycle-exact results "in
+roughly one day".
+
+This experiment reproduces that workflow end to end:
+
+* one single-node FireSim simulation per SPECint benchmark, farmed via
+  the manager's workload machinery (each blade runs its benchmark's
+  profile through the Rocket core + cache + DRAM timing models);
+* per-benchmark cycle-exact runtimes collected by the manager;
+* the host wall-clock estimate from the performance model: a single node
+  simulates at tens of MHz, so a ~10^12-instruction reference input
+  (~10^12 cycles at Rocket's CPI) takes ~10^12 / ~30 MHz ≈ 10 hours —
+  the paper's "roughly one day" for the suite run in parallel.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from repro.experiments.common import Table
+from repro.host.perfmodel import SimulationRateModel
+from repro.manager.manager import FireSimManager
+from repro.manager.topology import ServerNode, SwitchNode
+from repro.manager.workload import WorkloadSpec
+from repro.swmodel.apps.spec import (
+    RESULT_KEY,
+    SPECINT_2017,
+    SpecBenchmark,
+    make_spec_runner,
+)
+
+
+@dataclass
+class SpecRow:
+    benchmark: str
+    simulated_cycles: int
+    simulated_seconds: float
+    #: Estimated host wall-clock to run the *reference* input (scale=1.0)
+    #: on one FPGA at the model's single-node rate.
+    est_reference_host_hours: float
+
+
+@dataclass
+class Sec8Result:
+    rows: List[SpecRow]
+    scale: float
+    single_node_rate_mhz: float
+
+    @property
+    def suite_host_hours(self) -> float:
+        """Parallel farm: the suite takes as long as its slowest member."""
+        return max(r.est_reference_host_hours for r in self.rows)
+
+    def table(self) -> Table:
+        table = Table(
+            "Section VIII: SPECint single-node farm "
+            f"(scale={self.scale:g}; paper: full suite, reference inputs, "
+            "cycle-exact results in roughly one day)",
+            ["benchmark", "cycles (scaled)", "est. reference host-hours"],
+        )
+        for row in self.rows:
+            table.add_row(
+                row.benchmark,
+                row.simulated_cycles,
+                round(row.est_reference_host_hours, 1),
+            )
+        table.add_row(
+            "suite (parallel)", "-", round(self.suite_host_hours, 1)
+        )
+        return table
+
+
+def run(
+    benchmarks: Optional[Sequence[SpecBenchmark]] = None,
+    scale: float = 2e-7,
+    quick: bool = False,
+) -> Sec8Result:
+    """Farm one single-node simulation per benchmark and collect."""
+    benchmarks = list(benchmarks or SPECINT_2017)
+    if quick:
+        benchmarks = benchmarks[:3]
+        scale = min(scale, 1e-7)
+
+    # One-rack topology with one node per benchmark: each blade is an
+    # independent single-node experiment (they never talk).
+    tor = SwitchNode()
+    tor.add_downlinks([ServerNode("QuadCore") for _ in benchmarks])
+    manager = FireSimManager(tor)
+    manager.buildafi()
+    manager.launchrunfarm()
+    sim = manager.infrasetup()
+
+    workload = WorkloadSpec("specint17", duration_seconds=0.0)
+    for node_index, benchmark in enumerate(benchmarks):
+        blade = sim.blade(node_index)
+        workload.add_job(
+            node_index,
+            benchmark.name,
+            lambda b, bench=benchmark: b.spawn(
+                bench.name, make_spec_runner(bench, b.soc, scale=scale)
+            ),
+        )
+
+    # Run until every benchmark reports.  The budget comes from a probe
+    # elaboration of each profile (memory stalls push cycles well past
+    # the instruction count), doubled for scheduler slack.
+    for job in workload.jobs:
+        job.setup(sim.blade(job.node_index))
+    from repro.swmodel.apps.spec import reference_cycles
+    from repro.tile.soc import config_by_name
+
+    probe_soc = config_by_name("QuadCore").build()
+    budget = max(
+        reference_cycles(benchmark, probe_soc, scale=scale)
+        for benchmark in benchmarks
+    )
+    sim.run_cycles(budget * 2 + 2_000_000)
+
+    rate = SimulationRateModel().cluster_rate(1, 6400)
+    rows = []
+    for node_index, benchmark in enumerate(benchmarks):
+        records = sim.blade(node_index).results.get(RESULT_KEY, [])
+        if not records:
+            raise RuntimeError(f"{benchmark.name} did not finish in budget")
+        _, cycles = records[0]
+        reference_cycles = cycles / scale
+        rows.append(
+            SpecRow(
+                benchmark=benchmark.name,
+                simulated_cycles=cycles,
+                simulated_seconds=cycles / 3.2e9,
+                est_reference_host_hours=reference_cycles
+                / rate.rate_hz
+                / 3600,
+            )
+        )
+    return Sec8Result(
+        rows=rows, scale=scale, single_node_rate_mhz=rate.rate_mhz
+    )
+
+
+if __name__ == "__main__":  # pragma: no cover - manual run
+    print(run(quick=True).table())

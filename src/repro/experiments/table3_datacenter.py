@@ -1,0 +1,202 @@
+"""Table III: 1024-node datacenter memcached experiment (§V-C).
+
+The paper simulates the Figure 10 topology (32 ToR switches x 32 nodes,
+4 aggregation switches, 1 root switch) and runs 512 memcached servers
+against 512 mutilate load generators in three pairings:
+
+* **Cross-ToR** — client and server under the same ToR switch;
+* **Cross-aggregation** — pairs cross an aggregation switch;
+* **Cross-datacenter** — pairs cross the root switch.
+
+Expected results (Table III): each added tier raises median latency by
+four link latencies plus switching (~8 us at 2 us links), 95th
+percentile shows no predictable change (dominated by other variability),
+and aggregate QPS decreases slightly (load is limited per pair, so the
+effect of latency dominates congestion).
+
+Scaling note (see EXPERIMENTS.md): the full 1024-node topology is
+expressible and runs, but the default benchmark uses a structurally
+identical scaled-down tree (8 ToRs x 8 nodes = 64 servers + 64 clients,
+4 aggregation switches, 1 root) so the cycle-exact Python simulation
+finishes in bench-friendly time.  All three pairings cross the same
+switch tiers as the paper's.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.experiments.common import Table, cycles_to_us, percentile
+from repro.manager.runfarm import RunFarmConfig, RunningSimulation, elaborate
+from repro.manager.topology import datacenter_tree
+from repro.swmodel.apps.memcached import MemcachedConfig, start_memcached
+from repro.swmodel.apps.mutilate import (
+    RESULT_LATENCY,
+    MutilateConfig,
+    start_mutilate,
+)
+
+PAIRINGS = ("cross-tor", "cross-aggregation", "cross-datacenter")
+
+
+@dataclass(frozen=True)
+class DatacenterShape:
+    """Tree geometry (defaults: the paper's Figure 10 shape, scaled)."""
+
+    num_aggregation: int = 4
+    racks_per_aggregation: int = 2
+    servers_per_rack: int = 8
+
+    @property
+    def num_racks(self) -> int:
+        return self.num_aggregation * self.racks_per_aggregation
+
+    @property
+    def num_nodes(self) -> int:
+        return self.num_racks * self.servers_per_rack
+
+
+#: The paper's full-scale shape: 32 ToRs x 32 nodes = 1024.
+PAPER_SHAPE = DatacenterShape(
+    num_aggregation=4, racks_per_aggregation=8, servers_per_rack=32
+)
+
+
+@dataclass
+class PairingResult:
+    pairing: str
+    p50_us: float
+    p95_us: float
+    aggregate_qps: float
+    num_pairs: int
+
+
+@dataclass
+class Table3Result:
+    rows: List[PairingResult]
+
+    def table(self) -> Table:
+        table = Table(
+            "Table III: memcached latencies and QPS by pairing "
+            "(paper: p50 rises ~8 us per tier; p95 unpredictable; QPS dips)",
+            ["pairing", "p50 (us)", "p95 (us)", "aggregate QPS"],
+        )
+        for r in self.rows:
+            table.add_row(
+                r.pairing,
+                round(r.p50_us, 2),
+                round(r.p95_us, 2),
+                round(r.aggregate_qps, 1),
+            )
+        return table
+
+
+def _pair_nodes(
+    shape: DatacenterShape, pairing: str
+) -> List[Tuple[int, int]]:
+    """(server_node, client_node) index pairs for one pairing mode.
+
+    Within each rack, the first half of nodes are memcached servers and
+    the second half are load generators.  Node indices follow the
+    deterministic ``iter_servers`` order: rack-major.
+    """
+    per_rack = shape.servers_per_rack
+    half = per_rack // 2
+    racks = shape.num_racks
+    racks_per_agg = shape.racks_per_aggregation
+
+    def node(rack: int, slot: int) -> int:
+        return rack * per_rack + slot
+
+    pairs = []
+    for rack in range(racks):
+        if pairing == "cross-tor":
+            client_rack = rack
+        elif pairing == "cross-aggregation":
+            # Partner rack under the same aggregation switch.
+            group = rack // racks_per_agg
+            offset = rack % racks_per_agg
+            client_rack = group * racks_per_agg + (offset ^ 1)
+        elif pairing == "cross-datacenter":
+            # Partner rack under a different aggregation switch.
+            client_rack = (rack + racks_per_agg) % racks
+        else:
+            raise ValueError(f"unknown pairing {pairing!r}")
+        for slot in range(half):
+            pairs.append(
+                (node(rack, slot), node(client_rack, half + slot))
+            )
+    return pairs
+
+
+def run_pairing(
+    pairing: str,
+    shape: DatacenterShape = DatacenterShape(),
+    per_pair_qps: float = 6_000,
+    measure_seconds: float = 0.012,
+    warmup_seconds: float = 0.002,
+    server_threads: int = 4,
+) -> PairingResult:
+    """One Table III row: all pairs active in one pairing mode."""
+    topology = datacenter_tree(
+        num_aggregation=shape.num_aggregation,
+        racks_per_aggregation=shape.racks_per_aggregation,
+        servers_per_rack=shape.servers_per_rack,
+    )
+    sim = elaborate(topology, RunFarmConfig())
+    pairs = _pair_nodes(shape, pairing)
+    duration_cycles = int((warmup_seconds + measure_seconds) * 3.2e9)
+    for index, (server_index, client_index) in enumerate(pairs):
+        server = sim.blade(server_index)
+        start_memcached(server, MemcachedConfig(num_threads=server_threads))
+        start_mutilate(
+            sim.blade(client_index),
+            MutilateConfig(
+                server_mac=server.mac,
+                target_qps=per_pair_qps,
+                duration_cycles=duration_cycles,
+                num_connections=8,
+                server_threads=server_threads,
+                seed=5000 + index,
+            ),
+        )
+    sim.run_seconds(warmup_seconds + measure_seconds + 0.002)
+
+    latencies: List[int] = []
+    for _, client_index in pairs:
+        latencies.extend(
+            sim.blade(client_index).results.get(RESULT_LATENCY, [])
+        )
+    if not latencies:
+        raise RuntimeError(f"no samples for pairing {pairing}")
+    warm_fraction = warmup_seconds / (warmup_seconds + measure_seconds)
+    keep = latencies[int(len(latencies) * warm_fraction):]
+    return PairingResult(
+        pairing=pairing,
+        p50_us=cycles_to_us(percentile(keep, 50)),
+        p95_us=cycles_to_us(percentile(keep, 95)),
+        aggregate_qps=len(keep) / measure_seconds,
+        num_pairs=len(pairs),
+    )
+
+
+def run(
+    shape: Optional[DatacenterShape] = None,
+    quick: bool = False,
+    per_pair_qps: float = 6_000,
+) -> Table3Result:
+    """All three Table III pairings."""
+    shape = shape or DatacenterShape()
+    measure = 0.008 if quick else 0.012
+    rows = [
+        run_pairing(
+            pairing, shape, per_pair_qps=per_pair_qps, measure_seconds=measure
+        )
+        for pairing in PAIRINGS
+    ]
+    return Table3Result(rows)
+
+
+if __name__ == "__main__":  # pragma: no cover - manual run
+    print(run(quick=True).table())

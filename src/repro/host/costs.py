@@ -1,0 +1,75 @@
+"""Deployment cost model (Sections II and V-C).
+
+Computes per-hour simulation cost under the two EC2 pricing models the
+paper uses (longest-stable spot, and on-demand), plus the retail value of
+the FPGAs being harnessed.  For the 1024-node datacenter simulation
+(32 f1.16xlarge + 5 m4.16xlarge) this reproduces the headline numbers:
+~$100/hour spot, ~$440/hour on-demand, ~$12.8M of FPGAs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Mapping
+
+from repro.host.instances import FPGA_RETAIL_PRICE, InstanceType, instance_type
+
+
+@dataclass(frozen=True)
+class CostReport:
+    """Per-hour cost and FPGA value of a deployment."""
+
+    instance_counts: Mapping[str, int]
+    spot_per_hour: float
+    on_demand_per_hour: float
+    total_fpgas: int
+    fpga_retail_value: float
+
+    def __str__(self) -> str:
+        lines = ["Deployment cost report:"]
+        for name, count in sorted(self.instance_counts.items()):
+            lines.append(f"  {count:4d} x {name}")
+        lines.append(f"  spot:       ${self.spot_per_hour:,.2f}/hour")
+        lines.append(f"  on-demand:  ${self.on_demand_per_hour:,.2f}/hour")
+        lines.append(
+            f"  harnessing {self.total_fpgas} FPGAs "
+            f"(~${self.fpga_retail_value/1e6:.1f}M retail)"
+        )
+        return "\n".join(lines)
+
+
+def cost_report(instance_counts: Mapping[str, int]) -> CostReport:
+    """Price a deployment given ``{instance type name: count}``."""
+    spot = 0.0
+    on_demand = 0.0
+    fpgas = 0
+    for name, count in instance_counts.items():
+        if count < 0:
+            raise ValueError(f"negative count for {name}")
+        itype = instance_type(name)
+        spot += itype.price_spot * count
+        on_demand += itype.price_on_demand * count
+        fpgas += itype.fpgas * count
+    return CostReport(
+        instance_counts=dict(instance_counts),
+        spot_per_hour=spot,
+        on_demand_per_hour=on_demand,
+        total_fpgas=fpgas,
+        fpga_retail_value=fpgas * FPGA_RETAIL_PRICE,
+    )
+
+
+def simulation_cost(
+    instance_counts: Mapping[str, int],
+    hours: float,
+    pricing: str = "spot",
+) -> float:
+    """Total cost of running a simulation for ``hours``."""
+    if hours < 0:
+        raise ValueError(f"hours must be >= 0, got {hours}")
+    report = cost_report(instance_counts)
+    if pricing == "spot":
+        return report.spot_per_hour * hours
+    if pricing == "on-demand":
+        return report.on_demand_per_hour * hours
+    raise ValueError(f"unknown pricing model {pricing!r}")

@@ -1,0 +1,174 @@
+"""Strober-style sample-based power/energy estimation.
+
+FireSim's FAME-1 machinery comes from the MIDAS/Strober frameworks [30,
+31]; Strober's contribution is *sample-based energy simulation*: rather
+than computing power every cycle, it snapshots activity at sampled
+intervals and replays them against a power model, giving accurate energy
+numbers with tiny overhead.
+
+This module reproduces that methodology against the reproduction's
+activity counters:
+
+* an :class:`ActivitySample` captures the deltas of a blade's
+  architectural activity counters (committed instructions, cache
+  accesses/misses, DRAM bursts, NIC flits) over a sampling window;
+* a :class:`PowerModel` prices each activity class in energy-per-event
+  (derived from published per-op energies for a ~16 nm server-class SoC)
+  plus static leakage;
+* :class:`StroberSampler` draws samples from a live blade at a
+  configurable interval and integrates them into average power and total
+  energy.
+
+As with Strober, accuracy comes from sampling coverage, not from pricing
+every cycle — the property tests check the estimate converges to the
+exhaustive integral as the sampling interval shrinks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.swmodel.server import ServerBlade
+
+
+@dataclass(frozen=True)
+class PowerModel:
+    """Energy-per-event and leakage for one blade.
+
+    Rough 16 nm-class numbers: ~20 pJ per committed instruction path,
+    ~30 pJ per L1, ~120 pJ per L2 access, ~15 nJ per DRAM burst,
+    ~5 pJ/bit on the NIC SerDes, and a 1.2 W static floor.
+    """
+
+    instruction_pj: float = 20.0
+    l1_access_pj: float = 30.0
+    l2_access_pj: float = 120.0
+    dram_burst_pj: float = 15_000.0
+    nic_flit_pj: float = 320.0  # 64 bits x 5 pJ/bit
+    static_watts: float = 1.2
+    freq_hz: float = 3.2e9
+
+    def sample_energy_j(self, sample: "ActivitySample") -> float:
+        """Dynamic + static energy of one sampling window."""
+        dynamic_pj = (
+            sample.instructions * self.instruction_pj
+            + sample.l1_accesses * self.l1_access_pj
+            + sample.l2_accesses * self.l2_access_pj
+            + sample.dram_bursts * self.dram_burst_pj
+            + sample.nic_flits * self.nic_flit_pj
+        )
+        window_seconds = sample.cycles / self.freq_hz
+        return dynamic_pj * 1e-12 + self.static_watts * window_seconds
+
+
+@dataclass
+class ActivitySample:
+    """Activity deltas over one sampling window."""
+
+    start_cycle: int
+    cycles: int
+    instructions: int
+    l1_accesses: int
+    l2_accesses: int
+    dram_bursts: int
+    nic_flits: int
+
+
+@dataclass
+class EnergyReport:
+    """Integrated estimate over a run."""
+
+    total_energy_j: float
+    total_cycles: int
+    freq_hz: float
+    samples: int
+
+    @property
+    def average_power_w(self) -> float:
+        seconds = self.total_cycles / self.freq_hz
+        return self.total_energy_j / seconds if seconds > 0 else 0.0
+
+
+def _read_counters(blade: ServerBlade) -> dict:
+    soc = blade.soc
+    # Committed work comes from two places: blocks priced through the
+    # core timing models, and scheduler-charged CPU time from the OS
+    # model's threads/softirq (CPI ~ 1 on the single-issue Rocket).
+    thread_cycles = sum(
+        t.cpu_cycles for t in blade.kernel.scheduler.threads
+    )
+    return {
+        "instructions": sum(c.stats.instructions for c in soc.cores)
+        + thread_cycles,
+        "l1_accesses": sum(l1.stats.accesses for l1 in soc.l1ds),
+        "l2_accesses": soc.l2.stats.accesses,
+        "dram_bursts": soc.dram.stats.reads + soc.dram.stats.writes,
+        "nic_flits": (blade.nic.stats.tx_bytes + blade.nic.stats.rx_bytes)
+        // 8,
+    }
+
+
+class StroberSampler:
+    """Samples one blade's activity counters as target time advances.
+
+    The driver calls :meth:`sample` at (or past) each sampling boundary —
+    typically from the experiment loop between ``run_cycles`` calls —
+    and :meth:`report` integrates the collected windows.
+    """
+
+    def __init__(
+        self,
+        blade: ServerBlade,
+        power_model: Optional[PowerModel] = None,
+        interval_cycles: int = 1_000_000,
+    ) -> None:
+        if interval_cycles < 1:
+            raise ValueError("sampling interval must be >= 1 cycle")
+        self.blade = blade
+        self.power_model = power_model or PowerModel(
+            freq_hz=blade.config.freq_hz
+        )
+        self.interval_cycles = interval_cycles
+        self.samples: List[ActivitySample] = []
+        self._last_cycle = 0
+        self._last_counters = _read_counters(blade)
+
+    def sample(self, cycle: int) -> Optional[ActivitySample]:
+        """Snapshot counter deltas since the last sample.
+
+        Returns None (and records nothing) if called before a full
+        interval has elapsed — callers can invoke it opportunistically.
+        """
+        if cycle - self._last_cycle < self.interval_cycles:
+            return None
+        counters = _read_counters(self.blade)
+        sample = ActivitySample(
+            start_cycle=self._last_cycle,
+            cycles=cycle - self._last_cycle,
+            instructions=counters["instructions"]
+            - self._last_counters["instructions"],
+            l1_accesses=counters["l1_accesses"]
+            - self._last_counters["l1_accesses"],
+            l2_accesses=counters["l2_accesses"]
+            - self._last_counters["l2_accesses"],
+            dram_bursts=counters["dram_bursts"]
+            - self._last_counters["dram_bursts"],
+            nic_flits=counters["nic_flits"] - self._last_counters["nic_flits"],
+        )
+        self.samples.append(sample)
+        self._last_cycle = cycle
+        self._last_counters = counters
+        return sample
+
+    def report(self) -> EnergyReport:
+        total = sum(
+            self.power_model.sample_energy_j(sample) for sample in self.samples
+        )
+        cycles = sum(sample.cycles for sample in self.samples)
+        return EnergyReport(
+            total_energy_j=total,
+            total_cycles=cycles,
+            freq_hz=self.power_model.freq_hz,
+            samples=len(self.samples),
+        )

@@ -1,0 +1,1 @@
+"""Simulation manager: topology DSL, mapping, build/run farms, workloads, CLI."""

@@ -1,0 +1,118 @@
+"""FPGA build farm model (Sections II and III-B3).
+
+FireSim parallelizes FPGA synthesis/place-and-route across an elastic
+fleet of "FPGA Developer AMI" instances: one build per distinct server
+configuration, results registered as Amazon FPGA Images (AGFIs) and
+cached.  Only RTL changes require rebuilding — network latency,
+bandwidth, topology, and blade selection are runtime configuration.
+
+This module models that workflow: deterministic AGFI identifiers derived
+from the blade configuration hash, a build-time model, a farm scheduler
+that computes the makespan for a set of configurations, and a cache so
+repeated deployments of the same configurations are free.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Sequence, Tuple
+
+from repro.tile.soc import RocketChipConfig, config_by_name
+
+
+def config_fingerprint(config: RocketChipConfig) -> str:
+    """Stable hash of everything that affects the generated RTL."""
+    text = "|".join(
+        str(part)
+        for part in (
+            config.name,
+            config.num_cores,
+            config.freq_hz,
+            config.l1i,
+            config.l1d,
+            config.l2,
+            config.nic_bandwidth_bps,
+            tuple(config.accelerators),
+        )
+    )
+    return hashlib.sha256(text.encode()).hexdigest()[:16]
+
+
+@dataclass(frozen=True)
+class BuildResult:
+    """One completed FPGA build."""
+
+    config_name: str
+    agfi: str
+    build_hours: float
+    from_cache: bool
+
+
+@dataclass
+class BuildFarmConfig:
+    """Build-farm shape and timing.
+
+    Attributes:
+        num_build_instances: parallel synthesis machines (elastic — the
+            cloud removes the license/build-server cap of private farms).
+        hours_per_build: wall-clock for one synthesis + P&R run.
+    """
+
+    num_build_instances: int = 4
+    hours_per_build: float = 8.0
+
+    def __post_init__(self) -> None:
+        if self.num_build_instances < 1:
+            raise ValueError("need at least one build instance")
+        if self.hours_per_build <= 0:
+            raise ValueError("builds take positive time")
+
+
+class BuildFarm:
+    """Schedules and caches FPGA image builds."""
+
+    def __init__(self, config: BuildFarmConfig | None = None) -> None:
+        self.config = config or BuildFarmConfig()
+        self._agfi_cache: Dict[str, str] = {}
+        self.builds_run = 0
+
+    def build_all(
+        self, config_names: Sequence[str]
+    ) -> Tuple[List[BuildResult], float]:
+        """Build AGFIs for the given blade configurations.
+
+        Returns the per-config results and the farm makespan in hours
+        (cached configurations cost nothing; distinct uncached configs
+        run in parallel across the build instances).
+        """
+        results: List[BuildResult] = []
+        uncached = 0
+        seen: set[str] = set()
+        for name in config_names:
+            if name in seen:
+                continue
+            seen.add(name)
+            blade = config_by_name(name)
+            fingerprint = config_fingerprint(blade)
+            cached = fingerprint in self._agfi_cache
+            if not cached:
+                self._agfi_cache[fingerprint] = f"agfi-{fingerprint}"
+                self.builds_run += 1
+                uncached += 1
+            results.append(
+                BuildResult(
+                    config_name=name,
+                    agfi=self._agfi_cache[fingerprint],
+                    build_hours=0.0 if cached else self.config.hours_per_build,
+                    from_cache=cached,
+                )
+            )
+        waves = -(-uncached // self.config.num_build_instances) if uncached else 0
+        makespan = waves * self.config.hours_per_build
+        return results, makespan
+
+    def agfi_for(self, config_name: str) -> str:
+        """Look up (building if needed) the AGFI for one configuration."""
+        results, _ = self.build_all([config_name])
+        return results[0].agfi

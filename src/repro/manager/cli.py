@@ -1,0 +1,156 @@
+"""Command-line interface mirroring the FireSim manager's verbs.
+
+The real FireSim ships a ``firesim`` command whose lifecycle verbs
+(``buildafi``, ``launchrunfarm``, ``infrasetup``, ``runworkload``,
+``terminaterunfarm``) drive everything from FPGA builds to result
+collection (Section III-B3).  This module provides the same UX over the
+reproduction::
+
+    python -m repro.manager.cli --topology two_tier --racks 8 \
+        --servers-per-rack 8 buildafi launchrunfarm infrasetup \
+        runworkload --workload ping --duration-ms 4
+
+Verbs run left to right against one manager instance, so a full
+build-deploy-run-collect session is a single invocation.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.experiments.common import cycles_to_us
+from repro.manager.manager import FireSimManager
+from repro.manager.mapper import HostConfig, SUPERNODE_HOST
+from repro.manager.runfarm import RunFarmConfig
+from repro.manager.topology import (
+    SwitchNode,
+    datacenter_tree,
+    single_rack,
+    two_tier,
+)
+from repro.manager.workload import WorkloadSpec
+from repro.swmodel.apps.boot import make_linux_boot
+from repro.swmodel.apps.ping import RESULT_KEY as PING_KEY
+from repro.swmodel.apps.ping import make_ping_client
+
+VERBS = (
+    "buildafi",
+    "launchrunfarm",
+    "infrasetup",
+    "runworkload",
+    "terminaterunfarm",
+)
+
+
+def build_topology(args: argparse.Namespace) -> SwitchNode:
+    if args.topology == "single_rack":
+        return single_rack(args.servers_per_rack, args.server_type)
+    if args.topology == "two_tier":
+        return two_tier(args.racks, args.servers_per_rack, args.server_type)
+    if args.topology == "datacenter":
+        return datacenter_tree(servers_per_rack=args.servers_per_rack)
+    raise ValueError(f"unknown topology {args.topology!r}")
+
+
+def build_workload(args: argparse.Namespace, manager: FireSimManager) -> WorkloadSpec:
+    duration = args.duration_ms / 1000.0
+    workload = WorkloadSpec(args.workload, duration_seconds=duration)
+    assert manager.running is not None
+    if args.workload == "ping":
+        target = manager.running.blade(1)
+        workload.add_job(
+            0,
+            "ping",
+            lambda blade: blade.spawn(
+                "ping",
+                make_ping_client(target.mac, count=args.ping_count,
+                                 interval_cycles=200_000),
+            ),
+        )
+    elif args.workload == "boot":
+        for index in sorted(manager.running.blades):
+            workload.add_job(
+                index,
+                f"boot{index}",
+                lambda blade: blade.spawn("init", make_linux_boot()),
+            )
+    else:
+        raise ValueError(f"unknown workload {args.workload!r}")
+    return workload
+
+
+def make_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="firesim",
+        description="FireSim reproduction manager",
+    )
+    parser.add_argument("verbs", nargs="+", choices=VERBS, metavar="verb",
+                        help=f"lifecycle verbs, in order: {', '.join(VERBS)}")
+    parser.add_argument("--topology", default="single_rack",
+                        choices=("single_rack", "two_tier", "datacenter"))
+    parser.add_argument("--racks", type=int, default=2)
+    parser.add_argument("--servers-per-rack", type=int, default=4)
+    parser.add_argument("--server-type", default="QuadCore")
+    parser.add_argument("--link-latency-us", type=float, default=2.0)
+    parser.add_argument("--supernode", action="store_true",
+                        help="pack four simulated nodes per FPGA")
+    parser.add_argument("--workload", default="ping", choices=("ping", "boot"))
+    parser.add_argument("--duration-ms", type=float, default=4.0)
+    parser.add_argument("--ping-count", type=int, default=10)
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None, out=sys.stdout) -> int:
+    args = make_parser().parse_args(argv)
+    topology = build_topology(args)
+    run_config = RunFarmConfig(
+        link_latency_cycles=max(1, round(args.link_latency_us * 3200))
+    )
+    host_config = SUPERNODE_HOST if args.supernode else HostConfig()
+    manager = FireSimManager(
+        topology, run_config=run_config, host_config=host_config
+    )
+
+    for verb in args.verbs:
+        if verb == "buildafi":
+            results = manager.buildafi()
+            for result in results:
+                cached = " (cached)" if result.from_cache else ""
+                print(f"built {result.config_name}: {result.agfi}{cached}", file=out)
+            print(f"build farm makespan: {manager.build_makespan_hours:.1f} h", file=out)
+        elif verb == "launchrunfarm":
+            deployment = manager.launchrunfarm()
+            print(f"launched: {deployment.instance_counts}", file=out)
+            print(str(manager.cost_report()), file=out)
+            rate = manager.rate_estimate()
+            print(f"predicted rate: {rate.rate_mhz:.2f} MHz", file=out)
+        elif verb == "infrasetup":
+            sim = manager.infrasetup()
+            print(
+                f"simulation elaborated: {sim.num_nodes} nodes, "
+                f"{len(sim.switches)} switches", file=out,
+            )
+        elif verb == "runworkload":
+            workload = build_workload(args, manager)
+            result = manager.runworkload(workload)
+            print(
+                f"workload {result.workload_name!r} ran to "
+                f"{result.target_seconds * 1e3:.2f} ms of target time", file=out,
+            )
+            rtts = result.merged(PING_KEY)
+            if rtts:
+                mean = sum(rtts) / len(rtts)
+                print(
+                    f"ping: {len(rtts)} samples, mean RTT "
+                    f"{cycles_to_us(mean):.2f} us", file=out,
+                )
+        elif verb == "terminaterunfarm":
+            manager.terminaterunfarm()
+            print("run farm terminated", file=out)
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - direct invocation
+    raise SystemExit(main())

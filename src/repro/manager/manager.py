@@ -1,0 +1,113 @@
+"""The FireSim manager facade (Section III-B3).
+
+Mirrors the real manager's lifecycle verbs:
+
+* :meth:`FireSimManager.buildafi` — run the (modeled) FPGA build flow
+  for every distinct blade configuration in the topology;
+* :meth:`FireSimManager.launchrunfarm` — map the topology onto EC2
+  instances and "launch" them (producing the deployment + cost report);
+* :meth:`FireSimManager.infrasetup` — flash FPGAs / start switch models:
+  here, elaborate the cycle-exact functional simulation;
+* :meth:`FireSimManager.runworkload` — deploy a workload's jobs, advance
+  target time, and collect results;
+* :meth:`FireSimManager.terminaterunfarm` — release everything.
+
+Example (the Figure 4 configuration)::
+
+    root = two_tier(num_racks=8, servers_per_rack=8)
+    manager = FireSimManager(root)
+    manager.buildafi()
+    manager.launchrunfarm()
+    sim = manager.infrasetup()
+    result = manager.runworkload(my_workload)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.host.costs import CostReport
+from repro.host.perfmodel import RateEstimate, SimulationRateModel
+from repro.manager.buildfarm import BuildFarm, BuildResult
+from repro.manager.mapper import Deployment, HostConfig, map_topology
+from repro.manager.runfarm import RunFarmConfig, RunningSimulation, elaborate
+from repro.manager.topology import SwitchNode
+from repro.manager.workload import WorkloadResult, WorkloadSpec, run_workload
+
+
+class ManagerError(RuntimeError):
+    """Raised when lifecycle verbs run out of order."""
+
+
+class FireSimManager:
+    """Builds, deploys, runs, and tears down one target design."""
+
+    def __init__(
+        self,
+        topology: SwitchNode,
+        run_config: Optional[RunFarmConfig] = None,
+        host_config: Optional[HostConfig] = None,
+        build_farm: Optional[BuildFarm] = None,
+    ) -> None:
+        self.topology = topology
+        self.run_config = run_config or RunFarmConfig()
+        self.host_config = host_config or HostConfig()
+        self.build_farm = build_farm or BuildFarm()
+        self.build_results: Optional[List[BuildResult]] = None
+        self.build_makespan_hours: float = 0.0
+        self.deployment: Optional[Deployment] = None
+        self.running: Optional[RunningSimulation] = None
+
+    # -- lifecycle ------------------------------------------------------
+
+    def buildafi(self) -> List[BuildResult]:
+        """Build FPGA images for every distinct server configuration."""
+        config_names = sorted(
+            {s.server_type for s in self.topology.iter_servers()}
+        )
+        self.build_results, self.build_makespan_hours = (
+            self.build_farm.build_all(config_names)
+        )
+        return self.build_results
+
+    def launchrunfarm(self) -> Deployment:
+        """Map the topology onto instances (the run farm)."""
+        self.deployment = map_topology(self.topology, self.host_config)
+        return self.deployment
+
+    def infrasetup(self) -> RunningSimulation:
+        """Flash FPGAs and start switch models: elaborate the simulation."""
+        if self.deployment is None:
+            raise ManagerError("launchrunfarm must run before infrasetup")
+        if self.build_results is None:
+            raise ManagerError("buildafi must run before infrasetup")
+        self.running = elaborate(self.topology, self.run_config)
+        return self.running
+
+    def runworkload(self, workload: WorkloadSpec) -> WorkloadResult:
+        """Deploy a workload onto the running simulation and collect."""
+        if self.running is None:
+            raise ManagerError("infrasetup must run before runworkload")
+        return run_workload(self.running, workload)
+
+    def terminaterunfarm(self) -> None:
+        """Release the run farm (instances stop accruing cost)."""
+        self.running = None
+        self.deployment = None
+
+    # -- reporting --------------------------------------------------------
+
+    def cost_report(self) -> CostReport:
+        if self.deployment is None:
+            raise ManagerError("launchrunfarm must run before cost_report")
+        return self.deployment.cost()
+
+    def rate_estimate(
+        self, model: Optional[SimulationRateModel] = None
+    ) -> RateEstimate:
+        if self.deployment is None:
+            raise ManagerError("launchrunfarm must run before rate_estimate")
+        return self.deployment.rate_estimate(
+            self.run_config.link_latency_cycles, model
+        )

@@ -1,0 +1,213 @@
+"""Mapping target topologies onto EC2 instances (Section III-B3).
+
+Given a topology and a host configuration (standard or supernode), the
+mapper decides:
+
+* how many f1.2xlarge/f1.16xlarge instances host the simulated servers
+  (one blade per FPGA standard, four with supernode packing);
+* where each switch model runs — a ToR switch co-locates with its
+  servers' host instance when they all fit (shared-memory token
+  transport); aggregation and root switches run on m4.16xlarge hosts and
+  exchange tokens over TCP sockets;
+* which transport every link uses, feeding both the host performance
+  model (Figures 8/9) and the cost model (Section V-C).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.host.fpga import FPGAConfig, STANDARD_FPGA, SUPERNODE_FPGA
+from repro.host.costs import CostReport, cost_report
+from repro.host.perfmodel import RateEstimate, SimulationRateModel, SwitchPlacement
+from repro.manager.topology import ServerNode, SwitchNode, validate_topology
+from repro.net.transport import TransportKind
+
+
+@dataclass(frozen=True)
+class HostConfig:
+    """Host-platform choices for a deployment."""
+
+    fpga_config: FPGAConfig = STANDARD_FPGA
+    fpgas_per_instance: int = 8  # f1.16xlarge; 1 would be f1.2xlarge
+
+    def __post_init__(self) -> None:
+        if self.fpgas_per_instance not in (1, 8):
+            raise ValueError("F1 offers 1 (f1.2xlarge) or 8 (f1.16xlarge) FPGAs")
+
+    @property
+    def f1_instance_name(self) -> str:
+        return "f1.16xlarge" if self.fpgas_per_instance == 8 else "f1.2xlarge"
+
+    @property
+    def blades_per_instance(self) -> int:
+        return self.fpga_config.blades_per_fpga * self.fpgas_per_instance
+
+
+SUPERNODE_HOST = HostConfig(fpga_config=SUPERNODE_FPGA)
+
+
+@dataclass
+class ServerPlacement:
+    """Where one simulated server lands on the host platform."""
+
+    server: ServerNode
+    instance_index: int
+    fpga_index: int
+    slot_index: int  # blade slot within the FPGA (0 for standard)
+
+
+@dataclass
+class SwitchModelPlacement:
+    """Where one switch model process runs."""
+
+    switch: SwitchNode
+    host: str  # "f1:<n>" or "m4:<n>"
+    downlink_transports: List[TransportKind]
+    uplink_transport: Optional[TransportKind]
+
+    @property
+    def ports_over_socket(self) -> int:
+        count = sum(
+            1 for t in self.downlink_transports if t == TransportKind.SOCKET
+        )
+        if self.uplink_transport == TransportKind.SOCKET:
+            count += 1
+        return count
+
+
+@dataclass
+class Deployment:
+    """A fully mapped simulation ready to cost and launch."""
+
+    host_config: HostConfig
+    server_placements: List[ServerPlacement]
+    switch_placements: List[SwitchModelPlacement]
+    num_f1_instances: int
+    num_m4_instances: int
+
+    @property
+    def instance_counts(self) -> Dict[str, int]:
+        counts: Dict[str, int] = {}
+        if self.num_f1_instances:
+            counts[self.host_config.f1_instance_name] = self.num_f1_instances
+        if self.num_m4_instances:
+            counts["m4.16xlarge"] = self.num_m4_instances
+        return counts
+
+    def cost(self) -> CostReport:
+        return cost_report(self.instance_counts)
+
+    def rate_estimate(
+        self,
+        link_latency_cycles: int,
+        model: Optional[SimulationRateModel] = None,
+    ) -> RateEstimate:
+        """Predicted simulation rate for this mapping."""
+        model = model or SimulationRateModel()
+        placements = [
+            SwitchPlacement(
+                ports=p.switch.num_ports,
+                ports_over_socket=p.ports_over_socket,
+            )
+            for p in self.switch_placements
+        ]
+        return model.estimate(
+            link_latency_cycles,
+            placements,
+            blades_per_fpga=self.host_config.fpga_config.blades_per_fpga,
+        )
+
+
+def map_topology(root: SwitchNode, host_config: Optional[HostConfig] = None) -> Deployment:
+    """Assign every server and switch in the topology to host instances."""
+    host_config = host_config or HostConfig()
+    host_config.fpga_config.validate_fits()
+    validate_topology(root)
+
+    blades_per_fpga = host_config.fpga_config.blades_per_fpga
+    per_instance = host_config.blades_per_instance
+
+    # Servers pack rack-by-rack so a ToR's servers share instances.
+    server_placements: List[ServerPlacement] = []
+    instance_of_server: Dict[int, int] = {}
+    slot = 0
+    for server in root.iter_servers():
+        instance_index = slot // per_instance
+        within = slot % per_instance
+        placement = ServerPlacement(
+            server=server,
+            instance_index=instance_index,
+            fpga_index=within // blades_per_fpga,
+            slot_index=within % blades_per_fpga,
+        )
+        server_placements.append(placement)
+        instance_of_server[id(server)] = instance_index
+        slot += 1
+    num_f1 = (slot + per_instance - 1) // per_instance
+
+    # Switches: ToRs co-locate with their servers when possible; switches
+    # with switch children run on m4 hosts.
+    switch_placements: List[SwitchModelPlacement] = []
+    num_m4 = 0
+    host_of_switch: Dict[int, str] = {}
+    # Place bottom-up so uplink transports can be resolved afterwards.
+    switches = list(root.iter_switches())
+    for switch in reversed(switches):
+        child_types = {type(c) for c in switch.downlinks}
+        if child_types == {ServerNode}:
+            instances = {
+                instance_of_server[id(c)] for c in switch.downlinks
+            }
+            if len(instances) == 1:
+                host = f"f1:{instances.pop()}"
+            else:
+                host = f"m4:{num_m4}"
+                num_m4 += 1
+        else:
+            host = f"m4:{num_m4}"
+            num_m4 += 1
+        host_of_switch[switch.switch_id] = host
+
+    for switch in switches:
+        host = host_of_switch[switch.switch_id]
+        downlink_transports = []
+        for child in switch.downlinks:
+            if isinstance(child, ServerNode):
+                child_host = f"f1:{instance_of_server[id(child)]}"
+                same = child_host == host
+                downlink_transports.append(
+                    TransportKind.PCIE if same else TransportKind.SOCKET
+                )
+            else:
+                child_host = host_of_switch[child.switch_id]
+                downlink_transports.append(
+                    TransportKind.SHARED_MEMORY
+                    if child_host == host
+                    else TransportKind.SOCKET
+                )
+        uplink_transport = None
+        if switch.uplink is not None:
+            uplink_host = host_of_switch[switch.uplink.switch_id]
+            uplink_transport = (
+                TransportKind.SHARED_MEMORY
+                if uplink_host == host
+                else TransportKind.SOCKET
+            )
+        switch_placements.append(
+            SwitchModelPlacement(
+                switch=switch,
+                host=host,
+                downlink_transports=downlink_transports,
+                uplink_transport=uplink_transport,
+            )
+        )
+
+    return Deployment(
+        host_config=host_config,
+        server_placements=server_placements,
+        switch_placements=switch_placements,
+        num_f1_instances=num_f1,
+        num_m4_instances=num_m4,
+    )

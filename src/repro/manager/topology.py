@@ -1,0 +1,166 @@
+"""Programmatic datacenter topology definitions (Section III-B3, Fig. 4).
+
+Users describe a target topology exactly as in the paper's example::
+
+    root = SwitchNode()
+    level2switches = [SwitchNode() for x in range(8)]
+    servers = [[ServerNode("QuadCore") for y in range(8)] for x in range(8)]
+
+    root.add_downlinks(level2switches)
+    for switch, rack in zip(level2switches, servers):
+        switch.add_downlinks(rack)
+
+The manager then assigns MAC and IP addresses to every server, populates
+each switch's static MAC table, and builds/deploys the simulation.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Iterator, List, Optional, Sequence, Union
+
+from repro.tile.soc import config_by_name
+
+TopologyNode = Union["SwitchNode", "ServerNode"]
+
+
+class ServerNode:
+    """One simulated server blade in the target topology.
+
+    Attributes:
+        server_type: a named blade configuration ("QuadCore", ...),
+            validated against the Rocket Chip config registry.
+    """
+
+    def __init__(self, server_type: str = "QuadCore") -> None:
+        config_by_name(server_type)  # validate eagerly
+        self.server_type = server_type
+        self.uplink: Optional["SwitchNode"] = None
+        # Assigned by the manager during deployment.
+        self.node_index: Optional[int] = None
+        self.mac: Optional[int] = None
+        self.ip: Optional[str] = None
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"ServerNode({self.server_type!r}, index={self.node_index})"
+
+
+class SwitchNode:
+    """One switch in the target topology (ToR, aggregation, or root)."""
+
+    _ids = itertools.count()
+
+    def __init__(self) -> None:
+        self.switch_id = next(SwitchNode._ids)
+        self.downlinks: List[TopologyNode] = []
+        self.uplink: Optional["SwitchNode"] = None
+
+    def add_downlinks(self, children: Sequence[TopologyNode]) -> None:
+        """Attach children (servers or switches) below this switch."""
+        for child in children:
+            if child.uplink is not None:
+                raise ValueError(f"{child!r} already has an uplink")
+            if child is self:
+                raise ValueError("a switch cannot downlink to itself")
+            child.uplink = self
+            self.downlinks.append(child)
+
+    # -- traversal ------------------------------------------------------
+
+    def iter_servers(self) -> Iterator[ServerNode]:
+        """All servers in this switch's subtree, in deterministic order."""
+        for child in self.downlinks:
+            if isinstance(child, ServerNode):
+                yield child
+            else:
+                yield from child.iter_servers()
+
+    def iter_switches(self) -> Iterator["SwitchNode"]:
+        """This switch and all switches below it (pre-order)."""
+        yield self
+        for child in self.downlinks:
+            if isinstance(child, SwitchNode):
+                yield from child.iter_switches()
+
+    @property
+    def num_ports(self) -> int:
+        """Downlinks plus the uplink port, if any."""
+        return len(self.downlinks) + (1 if self.uplink is not None else 0)
+
+    def depth(self) -> int:
+        """Levels of switching below (a ToR has depth 1)."""
+        child_depths = [
+            child.depth()
+            for child in self.downlinks
+            if isinstance(child, SwitchNode)
+        ]
+        return 1 + (max(child_depths) if child_depths else 0)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"SwitchNode(id={self.switch_id}, ports={self.num_ports})"
+
+
+def validate_topology(root: SwitchNode) -> None:
+    """Check the topology is a proper tree with at least one server."""
+    seen_switches: set[int] = set()
+    for switch in root.iter_switches():
+        if id(switch) in seen_switches:
+            raise ValueError("topology contains a switch cycle")
+        seen_switches.add(id(switch))
+        if not switch.downlinks:
+            raise ValueError(f"{switch!r} has no downlinks")
+    servers = list(root.iter_servers())
+    if not servers:
+        raise ValueError("topology contains no servers")
+    if len({id(s) for s in servers}) != len(servers):
+        raise ValueError("a server appears twice in the topology")
+
+
+# -- canned topologies used throughout the paper ---------------------------
+
+
+def single_rack(num_servers: int = 8, server_type: str = "QuadCore") -> SwitchNode:
+    """N servers behind one ToR switch (the Section IV experiments)."""
+    tor = SwitchNode()
+    tor.add_downlinks([ServerNode(server_type) for _ in range(num_servers)])
+    return tor
+
+
+def two_tier(
+    num_racks: int = 8,
+    servers_per_rack: int = 8,
+    server_type: str = "QuadCore",
+) -> SwitchNode:
+    """The Figure 1 topology: racks of servers, ToRs, one root switch."""
+    root = SwitchNode()
+    tors = [SwitchNode() for _ in range(num_racks)]
+    root.add_downlinks(tors)
+    for tor in tors:
+        tor.add_downlinks(
+            [ServerNode(server_type) for _ in range(servers_per_rack)]
+        )
+    return root
+
+
+def datacenter_tree(
+    num_aggregation: int = 4,
+    racks_per_aggregation: int = 8,
+    servers_per_rack: int = 32,
+    server_type: str = "QuadCore",
+) -> SwitchNode:
+    """The Figure 10 topology: 1024 nodes under ToR/aggregation/root.
+
+    Defaults give 32 ToR switches x 32 nodes = 1024 quad-core servers,
+    4 aggregation switches, and one root switch.
+    """
+    root = SwitchNode()
+    aggs = [SwitchNode() for _ in range(num_aggregation)]
+    root.add_downlinks(aggs)
+    for agg in aggs:
+        tors = [SwitchNode() for _ in range(racks_per_aggregation)]
+        agg.add_downlinks(tors)
+        for tor in tors:
+            tor.add_downlinks(
+                [ServerNode(server_type) for _ in range(servers_per_rack)]
+            )
+    return root

@@ -1,0 +1,115 @@
+"""Ethernet-level target network abstractions.
+
+The target link layer in the paper's evaluation is Ethernet: NICs exchange
+Ethernet frames with switches, and switches forward on a static MAC
+address table (Section III-B1).  Frames here carry an opaque Python
+``payload`` object plus an explicit wire size; the timing machinery only
+ever uses the size (every 8 bytes of wire size is one 64-bit flit,
+Section III-B2), while application models use the payload to carry
+semantic content (an ICMP echo, a memcached request, ...).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, List, Optional
+
+from repro.core import units
+from repro.core.token import Flit
+
+#: Destination address that floods to every port except the ingress port.
+BROADCAST_MAC = 0xFFFF_FFFF_FFFF
+
+#: Minimum and maximum Ethernet frame sizes (without FCS preamble detail —
+#: the timing model charges header bytes explicitly).
+MIN_FRAME_BYTES = 64
+MTU_BYTES = 1500
+HEADER_BYTES = 14  # dst(6) + src(6) + ethertype(2)
+IP_UDP_HEADER_BYTES = 28
+IP_TCP_HEADER_BYTES = 40
+ICMP_HEADER_BYTES = 8
+
+
+def mac_address(node_index: int) -> int:
+    """Deterministic locally-administered MAC for a simulated node.
+
+    Mirrors the manager's automatic MAC assignment (Section III-B3).
+    """
+    if not 0 <= node_index < 2**24:
+        raise ValueError(f"node index out of range: {node_index}")
+    return 0x02_00_00_00_00_00 | node_index
+
+
+_frame_ids = itertools.count()
+
+
+@dataclass
+class EthernetFrame:
+    """A target Ethernet frame.
+
+    Attributes:
+        src: source MAC address.
+        dst: destination MAC address (may be :data:`BROADCAST_MAC`).
+        size_bytes: total wire size including link/IP headers; determines
+            how many flits the frame occupies on a link.
+        payload: opaque application-level content.
+        frame_id: unique id for tracing and test assertions.
+        sent_cycle: cycle at which the sending NIC emitted the first flit
+            (filled in by the NIC; useful for latency probes).
+    """
+
+    src: int
+    dst: int
+    size_bytes: int
+    payload: Any = None
+    frame_id: int = field(default_factory=lambda: next(_frame_ids))
+    sent_cycle: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.size_bytes < MIN_FRAME_BYTES:
+            # Ethernet pads runt frames up to the 64-byte minimum.
+            self.size_bytes = MIN_FRAME_BYTES
+        if self.size_bytes > MTU_BYTES + HEADER_BYTES:
+            raise ValueError(
+                f"frame of {self.size_bytes} B exceeds MTU "
+                f"({MTU_BYTES + HEADER_BYTES} B incl. header); segment first"
+            )
+
+    @property
+    def flit_count(self) -> int:
+        """Number of 64-bit tokens this frame occupies on a link."""
+        return units.flits_for_bytes(self.size_bytes)
+
+    def to_flits(self) -> List[Flit]:
+        """The frame as an ordered flit sequence (last bit on final flit)."""
+        count = self.flit_count
+        return [
+            Flit(data=self, last=(i == count - 1), index=i)
+            for i in range(count)
+        ]
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"EthernetFrame(id={self.frame_id}, src={self.src:#x}, "
+            f"dst={self.dst:#x}, {self.size_bytes}B)"
+        )
+
+
+def segment_bytes(total_bytes: int, mss: int = MTU_BYTES - IP_TCP_HEADER_BYTES) -> List[int]:
+    """Split a byte stream into per-frame payload sizes (TCP-style MSS).
+
+    >>> segment_bytes(3000, mss=1460)
+    [1460, 1460, 80]
+    """
+    if total_bytes < 0:
+        raise ValueError(f"total_bytes must be >= 0, got {total_bytes}")
+    if mss <= 0:
+        raise ValueError(f"mss must be positive, got {mss}")
+    sizes = []
+    remaining = total_bytes
+    while remaining > 0:
+        take = min(remaining, mss)
+        sizes.append(take)
+        remaining -= take
+    return sizes

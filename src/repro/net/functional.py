@@ -1,0 +1,142 @@
+"""Purely functional network simulation (Section VII).
+
+FireSim "already supports the other extreme of the performance-accuracy
+curve — purely functional network simulation — which allows individual
+simulated nodes to run at 150+ MHz, while still supporting the transport
+of Ethernet frames between simulated nodes."
+
+This module implements that mode: a :class:`FunctionalFabric` replaces
+the whole switch fabric with a single delivery element that forwards
+complete frames port-to-port with a fixed configured delay — no
+store-and-forward serialization, no contention, no per-switch hops.
+Frames still arrive whole and in order per flow, so software stacks run
+unchanged; what is sacrificed is exactly the network *timing* fidelity
+(the token exchange that throttles FAME-1 endpoints), which is why the
+host runs so much faster.
+
+``elaborate_functional`` mirrors :func:`repro.manager.runfarm.elaborate`
+for any topology: all blades hang off one fabric regardless of the tree,
+because in functional mode the tree no longer affects timing.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.core.fame import Fame1Model
+from repro.core.simulation import Simulation
+from repro.core.token import Flit, TokenWindow
+from repro.manager.runfarm import RunFarmConfig, RunningSimulation
+from repro.manager.topology import SwitchNode, validate_topology
+from repro.net.ethernet import BROADCAST_MAC, EthernetFrame, mac_address
+from repro.swmodel.server import ServerBlade
+
+
+class FunctionalFabric(Fame1Model):
+    """Single-hop functional frame delivery between all node ports.
+
+    Each port still speaks the FAME-1 token interface toward its blade
+    (so blades are unchanged), but internally a completed frame is
+    forwarded as one unit: its last flit is re-emitted on the destination
+    port ``delivery_delay_cycles`` after it fully arrived, preceded by
+    the rest of the frame's flits back-to-back.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        mac_to_port: Dict[int, int],
+        delivery_delay_cycles: int = 100,
+    ) -> None:
+        ports = [f"port{i}" for i in range(len(mac_to_port))]
+        super().__init__(name, ports)
+        if delivery_delay_cycles < 0:
+            raise ValueError("delivery delay must be >= 0")
+        self.mac_to_port = dict(mac_to_port)
+        self.delivery_delay_cycles = delivery_delay_cycles
+        self._partial: Dict[int, list] = {i: [] for i in range(len(ports))}
+        # Per-output-port list of (deliver_first_cycle, frame).
+        self._pending: Dict[int, list] = {i: [] for i in range(len(ports))}
+        self._port_free: Dict[int, int] = {i: 0 for i in range(len(ports))}
+        self.frames_forwarded = 0
+
+    def _tick(self, window: TokenWindow, inputs):
+        # Ingress: assemble whole frames per port.
+        for port_index in range(len(self.ports)):
+            batch = inputs[f"port{port_index}"]
+            for cycle, flit in batch.iter_flits():
+                if flit.last:
+                    frame = flit.data
+                    self._route(cycle, port_index, frame)
+
+        # Egress: emit pending frames as contiguous flit runs.
+        outputs = {}
+        for port_index in range(len(self.ports)):
+            out = window.new_batch()
+            still_pending = []
+            for ready_cycle, frame in self._pending[port_index]:
+                start = max(
+                    ready_cycle, self._port_free[port_index], window.start
+                )
+                end = start + frame.flit_count
+                if start >= window.end:
+                    still_pending.append((ready_cycle, frame))
+                    continue
+                if end > window.end:
+                    # Deliver entirely in the next window: functional
+                    # mode never splits frames across windows.
+                    still_pending.append((max(ready_cycle, window.end), frame))
+                    continue
+                for index, flit in enumerate(frame.to_flits()):
+                    out.add(start + index, flit)
+                self._port_free[port_index] = end
+                self.frames_forwarded += 1
+            self._pending[port_index] = still_pending
+            outputs[f"port{port_index}"] = out
+        return outputs
+
+    def _route(self, cycle: int, ingress_port: int, frame: EthernetFrame) -> None:
+        ready = cycle + self.delivery_delay_cycles
+        if frame.dst == BROADCAST_MAC:
+            for port in self._pending:
+                if port != ingress_port:
+                    self._pending[port].append((ready, frame))
+            return
+        port = self.mac_to_port.get(frame.dst)
+        if port is not None:
+            self._pending[port].append((ready, frame))
+
+
+def elaborate_functional(
+    root: SwitchNode, config: Optional[RunFarmConfig] = None
+) -> RunningSimulation:
+    """Elaborate a topology in purely functional network mode."""
+    config = config or RunFarmConfig()
+    validate_topology(root)
+    simulation = Simulation()
+    servers = list(root.iter_servers())
+    blades: Dict[int, ServerBlade] = {}
+    mac_to_port: Dict[int, int] = {}
+    for index, server in enumerate(servers):
+        server.node_index = index
+        server.mac = mac_address(index)
+        mac_to_port[server.mac] = index
+        blades[index] = ServerBlade(
+            name=f"node{index}",
+            config=server.server_type,
+            mac=server.mac,
+            node_index=index,
+            net_costs=config.net_costs,
+            sched_config=config.sched_config,
+            seed=index,
+        )
+        simulation.add_model(blades[index])
+    fabric = FunctionalFabric(
+        "fabric", mac_to_port, delivery_delay_cycles=config.switch_latency_cycles
+    )
+    simulation.add_model(fabric)
+    for index, blade in blades.items():
+        simulation.connect(
+            blade, "net", fabric, f"port{index}", config.link_latency_cycles
+        )
+    return RunningSimulation(simulation, blades, {}, root, config)

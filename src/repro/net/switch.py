@@ -1,0 +1,247 @@
+"""Cycle-by-cycle switch model.
+
+Reproduces the paper's C++ switch model (Section III-B1) as a
+:class:`~repro.core.fame.Fame1Model`:
+
+* **Ingress**: each port buffers arriving tokens into full packets.  A
+  completed packet is timestamped with the arrival cycle of its *last*
+  token plus a configurable minimum switching latency, then placed in an
+  input packet queue.
+* **Global switching step**: all input packets available in the round are
+  pushed through a priority queue sorted on timestamp and drained into the
+  appropriate output-port buffers using a static MAC address table
+  (datacenter topologies are relatively fixed).  Broadcast frames are
+  duplicated to every port except the ingress port.
+* **Egress**: per port, packets are "released" into simulation tokens when
+  their release timestamp is ≤ global simulation time and there is space
+  in the output token stream (one flit per cycle per port, scaled by the
+  port's configured bandwidth).  Because the output token budget per round
+  is finite, congestion is modeled automatically.  Dropping due to buffer
+  sizing is modeled by an upper bound on the delay between a packet's
+  release timestamp and the cycle it would actually start transmitting.
+
+The switching algorithm and the Ethernet assumption are not fundamental:
+users can subclass and override :meth:`route` (or the ingress/egress
+hooks) to model new switch designs, just as FireSim users plug in their
+own C++ switching logic.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.core.fame import Fame1Model
+from repro.core.token import Flit, TokenBatch, TokenWindow
+from repro.net.ethernet import BROADCAST_MAC, EthernetFrame
+
+
+@dataclass
+class SwitchConfig:
+    """Runtime-configurable switch parameters (Section III-B1).
+
+    Attributes:
+        num_ports: number of switch ports.
+        min_latency_cycles: minimum port-to-port switching latency added
+            to every packet's timestamp (the evaluation uses 10 cycles).
+        cycles_per_flit: egress pacing; 1 means full link rate (200 Gbit/s
+            at 3.2 GHz with 64-bit flits), 2 means half rate, etc.
+        buffer_flits: bound on how far (in flits ≈ cycles) a packet may
+            lag behind its release timestamp before it is dropped — the
+            output-buffer sizing model.
+    """
+
+    num_ports: int
+    min_latency_cycles: int = 10
+    cycles_per_flit: int = 1
+    buffer_flits: int = 16384
+
+    def __post_init__(self) -> None:
+        if self.num_ports < 1:
+            raise ValueError(f"switch needs >= 1 port, got {self.num_ports}")
+        if self.min_latency_cycles < 0:
+            raise ValueError("min switching latency must be >= 0")
+        if self.cycles_per_flit < 1:
+            raise ValueError("cycles_per_flit must be >= 1")
+        if self.buffer_flits < 1:
+            raise ValueError("buffer_flits must be >= 1")
+
+
+@dataclass
+class _QueuedPacket:
+    """A routed packet waiting in (or draining from) an output buffer."""
+
+    release_cycle: int
+    seq: int
+    frame: EthernetFrame
+    flits_emitted: int = 0
+
+    def __lt__(self, other: "_QueuedPacket") -> bool:
+        return (self.release_cycle, self.seq) < (other.release_cycle, other.seq)
+
+
+@dataclass
+class SwitchStats:
+    """Counters a switch maintains (also feed the Figure 6 bandwidth probe)."""
+
+    packets_in: int = 0
+    packets_out: int = 0
+    packets_dropped: int = 0
+    bytes_out: int = 0
+    broadcasts: int = 0
+
+
+class SwitchModel(Fame1Model):
+    """Store-and-forward Ethernet switch as a FAME-1 decoupled model."""
+
+    def __init__(
+        self,
+        name: str,
+        config: SwitchConfig,
+        mac_table: Optional[Dict[int, int]] = None,
+        default_port: Optional[int] = None,
+    ) -> None:
+        ports = [f"port{i}" for i in range(config.num_ports)]
+        super().__init__(name, ports)
+        self.config = config
+        #: Static MAC -> output-port-index table (Section III-B3: populated
+        #: automatically by the manager from the topology).
+        self.mac_table: Dict[int, int] = dict(mac_table or {})
+        #: Port used for MACs missing from the table (the uplink in a tree
+        #: topology); None means unknown unicast frames are dropped.
+        self.default_port = default_port
+        self._seq = itertools.count()
+        # Per-ingress-port partial packet reassembly.
+        self._partial: List[List[Flit]] = [[] for _ in range(config.num_ports)]
+        # Per-egress-port packet buffers (heaps on release timestamp).
+        self._out_queues: List[List[_QueuedPacket]] = [
+            [] for _ in range(config.num_ports)
+        ]
+        # Per-egress-port next cycle at which a flit may be emitted.
+        self._port_next_free: List[int] = [0] * config.num_ports
+        self.stats = SwitchStats()
+        #: Optional egress log of ``(cycle, bytes)`` used by bandwidth
+        #: probes (Figure 6); enable with :meth:`enable_bandwidth_probe`.
+        self.egress_log: Optional[List[Tuple[int, int]]] = None
+
+    # -- configuration hooks ----------------------------------------------
+
+    def enable_bandwidth_probe(self) -> None:
+        """Record per-packet egress completions for bandwidth-vs-time plots."""
+        self.egress_log = []
+
+    def route(self, frame: EthernetFrame, ingress_port: int) -> List[int]:
+        """Output port indices for a frame.  Subclass to change switching."""
+        if frame.dst == BROADCAST_MAC:
+            self.stats.broadcasts += 1
+            return [
+                p for p in range(self.config.num_ports) if p != ingress_port
+            ]
+        port = self.mac_table.get(frame.dst, self.default_port)
+        if port is None:
+            return []
+        return [port]
+
+    # -- FAME-1 tick ---------------------------------------------------
+
+    def _tick(
+        self, window: TokenWindow, inputs: Dict[str, TokenBatch]
+    ) -> Dict[str, TokenBatch]:
+        arrivals = self._ingress(inputs)
+        self._switching_step(arrivals)
+        return self._egress(window)
+
+    # -- phases ---------------------------------------------------------
+
+    def _ingress(
+        self, inputs: Dict[str, TokenBatch]
+    ) -> List[Tuple[int, int, EthernetFrame]]:
+        """Assemble packets; returns (timestamp, ingress_port, frame)."""
+        completed: List[Tuple[int, int, EthernetFrame]] = []
+        for port_index in range(self.config.num_ports):
+            batch = inputs[f"port{port_index}"]
+            partial = self._partial[port_index]
+            for cycle, flit in batch.iter_flits():
+                partial.append(flit)
+                if flit.last:
+                    frame = flit.data
+                    timestamp = cycle + self.config.min_latency_cycles
+                    completed.append((timestamp, port_index, frame))
+                    self.stats.packets_in += 1
+                    partial.clear()
+        return completed
+
+    def _switching_step(
+        self, arrivals: List[Tuple[int, int, EthernetFrame]]
+    ) -> None:
+        """Sort this round's packets by timestamp and route to outputs."""
+        pending = list(arrivals)
+        heapq.heapify(pending)
+        while pending:
+            timestamp, ingress_port, frame = heapq.heappop(pending)
+            for out_port in self.route(frame, ingress_port):
+                heapq.heappush(
+                    self._out_queues[out_port],
+                    _QueuedPacket(timestamp, next(self._seq), frame),
+                )
+
+    def _egress(self, window: TokenWindow) -> Dict[str, TokenBatch]:
+        outputs: Dict[str, TokenBatch] = {}
+        for port_index in range(self.config.num_ports):
+            outputs[f"port{port_index}"] = self._drain_port(port_index, window)
+        return outputs
+
+    def _drain_port(self, port_index: int, window: TokenWindow) -> TokenBatch:
+        batch = window.new_batch()
+        queue = self._out_queues[port_index]
+        pace = self.config.cycles_per_flit
+        cursor = max(self._port_next_free[port_index], window.start)
+        while queue and cursor < window.end:
+            packet = queue[0]
+            start = max(cursor, packet.release_cycle)
+            if start >= window.end:
+                break
+            if packet.flits_emitted == 0:
+                # Buffer-occupancy drop model: a packet that cannot begin
+                # transmission within the buffer bound is dropped.
+                lag = start - packet.release_cycle
+                if lag > self.config.buffer_flits:
+                    heapq.heappop(queue)
+                    self.stats.packets_dropped += 1
+                    continue
+            total_flits = packet.frame.flit_count
+            cycle = start
+            while packet.flits_emitted < total_flits and cycle < window.end:
+                is_last = packet.flits_emitted == total_flits - 1
+                batch.add(
+                    cycle,
+                    Flit(
+                        data=packet.frame,
+                        last=is_last,
+                        index=packet.flits_emitted,
+                    ),
+                )
+                packet.flits_emitted += 1
+                cycle += pace
+            cursor = cycle
+            self._port_next_free[port_index] = cycle
+            if packet.flits_emitted == total_flits:
+                heapq.heappop(queue)
+                self.stats.packets_out += 1
+                self.stats.bytes_out += packet.frame.size_bytes
+                if self.egress_log is not None:
+                    self.egress_log.append(
+                        (cycle - pace, packet.frame.size_bytes)
+                    )
+            else:
+                # Packet straddles the window; resume next round.
+                break
+        return batch
+
+    # -- inspection -------------------------------------------------------
+
+    def queued_packets(self) -> int:
+        """Packets currently buffered across all output ports."""
+        return sum(len(q) for q in self._out_queues)

@@ -1,0 +1,97 @@
+"""Host-platform token transports.
+
+FireSim moves token batches over three physical transports (Section
+III-B2):
+
+* **PCIe (EDMA)** between the FPGA and the simulation controller on the
+  host CPU of an F1 instance;
+* **shared memory** between a simulation controller and a co-located
+  switch model (zero-copy);
+* **TCP sockets** between switch models / controllers on different hosts.
+
+In this reproduction, the *functional* token exchange happens in-process
+(the :class:`~repro.core.simulation.Simulation` orchestrator), so these
+classes carry the *performance* characteristics of each transport: the
+host latency and bandwidth that determine how fast a round of the
+distributed simulation can complete.  They are consumed by
+:mod:`repro.host.perfmodel` to produce the simulation-rate curves of
+Figures 8 and 9, and by the manager when it maps links onto hosts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+from repro.core import units
+
+
+class TransportKind(Enum):
+    """The physical transports of Section III-B2."""
+
+    PCIE = "pcie"
+    SHARED_MEMORY = "shm"
+    SOCKET = "socket"
+    LOOPBACK = "loopback"  # endpoints inside the same FPGA (supernode)
+
+
+@dataclass(frozen=True)
+class TransportSpec:
+    """Performance envelope of one host transport hop.
+
+    Attributes:
+        kind: which physical transport this is.
+        one_way_latency_s: fixed host latency to initiate one batch move.
+        bandwidth_bytes_per_s: sustained copy bandwidth for batch payloads.
+    """
+
+    kind: TransportKind
+    one_way_latency_s: float
+    bandwidth_bytes_per_s: float
+
+    def batch_move_time_s(self, batch_bytes: int) -> float:
+        """Wall-clock host time to move one token batch across this hop."""
+        if batch_bytes < 0:
+            raise ValueError(f"batch bytes must be >= 0, got {batch_bytes}")
+        return self.one_way_latency_s + batch_bytes / self.bandwidth_bytes_per_s
+
+
+# Calibrated envelopes for the EC2 F1 host platform.  Latencies are the
+# dominant term for low-latency target links (Section III-B2: "Since
+# latency is the dominant factor, we also do not employ any form of token
+# compression").
+PCIE_EDMA = TransportSpec(
+    kind=TransportKind.PCIE,
+    one_way_latency_s=12e-6,
+    bandwidth_bytes_per_s=3.0e9,
+)
+
+SHM = TransportSpec(
+    kind=TransportKind.SHARED_MEMORY,
+    one_way_latency_s=1.5e-6,
+    bandwidth_bytes_per_s=8.0e9,
+)
+
+TCP_SOCKET = TransportSpec(
+    kind=TransportKind.SOCKET,
+    one_way_latency_s=55e-6,
+    bandwidth_bytes_per_s=25e9 / 8,  # 25 Gbit/s instance networking
+)
+
+LOOPBACK = TransportSpec(
+    kind=TransportKind.LOOPBACK,
+    one_way_latency_s=0.0,
+    bandwidth_bytes_per_s=float("inf"),
+)
+
+
+def tokens_to_bytes(token_count: int, flit_bytes: int = units.FLIT_BYTES) -> int:
+    """Host bytes occupied by a batch of tokens.
+
+    Each token moves its 64-bit payload plus one metadata byte (valid +
+    last bits, padded); FireSim does not compress empty tokens, so a batch
+    always occupies ``latency`` tokens regardless of traffic.
+    """
+    if token_count < 0:
+        raise ValueError(f"token count must be >= 0, got {token_count}")
+    return token_count * (flit_bytes + 1)

@@ -1,0 +1,1 @@
+"""The integrated 200 Gbit/s NIC: controller, send/receive paths, rate limiter."""

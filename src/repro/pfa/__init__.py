@@ -1,0 +1,1 @@
+"""Page-Fault Accelerator case study: remote memory, PFA device, workloads (§VI)."""

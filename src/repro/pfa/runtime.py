@@ -1,0 +1,110 @@
+"""Paged-application executor: runs page-access traces over a backend.
+
+The compute node has a small fast local memory used as a cache for the
+remote bulk memory (Section VI).  This executor keeps the resident set
+with LRU replacement, charges application compute between page accesses,
+and routes misses through a paging backend (software baseline or PFA).
+
+Both backends see the *same* access trace and the same replacement
+policy, so the number of evictions is identical — matching the paper's
+observation — and the runtime difference isolates the fault path and
+metadata management.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Iterable, Iterator, Protocol, Tuple
+
+from repro.pfa.pfa import PageFaultAccelerator, PagingStats, SoftwarePaging
+from repro.pfa.remote import PAGE_BYTES
+
+
+class PagingBackend(Protocol):
+    """What the executor needs from a paging implementation."""
+
+    stats: PagingStats
+
+    def fault(self, cycle: int, page: int) -> int: ...
+
+    def evict(self, cycle: int, page: int) -> int: ...
+
+
+#: A trace step: (page index accessed, compute cycles preceding it).
+TraceStep = Tuple[int, int]
+
+
+@dataclass
+class RunResult:
+    """Outcome of executing one trace against one backend."""
+
+    total_cycles: int
+    compute_cycles: int
+    faults: int
+    evictions: int
+    fault_stall_cycles: int
+    metadata_cycles: int
+    pollution_cycles: int
+
+    @property
+    def overhead_cycles(self) -> int:
+        """Cycles beyond pure compute (the paging overhead)."""
+        return self.total_cycles - self.compute_cycles
+
+    def slowdown_vs(self, baseline_compute_cycles: int) -> float:
+        """Runtime normalized to an all-local run of the same trace."""
+        if baseline_compute_cycles <= 0:
+            raise ValueError("baseline compute must be positive")
+        return self.total_cycles / baseline_compute_cycles
+
+
+class PagedExecutor:
+    """Executes a trace with ``local_pages`` of resident memory."""
+
+    def __init__(self, backend: PagingBackend, local_pages: int) -> None:
+        if local_pages < 1:
+            raise ValueError("need at least one resident page")
+        self.backend = backend
+        self.local_pages = local_pages
+        self._resident: OrderedDict[int, None] = OrderedDict()
+
+    def run(self, trace: Iterable[TraceStep]) -> RunResult:
+        cycle = 0
+        compute = 0
+        for page, compute_cycles in trace:
+            cycle += compute_cycles
+            compute += compute_cycles
+            if page in self._resident:
+                self._resident.move_to_end(page)
+                continue
+            # Miss: possibly evict, then fault the page in.
+            if len(self._resident) >= self.local_pages:
+                victim, _ = self._resident.popitem(last=False)
+                cycle = self.backend.evict(cycle, victim)
+            cycle = self.backend.fault(cycle, page)
+            self._resident[page] = None
+        if isinstance(self.backend, PageFaultAccelerator):
+            cycle = self.backend.flush(cycle)
+        stats = self.backend.stats
+        return RunResult(
+            total_cycles=cycle,
+            compute_cycles=compute,
+            faults=stats.faults,
+            evictions=stats.evictions,
+            fault_stall_cycles=stats.fault_stall_cycles,
+            metadata_cycles=stats.metadata_cycles,
+            pollution_cycles=stats.pollution_cycles,
+        )
+
+
+def run_trace_all_local(trace: Iterable[TraceStep]) -> int:
+    """Pure-compute cycles of a trace (the 100%-local-memory baseline)."""
+    return sum(compute for _page, compute in trace)
+
+
+def pages_for_bytes(size_bytes: int) -> int:
+    """Footprint in 4 KiB pages."""
+    if size_bytes <= 0:
+        raise ValueError("footprint must be positive")
+    return -(-size_bytes // PAGE_BYTES)

@@ -1,0 +1,1 @@
+"""Software model: kernel, scheduler, network stack, and application workloads."""

@@ -1,0 +1,128 @@
+"""Disaggregated accelerator pools (Section VIII).
+
+"FireSim nodes can integrate Hwachas into a cluster, including
+simulating disaggregated pools of Hwachas."  This module builds that
+scenario on the reproduction:
+
+* an **accelerator-pool blade** serves offload requests over the custom
+  bare-metal protocol: each request names a compute kernel, the blade
+  prices it on one of its Hwacha instances (queueing when all are busy),
+  and replies when the kernel retires;
+* a **client offload API** sends kernels to the pool and measures
+  end-to-end offload latency, letting experiments compare local scalar
+  execution, a local Hwacha, and a pooled Hwacha across the network —
+  the disaggregation trade-off in one plot.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional
+
+from repro.net.ethernet import EthernetFrame, HEADER_BYTES
+from repro.swmodel.kernel import ThreadAPI
+from repro.swmodel.process import Recv, Send, SendRaw, Sleep, ThreadBody
+from repro.swmodel.server import ServerBlade
+from repro.tile.accelerators import Hwacha
+from repro.tile.rocket import ComputeBlock
+
+OP_OFFLOAD = "accel-offload"
+OP_RESULT = "accel-result"
+
+RESULT_LATENCY = "accel_offload_latency_cycles"
+
+
+@dataclass
+class AcceleratorPoolStats:
+    requests: int = 0
+    busy_queued: int = 0
+
+
+def attach_accelerator_pool(
+    blade: ServerBlade,
+    num_accelerators: int = 4,
+    accelerator: Optional[Hwacha] = None,
+) -> AcceleratorPoolStats:
+    """Install a bare-metal Hwacha pool server on a blade.
+
+    Requests carry a pickled-free kernel description (instruction count
+    and vectorizable fraction are encoded in the ComputeBlock); replies
+    return after the accelerator's modeled execution time, so clients
+    observe queueing when the pool saturates.
+    """
+    if num_accelerators < 1:
+        raise ValueError("a pool needs at least one accelerator")
+    accelerator = accelerator or Hwacha()
+    stats = AcceleratorPoolStats()
+    free_at = [0] * num_accelerators
+
+    def handler(cycle: int, frame: EthernetFrame) -> None:
+        payload = frame.payload
+        if not (isinstance(payload, tuple) and payload and payload[0] == OP_OFFLOAD):
+            return
+        _, request_id, kernel = payload
+        stats.requests += 1
+        unit = min(range(num_accelerators), key=lambda u: (free_at[u], u))
+        start = max(cycle, free_at[unit])
+        if start > cycle:
+            stats.busy_queued += 1
+        done = start + accelerator.invoke_cycles(start, kernel)
+        free_at[unit] = done
+        blade.nic.post_send(
+            done,
+            EthernetFrame(
+                src=blade.mac,
+                dst=frame.src,
+                size_bytes=64,
+                payload=(OP_RESULT, request_id),
+            ),
+        )
+
+    blade.kernel.register_raw_handler(handler)
+    return stats
+
+
+_request_ids = itertools.count()
+
+
+def make_offload_client(
+    pool_mac: int,
+    kernels: List[ComputeBlock],
+    gap_cycles: int = 10_000,
+) -> Callable[[ThreadAPI], ThreadBody]:
+    """A client thread that offloads kernels to the pool sequentially.
+
+    Offload latency (send to result, including network and any pool
+    queueing) is recorded per kernel under :data:`RESULT_LATENCY`.
+    """
+
+    def body(api: ThreadAPI) -> ThreadBody:
+        pending: Dict[int, int] = {}
+        results: List[int] = []
+
+        def on_result(cycle: int, frame: EthernetFrame) -> None:
+            payload = frame.payload
+            if not (
+                isinstance(payload, tuple) and payload and payload[0] == OP_RESULT
+            ):
+                return
+            request_id = payload[1]
+            if request_id in pending:
+                api.record(RESULT_LATENCY, cycle - pending.pop(request_id))
+
+        api._kernel.register_raw_handler(on_result)
+        for kernel in kernels:
+            request_id = next(_request_ids)
+            pending[request_id] = api.now()
+            yield SendRaw(
+                dst_mac=pool_mac,
+                payload=(OP_OFFLOAD, request_id, kernel),
+                frame_bytes=128 + HEADER_BYTES,
+            )
+            yield Sleep(gap_cycles)
+        # Wait for stragglers before exiting.
+        while pending:
+            yield Sleep(10_000)
+
+    return body

@@ -1,0 +1,70 @@
+"""Linux boot-to-userspace model.
+
+The Figure 8 benchmark "boots Linux to userspace, then immediately powers
+down the nodes" — exercising no target network traffic while the host
+still moves a full complement of (empty) tokens.  This model reproduces
+the software side: a boot thread burns the CPU time a RISC-V Linux boot
+takes on a Rocket core, prints the familiar banner milestones to the
+blade's UART (each stamped with its exact target cycle), and records the
+boot-finished cycle that a power-down harness can key on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Tuple
+
+from repro.swmodel.kernel import ThreadAPI
+from repro.swmodel.process import Compute, ThreadBody
+
+RESULT_KEY = "linux_booted_cycle"
+
+
+@dataclass(frozen=True)
+class BootConfig:
+    """Boot phases: (banner line, cycles of kernel work before it).
+
+    The total is ~12.8M cycles (~4 ms of target time) — a deliberately
+    compressed boot so tests stay fast; scale up for realism.
+    """
+
+    phases: Tuple[Tuple[str, int], ...] = (
+        ("OpenSBI v0.9", 400_000),
+        ("Linux version 5.7.0 (riscv64)", 1_600_000),
+        ("Memory: 16384MB available", 2_400_000),
+        ("smp: Brought up 1 node, 4 CPUs", 3_200_000),
+        ("icenet: registered network device", 1_600_000),
+        ("blkdev: 16 GiB block device attached", 1_200_000),
+        ("VFS: Mounted root (ext2 filesystem)", 1_600_000),
+        ("Welcome to Buildroot", 800_000),
+    )
+
+    @property
+    def total_cycles(self) -> int:
+        return sum(cycles for _, cycles in self.phases)
+
+
+def make_linux_boot(
+    config: BootConfig | None = None,
+    then_poweroff: bool = True,
+) -> Callable[[ThreadAPI], ThreadBody]:
+    """The boot thread body (runs as the blade's init path)."""
+    config = config or BootConfig()
+
+    def body(api: ThreadAPI) -> ThreadBody:
+        for line, cycles in config.phases:
+            yield Compute(cycles)
+            api.console(line + "\n")
+        api.record(RESULT_KEY, api.now())
+        if then_poweroff:
+            api.console("reboot: Power down\n")
+
+    return body
+
+
+def booted_cycle(results: dict) -> int:
+    """The cycle at which a blade reached userspace."""
+    try:
+        return results[RESULT_KEY][0]
+    except (KeyError, IndexError):
+        raise LookupError("blade has not finished booting") from None

@@ -1,0 +1,85 @@
+"""iperf3 model: single-stream TCP bandwidth between two nodes (§IV-B).
+
+The paper measures an average of 1.4 Gbit/s over TCP between two nodes
+behind a ToR switch and attributes the gap to the 200 Gbit/s link to the
+slow single-issue in-order Rocket core running the network stack on an
+immature RISC-V Linux port.  Our model reproduces exactly that structure:
+the stream is CPU-cost-bound — every MSS segment costs the sender
+~8.5 us of protocol + driver processing and the receiver a comparable
+softirq cost — so goodput lands near 1.4 Gbit/s regardless of the link.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.net.ethernet import MTU_BYTES, IP_TCP_HEADER_BYTES, segment_bytes
+from repro.swmodel.kernel import ThreadAPI
+from repro.swmodel.netstack import PROTO_TCP
+from repro.swmodel.process import Recv, Send, ThreadBody
+
+IPERF_PORT = 5201
+
+#: Result keys recorded on the server blade.
+RESULT_BYTES = "iperf_bytes"
+RESULT_CYCLES = "iperf_cycles"
+
+MSS_BYTES = MTU_BYTES - IP_TCP_HEADER_BYTES  # 1460 B payload per segment
+
+
+def make_iperf_client(
+    dst_mac: int,
+    total_bytes: int,
+    dport: int = IPERF_PORT,
+) -> Callable[[ThreadAPI], ThreadBody]:
+    """The sending side: stream ``total_bytes`` then a FIN marker."""
+
+    def body(api: ThreadAPI) -> ThreadBody:
+        start = api.now()
+        for segment in segment_bytes(total_bytes, mss=MSS_BYTES):
+            yield Send(
+                dst_mac=dst_mac,
+                payload="data",
+                payload_bytes=segment,
+                proto=PROTO_TCP,
+                dport=dport,
+            )
+        yield Send(
+            dst_mac=dst_mac,
+            payload="fin",
+            payload_bytes=1,
+            proto=PROTO_TCP,
+            dport=dport,
+        )
+        api.record("iperf_client_cycles", api.now() - start)
+
+    return body
+
+
+def make_iperf_server(
+    dport: int = IPERF_PORT,
+) -> Callable[[ThreadAPI], ThreadBody]:
+    """The receiving side: drain segments, record goodput on FIN."""
+
+    def body(api: ThreadAPI) -> ThreadBody:
+        sock = api.socket(PROTO_TCP, dport)
+        received = 0
+        first_cycle = None
+        while True:
+            datagram = yield Recv(sock)
+            if first_cycle is None:
+                first_cycle = api.now()
+            if datagram.payload == "fin":
+                break
+            received += datagram.payload_bytes
+        api.record(RESULT_BYTES, received)
+        api.record(RESULT_CYCLES, api.now() - first_cycle)
+
+    return body
+
+
+def goodput_bps(bytes_received: int, cycles: int, freq_hz: float) -> float:
+    """Convert a recorded (bytes, cycles) pair into bits per second."""
+    if cycles <= 0:
+        raise ValueError(f"cycles must be positive, got {cycles}")
+    return bytes_received * 8 * freq_hz / cycles

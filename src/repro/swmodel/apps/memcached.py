@@ -1,0 +1,132 @@
+"""memcached server model (Sections IV-E and V-C).
+
+The paper's end-to-end validation runs memcached on one 4-core blade and
+drives it with the mutilate load generator, reproducing the thread-
+imbalance phenomenon of Leverich & Kozyrakis: with more worker threads
+than cores, tail latency rises sharply while the median is untouched.
+
+The model mirrors memcached's architecture where it matters:
+
+* ``T`` worker threads, each owning a share of the client connections
+  (memcached distributes connections round-robin across workers — here a
+  connection's requests always land on ``worker[conn_id % T]``);
+* per-request work: parse + hash-table lookup + reply construction,
+  modeled as a deterministic base cost plus a value-size-dependent term
+  and seeded exponential jitter;
+* replies sent over the same UDP-style transport the requests arrived on.
+
+Pinning support (one worker per core) comes from the scheduler's
+``pinned_core``; the thread-imbalance and poor-placement behaviour comes
+from the scheduler itself (:mod:`repro.swmodel.sched`).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Callable, List, Optional
+
+from repro.swmodel.kernel import ThreadAPI
+from repro.swmodel.netstack import PROTO_UDP
+from repro.swmodel.process import Compute, Recv, Send, ThreadBody
+from repro.swmodel.server import ServerBlade
+
+MEMCACHED_BASE_PORT = 11211
+
+#: Typical small-object GET sizes (mutilate's default-ish workload).
+REQUEST_BYTES = 70
+REPLY_BYTES = 130
+
+
+@dataclass(frozen=True)
+class MemcachedConfig:
+    """Service-time model for one memcached instance.
+
+    Attributes:
+        num_threads: worker thread count (4 or 5 in Figure 7).
+        pin_threads: pin worker ``i`` to core ``i`` ("4 threads pinned").
+        base_service_cycles: deterministic per-GET processing.
+        jitter_mean_cycles: mean of the exponential service jitter.
+        reply_bytes: value size returned to clients.
+    """
+
+    num_threads: int = 4
+    pin_threads: bool = False
+    base_service_cycles: int = 51_200  # ~16 us parse + lookup + reply build
+    jitter_mean_cycles: int = 6_400  # ~2 us tail from hash/alloc variance
+    reply_bytes: int = REPLY_BYTES
+    seed: int = 1234
+
+    def __post_init__(self) -> None:
+        if self.num_threads < 1:
+            raise ValueError("memcached needs at least one worker thread")
+        if self.pin_threads and self.num_threads > 64:
+            raise ValueError("implausible pin configuration")
+
+
+def worker_port(worker_index: int) -> int:
+    """The UDP port worker ``i`` listens on (connection sharding)."""
+    return MEMCACHED_BASE_PORT + worker_index
+
+
+def port_for_connection(conn_id: int, num_threads: int) -> int:
+    """Which worker port a connection's requests go to (round-robin)."""
+    return worker_port(conn_id % num_threads)
+
+
+def make_memcached_worker(
+    worker_index: int,
+    config: MemcachedConfig,
+) -> Callable[[ThreadAPI], ThreadBody]:
+    """One memcached worker thread body."""
+
+    def body(api: ThreadAPI) -> ThreadBody:
+        sock = api.socket(PROTO_UDP, worker_port(worker_index))
+        rng = random.Random((config.seed << 8) | worker_index)
+        while True:
+            request = yield Recv(sock)
+            if request.payload == "shutdown":
+                break
+            service = config.base_service_cycles + round(
+                rng.expovariate(1.0 / config.jitter_mean_cycles)
+            )
+            yield Compute(service)
+            # Echo the request's identity back so the client can match
+            # and compute end-to-end latency.
+            yield Send(
+                dst_mac=request.src_mac,
+                payload=("resp", request.payload),
+                payload_bytes=config.reply_bytes,
+                proto=PROTO_UDP,
+                sport=worker_port(worker_index),
+                dport=request.sport,
+                conn_id=request.conn_id,
+            )
+
+    return body
+
+
+def start_memcached(
+    blade: ServerBlade, config: Optional[MemcachedConfig] = None
+) -> List[str]:
+    """Spawn all worker threads on a blade; returns their thread names.
+
+    With ``pin_threads`` set, worker ``i`` is pinned to core
+    ``i % num_cores`` (the "4 threads pinned" line of Figure 7).
+    """
+    config = config or MemcachedConfig()
+    names = []
+    for worker_index in range(config.num_threads):
+        pinned = (
+            worker_index % blade.config.num_cores
+            if config.pin_threads
+            else None
+        )
+        name = f"memcached-{worker_index}"
+        blade.spawn(
+            name,
+            make_memcached_worker(worker_index, config),
+            pinned_core=pinned,
+        )
+        names.append(name)
+    return names

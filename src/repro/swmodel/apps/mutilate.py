@@ -1,0 +1,138 @@
+"""mutilate load-generator model (Leverich & Kozyrakis [32]).
+
+mutilate is an open-loop, latency-measuring memcached load generator:
+requests are issued on a Poisson schedule regardless of outstanding
+responses (so server-side queueing shows up as latency, not reduced
+offered load), and every response is matched with its request timestamp
+to produce a latency sample.
+
+Each client blade runs two threads:
+
+* the **send thread** paces requests with seeded exponential gaps at the
+  configured per-client QPS, spraying them across ``num_connections``
+  connections (which shards them across the server's workers);
+* the **receive thread** matches responses and records end-to-end
+  latency samples (request-send to response-receive, in cycles).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Callable, List, Sequence, Tuple
+
+from repro.swmodel.apps.memcached import (
+    REQUEST_BYTES,
+    port_for_connection,
+)
+from repro.swmodel.kernel import ThreadAPI
+from repro.swmodel.netstack import PROTO_UDP
+from repro.swmodel.process import Recv, Send, Sleep, ThreadBody
+from repro.swmodel.server import ServerBlade
+
+#: Result key for latency samples (cycles), recorded on each client.
+RESULT_LATENCY = "mutilate_latency_cycles"
+RESULT_SENT = "mutilate_requests_sent"
+RESULT_RECEIVED = "mutilate_responses_received"
+
+
+@dataclass(frozen=True)
+class MutilateConfig:
+    """One client's load configuration.
+
+    Attributes:
+        server_mac: the memcached blade's MAC.
+        target_qps: this client's offered load (requests/second).
+        duration_cycles: how long to generate load.
+        num_connections: connections sharded across server workers.
+        server_threads: worker count at the server (for sharding).
+        client_port: base UDP port for this client's receive socket.
+        seed: RNG seed for the Poisson arrival process.
+        freq_hz: target clock frequency (cycles <-> seconds).
+    """
+
+    server_mac: int
+    target_qps: float
+    duration_cycles: int
+    num_connections: int = 4
+    server_threads: int = 4
+    client_port: int = 20000
+    seed: int = 7
+    freq_hz: float = 3.2e9
+
+    def __post_init__(self) -> None:
+        if self.target_qps <= 0:
+            raise ValueError("target QPS must be positive")
+        if self.duration_cycles <= 0:
+            raise ValueError("duration must be positive")
+        if self.num_connections < 1:
+            raise ValueError("need at least one connection")
+
+
+def make_mutilate_sender(config: MutilateConfig) -> Callable[[ThreadAPI], ThreadBody]:
+    """Open-loop Poisson request generator."""
+
+    def body(api: ThreadAPI) -> ThreadBody:
+        rng = random.Random(config.seed)
+        mean_gap_cycles = config.freq_hz / config.target_qps
+        end_cycle = api.now() + config.duration_cycles
+        sent = 0
+        while api.now() < end_cycle:
+            conn = rng.randrange(config.num_connections)
+            request_id = (config.seed << 32) | sent
+            yield Send(
+                dst_mac=config.server_mac,
+                payload=(request_id, api.now()),
+                payload_bytes=REQUEST_BYTES,
+                proto=PROTO_UDP,
+                sport=config.client_port,
+                dport=port_for_connection(conn, config.server_threads),
+                conn_id=conn,
+            )
+            sent += 1
+            gap = round(rng.expovariate(1.0 / mean_gap_cycles))
+            yield Sleep(max(gap, 1))
+        api.record(RESULT_SENT, sent)
+
+    return body
+
+
+def make_mutilate_receiver(config: MutilateConfig) -> Callable[[ThreadAPI], ThreadBody]:
+    """Latency-measuring response sink (runs forever; the experiment
+    harness stops the simulation when the measurement window closes)."""
+
+    def body(api: ThreadAPI) -> ThreadBody:
+        sock = api.socket(PROTO_UDP, config.client_port)
+        received = 0
+        while True:
+            response = yield Recv(sock)
+            payload = response.payload
+            if not (isinstance(payload, tuple) and payload[0] == "resp"):
+                continue
+            _request_id, sent_cycle = payload[1]
+            api.record(RESULT_LATENCY, api.now() - sent_cycle)
+            received += 1
+
+    return body
+
+
+def start_mutilate(blade: ServerBlade, config: MutilateConfig) -> None:
+    """Attach a mutilate client (sender + receiver threads) to a blade."""
+    blade.spawn(f"{blade.name}-mutilate-rx", make_mutilate_receiver(config))
+    blade.spawn(f"{blade.name}-mutilate-tx", make_mutilate_sender(config))
+
+
+def latency_percentiles(
+    samples: Sequence[int], percentiles: Sequence[float] = (50.0, 95.0)
+) -> Tuple[float, ...]:
+    """Nearest-rank percentiles over latency samples (cycles)."""
+    if not samples:
+        raise ValueError("no latency samples collected")
+    ordered = sorted(samples)
+    out = []
+    for p in percentiles:
+        if not 0 < p <= 100:
+            raise ValueError(f"percentile {p} out of (0, 100]")
+        rank = max(1, round(p / 100 * len(ordered)))
+        out.append(float(ordered[rank - 1]))
+    return tuple(out)

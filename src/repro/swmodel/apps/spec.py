@@ -1,0 +1,113 @@
+"""SPECint-style single-node workloads (Section VIII).
+
+FireSim's manager makes massively parallel single-node experimentation
+trivial: "users can run the entire SPECint17 benchmark suite on Rocket
+Chip-like systems with full reference inputs, and obtain cycle-exact
+results in roughly one day" by farming one simulation per benchmark.
+
+This module models the SPECint 2017 rate suite as
+:class:`~repro.tile.rocket.ComputeBlock` profiles — dynamic instruction
+counts (scaled by ``scale`` so tests stay fast; 1.0 approximates the
+hundreds-of-billions-of-instructions reference inputs), memory-reference
+densities, footprints, and access patterns chosen to reflect each
+benchmark's character (e.g. ``mcf`` is memory-bound and random; ``xz``
+streams). A thread body executes the profile on a blade's core models,
+recording the cycle count the manager collects.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Iterator, List, Tuple
+
+from repro.swmodel.kernel import ThreadAPI
+from repro.swmodel.process import Compute, ThreadBody
+from repro.tile.rocket import ComputeBlock
+from repro.tile.soc import SoC
+
+#: Result key: (benchmark, cycles) pairs recorded per node.
+RESULT_KEY = "spec_cycles"
+
+
+@dataclass(frozen=True)
+class SpecBenchmark:
+    """One SPECint-like benchmark's execution profile.
+
+    Attributes:
+        name: SPECint 2017 benchmark name.
+        instructions: dynamic instruction count at ``scale=1.0``
+            (relative magnitudes follow the suite's runtimes).
+        miss_ref_fraction: memory references per instruction that escape
+            the L1 (MPKI / 1000); these are the accesses the shared-L2/
+            DRAM timing models price.  L1-resident traffic is folded into
+            the base CPI.
+        footprint_bytes: working set those references fall in.
+        pattern: dominant access pattern ("seq" or "random").
+    """
+
+    name: str
+    instructions: int
+    miss_ref_fraction: float
+    footprint_bytes: int
+    pattern: str
+
+    def block(self, scale: float) -> ComputeBlock:
+        instructions = max(1, round(self.instructions * scale))
+        return ComputeBlock(
+            instructions=instructions,
+            mem_refs=round(instructions * self.miss_ref_fraction),
+            footprint_bytes=self.footprint_bytes,
+            pattern=self.pattern,
+        )
+
+
+#: The SPECint 2017 rate suite (intrate), with profile shapes chosen to
+#: reflect each benchmark's published character.
+SPECINT_2017: List[SpecBenchmark] = [
+    SpecBenchmark("500.perlbench_r", 1_200_000_000_000, 0.006, 200 << 20, "random"),
+    SpecBenchmark("502.gcc_r", 1_100_000_000_000, 0.010, 900 << 20, "random"),
+    SpecBenchmark("505.mcf_r", 900_000_000_000, 0.040, 1_600 << 20, "random"),
+    SpecBenchmark("520.omnetpp_r", 1_000_000_000_000, 0.025, 250 << 20, "random"),
+    SpecBenchmark("523.xalancbmk_r", 1_000_000_000_000, 0.015, 450 << 20, "random"),
+    SpecBenchmark("525.x264_r", 1_300_000_000_000, 0.004, 150 << 20, "seq"),
+    SpecBenchmark("531.deepsjeng_r", 1_100_000_000_000, 0.008, 700 << 20, "random"),
+    SpecBenchmark("541.leela_r", 1_400_000_000_000, 0.003, 30 << 20, "random"),
+    SpecBenchmark("548.exchange2_r", 1_500_000_000_000, 0.001, 1 << 20, "seq"),
+    SpecBenchmark("557.xz_r", 1_200_000_000_000, 0.012, 1_100 << 20, "seq"),
+]
+
+
+def benchmark_by_name(name: str) -> SpecBenchmark:
+    for bench in SPECINT_2017:
+        if bench.name == name:
+            return bench
+    raise ValueError(
+        f"unknown SPECint benchmark {name!r}; "
+        f"known: {[b.name for b in SPECINT_2017]}"
+    )
+
+
+def make_spec_runner(
+    benchmark: SpecBenchmark, soc: SoC, scale: float = 1e-6
+) -> Callable[[ThreadAPI], ThreadBody]:
+    """A thread body that executes one benchmark on a blade's core 0.
+
+    The core timing model converts the profile into cycles (CPI + cache/
+    DRAM behaviour); the thread then occupies the CPU for exactly that
+    time, so scheduler interactions (e.g. co-located jobs) are visible.
+    """
+    if scale <= 0:
+        raise ValueError("scale must be positive")
+
+    def body(api: ThreadAPI) -> ThreadBody:
+        block = benchmark.block(scale)
+        cycles = soc.cores[0].execute_block(api.now(), block)
+        yield Compute(cycles)
+        api.record(RESULT_KEY, (benchmark.name, cycles))
+
+    return body
+
+
+def reference_cycles(benchmark: SpecBenchmark, soc: SoC, scale: float = 1e-6) -> int:
+    """Cycle count of one benchmark on an idle blade (no contention)."""
+    return soc.cores[0].execute_block(0, benchmark.block(scale))

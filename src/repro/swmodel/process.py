@@ -1,0 +1,146 @@
+"""Threads and effects: the software execution model.
+
+FireSim boots real Linux and runs real binaries on the simulated RTL.  In
+this reproduction, software is modeled as *threads* written as Python
+generators that yield timing-bearing effects to the kernel model:
+
+* :class:`Compute` — burn CPU cycles (preemptible, chunked);
+* :class:`Send` — transmit a datagram through the network stack (charges
+  the protocol's per-packet CPU cost, then hands the frame to the NIC);
+* :class:`SendRaw` — bare-metal transmit straight to NIC MMIO, bypassing
+  the OS network stack (the Section IV-C bandwidth test does this);
+* :class:`Recv` — block until a datagram arrives on a socket;
+* :class:`Sleep` — block for a duration of target time.
+
+The kernel (:mod:`repro.swmodel.kernel`) resolves each effect into CPU
+occupancy on a core plus a completion action, so all software costs flow
+through the scheduler and contend for the blade's 1-4 Rocket cores.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Any, Callable, Generator, Optional, TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.swmodel.netstack import Datagram, Socket
+
+
+# -- effects ------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Compute:
+    """Burn ``cycles`` of CPU time on whatever core runs the thread."""
+
+    cycles: int
+
+    def __post_init__(self) -> None:
+        if self.cycles < 0:
+            raise ValueError(f"compute cycles must be >= 0, got {self.cycles}")
+
+
+@dataclass(frozen=True)
+class Send:
+    """Send one datagram via the OS network stack (UDP/TCP/ICMP model)."""
+
+    dst_mac: int
+    payload: Any
+    payload_bytes: int
+    proto: str = "udp"
+    sport: int = 0
+    dport: int = 0
+    conn_id: int = 0
+
+
+@dataclass(frozen=True)
+class SendRaw:
+    """Bare-metal transmit: build Ethernet frames directly at the NIC."""
+
+    dst_mac: int
+    payload: Any
+    frame_bytes: int
+
+
+@dataclass(frozen=True)
+class Recv:
+    """Block until a datagram arrives on ``socket``; yields the datagram."""
+
+    socket: "Socket"
+
+
+@dataclass(frozen=True)
+class Sleep:
+    """Block for ``cycles`` of target time without occupying a core."""
+
+    cycles: int
+
+    def __post_init__(self) -> None:
+        if self.cycles < 0:
+            raise ValueError(f"sleep cycles must be >= 0, got {self.cycles}")
+
+
+Effect = Any  # union of the effect classes above
+ThreadBody = Generator[Effect, Any, None]
+
+
+class ThreadState(enum.Enum):
+    READY = "ready"
+    RUNNING = "running"
+    BLOCKED = "blocked"
+    SLEEPING = "sleeping"
+    DONE = "done"
+
+
+class Thread:
+    """One schedulable software thread.
+
+    Attributes:
+        name: for traces and tests.
+        gen: the generator body yielding effects.
+        pinned_core: if set, the thread only ever runs on this core
+            (the "4 threads pinned" configuration of Figure 7).
+        last_core: where the thread last ran; wake placement is sticky
+            toward it, which is the source of the poor-placement tail
+            behaviour the paper reproduces from Leverich & Kozyrakis.
+    """
+
+    _ids = iter(range(1, 1 << 30))
+
+    def __init__(
+        self,
+        name: str,
+        gen: ThreadBody,
+        pinned_core: Optional[int] = None,
+    ) -> None:
+        self.name = name
+        self.gen = gen
+        self.pinned_core = pinned_core
+        self.tid = next(Thread._ids)
+        self.state = ThreadState.READY
+        self.last_core = 0
+        # CPU work outstanding for the current effect.
+        self.work_remaining = 0
+        # Action to run when the current effect's CPU work completes.
+        self.on_work_done: Optional[Callable[[int], None]] = None
+        # Value handed to the generator at the next resume (Recv results).
+        self.wake_value: Any = None
+        # Remaining scheduler timeslice.
+        self.slice_remaining = 0
+        # Cycle at which the thread last entered a runqueue (idle
+        # balancing refuses to migrate cache-hot threads younger than
+        # the migration cost).
+        self.enqueued_at = 0
+        # Set while blocked in Recv.
+        self.blocked_socket: Optional["Socket"] = None
+        # Accumulated statistics.
+        self.cpu_cycles = 0
+        self.context_switches = 0
+
+    @property
+    def runnable(self) -> bool:
+        return self.state in (ThreadState.READY, ThreadState.RUNNING)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Thread({self.name!r}, {self.state.value})"

@@ -1,0 +1,102 @@
+"""Server blade: the FAME-1 simulation endpoint for one target server.
+
+A blade bundles the elaborated SoC (cores/caches/DRAM), the NIC, the
+block device, and the kernel model, and exposes a single FAME-1 ``net``
+port carrying one token per target cycle (Section III-A: the "FAME-1
+Rocket Chip" box of Figure 2 plus its NIC simulation endpoint).
+
+Per token window the blade:
+
+1. feeds the input tokens to the NIC receive path (packet buffer, writer
+   DMA, completion interrupts);
+2. runs its deterministic event queue — scheduler dispatches, softirq
+   work, application effects — up to the window's end;
+3. drains the NIC send path into the output token window, paced by the
+   rate limiter.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional, Union
+
+from repro.blockdev.controller import BlockDeviceConfig, BlockDeviceController
+from repro.core.events import EventQueue
+from repro.core.fame import Fame1Model
+from repro.core.token import TokenBatch, TokenWindow
+from repro.net.ethernet import mac_address
+from repro.nic.nic import NIC, NICConfig
+from repro.swmodel.kernel import Kernel, ThreadAPI
+from repro.swmodel.netstack import NetStackCosts
+from repro.swmodel.process import Thread, ThreadBody
+from repro.swmodel.sched import SchedulerConfig
+from repro.tile.soc import RocketChipConfig, SoC, config_by_name
+from repro.tile.uart import UART, UARTConfig
+
+
+class ServerBlade(Fame1Model):
+    """One simulated server: SoC + NIC + block device + booted kernel."""
+
+    def __init__(
+        self,
+        name: str,
+        config: Union[str, RocketChipConfig] = "QuadCore",
+        mac: Optional[int] = None,
+        node_index: int = 0,
+        nic_config: Optional[NICConfig] = None,
+        net_costs: Optional[NetStackCosts] = None,
+        sched_config: Optional[SchedulerConfig] = None,
+        blockdev_config: Optional[BlockDeviceConfig] = None,
+        seed: int = 0,
+    ) -> None:
+        super().__init__(name, ["net"])
+        if isinstance(config, str):
+            config = config_by_name(config)
+        self.config = config
+        self.node_index = node_index
+        self.mac = mac if mac is not None else mac_address(node_index)
+        self.soc: SoC = config.build(seed=seed)
+        self.events = EventQueue()
+        self.nic = NIC(f"{name}.nic", self.soc.dma_hierarchy, nic_config)
+        self.uart = UART(f"{name}.uart", UARTConfig(freq_hz=config.freq_hz))
+        self.blockdev = BlockDeviceController(
+            f"{name}.blkdev", self.soc.dma_hierarchy, blockdev_config
+        )
+        self.kernel = Kernel(
+            mac=self.mac,
+            num_cores=config.num_cores,
+            events=self.events,
+            nic=self.nic,
+            costs=net_costs,
+            sched_config=sched_config,
+        )
+        self.kernel.uart = self.uart
+
+    # -- software attachment ---------------------------------------------
+
+    def spawn(
+        self,
+        name: str,
+        body_fn: Callable[[ThreadAPI], ThreadBody],
+        pinned_core: Optional[int] = None,
+        start_cycle: int = 0,
+    ) -> Thread:
+        """Start an application thread on this blade's kernel."""
+        return self.kernel.spawn(
+            name, body_fn, pinned_core=pinned_core, start_cycle=start_cycle
+        )
+
+    @property
+    def results(self) -> Dict[str, list]:
+        """Measurements recorded by application threads."""
+        return self.kernel.results
+
+    # -- FAME-1 ------------------------------------------------------------
+
+    def _tick(
+        self, window: TokenWindow, inputs: Dict[str, TokenBatch]
+    ) -> Dict[str, TokenBatch]:
+        self.nic.receive_tokens(inputs["net"])
+        self.events.run_until(window.end)
+        out = window.new_batch()
+        self.nic.fill_tx(window, out)
+        return {"net": out}

@@ -1,0 +1,1 @@
+"""Server SoC timing models: Rocket cores, caches, DRAM, TileLink, RoCC, UART."""

@@ -1,0 +1,124 @@
+"""RoCC accelerators for custom blades (Table II).
+
+Rocket Chip supports attaching custom accelerators over the RoCC
+interface.  The paper's Table II lists the accelerators used for custom
+datacenter blades:
+
+* **Page-Fault Accelerator** — remote-memory fast path (Section VI); the
+  behavioural model lives in :mod:`repro.pfa`, registered here so blade
+  configurations can name it.
+* **Hwacha** — the vector-fetch data-parallel accelerator (Section VIII),
+  modeled as an Amdahl-style speedup on the vectorizable fraction of a
+  compute block.
+* **HLS-generated** — FireSim can transform Verilog emitted by HLS tools
+  into plug-in accelerators; modeled as a fixed-function unit with an
+  invocation latency and per-byte throughput.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import Dict, Type
+
+from repro.tile.rocket import ComputeBlock
+
+
+class RoCCAccelerator(ABC):
+    """Base class for accelerators attached over the RoCC interface."""
+
+    #: Short name used in blade configurations and Table II.
+    name: str = "rocc"
+    #: Human-readable purpose (Table II's "Purpose" column).
+    purpose: str = ""
+
+    @abstractmethod
+    def invoke_cycles(self, cycle: int, work: ComputeBlock) -> int:
+        """Cycles to complete ``work`` when offloaded to this accelerator."""
+
+
+class Hwacha(RoCCAccelerator):
+    """Vector-accelerated compute (Table II; Section VIII).
+
+    Models a decoupled vector unit: the vectorizable fraction of a block
+    runs ``vector_lanes`` times faster, the rest runs at scalar speed.
+    """
+
+    name = "hwacha"
+    purpose = "Vector-accelerated compute"
+
+    def __init__(self, vector_lanes: int = 8, vectorizable: float = 0.9) -> None:
+        if vector_lanes < 1:
+            raise ValueError("need at least one vector lane")
+        if not 0.0 <= vectorizable <= 1.0:
+            raise ValueError("vectorizable fraction must be in [0, 1]")
+        self.vector_lanes = vector_lanes
+        self.vectorizable = vectorizable
+
+    def invoke_cycles(self, cycle: int, work: ComputeBlock) -> int:
+        scalar = work.instructions
+        vector_part = scalar * self.vectorizable / self.vector_lanes
+        serial_part = scalar * (1.0 - self.vectorizable)
+        return max(1, round(vector_part + serial_part))
+
+
+class HLSAccelerator(RoCCAccelerator):
+    """Rapid custom scale-out accelerator generated from HLS (Table II)."""
+
+    name = "hls"
+    purpose = "Rapid custom scale-out accels."
+
+    def __init__(
+        self,
+        invocation_latency_cycles: int = 100,
+        bytes_per_cycle: float = 16.0,
+    ) -> None:
+        if invocation_latency_cycles < 0:
+            raise ValueError("invocation latency must be >= 0")
+        if bytes_per_cycle <= 0:
+            raise ValueError("throughput must be positive")
+        self.invocation_latency_cycles = invocation_latency_cycles
+        self.bytes_per_cycle = bytes_per_cycle
+
+    def invoke_cycles(self, cycle: int, work: ComputeBlock) -> int:
+        data_bytes = work.footprint_bytes
+        return self.invocation_latency_cycles + max(
+            1, round(data_bytes / self.bytes_per_cycle)
+        )
+
+
+class PageFaultAcceleratorPort(RoCCAccelerator):
+    """Registry entry for the PFA (Section VI).
+
+    The full device model (freeQ/newQ queues, remote fetch engine) lives
+    in :mod:`repro.pfa.pfa`; blades that name ``"pfa"`` in their
+    accelerator list get that device wired to the OS paging model.  The
+    RoCC-side invocation simply reflects the fetch engine's occupancy.
+    """
+
+    name = "pfa"
+    purpose = "Remote memory fast-path"
+
+    def invoke_cycles(self, cycle: int, work: ComputeBlock) -> int:
+        # The PFA operates autonomously on page faults; a direct RoCC
+        # invocation is a queue push (freeQ/newQ), a handful of cycles.
+        return 4
+
+
+#: Table II registry: accelerator name -> class.
+ACCELERATOR_TYPES: Dict[str, Type[RoCCAccelerator]] = {
+    Hwacha.name: Hwacha,
+    HLSAccelerator.name: HLSAccelerator,
+    PageFaultAcceleratorPort.name: PageFaultAcceleratorPort,
+}
+
+
+def build_accelerator(name: str, **kwargs) -> RoCCAccelerator:
+    """Instantiate an accelerator by Table II name."""
+    try:
+        cls = ACCELERATOR_TYPES[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown accelerator {name!r}; known: {sorted(ACCELERATOR_TYPES)}"
+        ) from None
+    return cls(**kwargs)

@@ -1,0 +1,129 @@
+"""Rocket core timing model.
+
+The target servers use RISC-V Rocket cores: in-order, single-issue,
+scalar pipelines (Section III-A1).  FireSim executes the actual RTL; this
+reproduction models the pipeline at the instruction-block level: a
+:class:`ComputeBlock` summarizes a stretch of software (instruction count,
+memory references, access pattern over a footprint), and the core charges
+
+``cycles = instructions * CPI_base + sum(memory latencies)``
+
+with memory latencies timed by the real cache/DRAM hierarchy.  For large
+blocks the memory references are sampled deterministically and scaled,
+keeping host cost bounded while preserving miss-rate-driven timing.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.tile.caches import MemoryHierarchy
+
+
+@dataclass(frozen=True)
+class ComputeBlock:
+    """A summarized stretch of software execution.
+
+    Attributes:
+        instructions: dynamic instruction count.
+        mem_refs: how many of those are loads/stores.
+        footprint_bytes: size of the region the references fall in.
+        region_base: base address of the region.
+        pattern: "seq" for streaming access, "random" for uniform random.
+        write_fraction: fraction of references that are stores.
+    """
+
+    instructions: int
+    mem_refs: int = 0
+    footprint_bytes: int = 4096
+    region_base: int = 0x8000_0000
+    pattern: str = "seq"
+    write_fraction: float = 0.3
+
+    def __post_init__(self) -> None:
+        if self.instructions < 0 or self.mem_refs < 0:
+            raise ValueError("instruction/memory counts must be >= 0")
+        if self.mem_refs > self.instructions:
+            raise ValueError("cannot have more memory refs than instructions")
+        if self.pattern not in ("seq", "random"):
+            raise ValueError(f"unknown access pattern {self.pattern!r}")
+        if not 0.0 <= self.write_fraction <= 1.0:
+            raise ValueError("write_fraction must be in [0, 1]")
+
+
+@dataclass
+class CoreStats:
+    instructions: int = 0
+    cycles: int = 0
+    mem_ref_cycles: int = 0
+
+    @property
+    def ipc(self) -> float:
+        return self.instructions / self.cycles if self.cycles else 0.0
+
+
+class RocketCore:
+    """An in-order scalar Rocket pipeline timing model.
+
+    Attributes:
+        core_id: index within the SoC tile.
+        hierarchy: this core's L1D -> shared L2 -> DRAM chain.
+        cpi_base: cycles per instruction with a perfect memory system
+            (Rocket is single-issue, so 1.0 is the floor; hazards push the
+            achieved CPI slightly above it).
+    """
+
+    #: Cap on individually-timed memory references per block; beyond this
+    #: the sampled latency is scaled (deterministic sampling).
+    SAMPLE_LIMIT = 512
+
+    def __init__(
+        self,
+        core_id: int,
+        hierarchy: MemoryHierarchy,
+        cpi_base: float = 1.0,
+        seed: int = 0,
+    ) -> None:
+        if cpi_base < 1.0:
+            raise ValueError("Rocket is single-issue: cpi_base >= 1.0")
+        self.core_id = core_id
+        self.hierarchy = hierarchy
+        self.cpi_base = cpi_base
+        self._rng = random.Random((seed << 8) | core_id)
+        self.stats = CoreStats()
+
+    def execute_block(self, cycle: int, block: ComputeBlock) -> int:
+        """Run one compute block starting at ``cycle``; returns its cycles."""
+        compute_cycles = round(block.instructions * self.cpi_base)
+        mem_cycles = self._time_memory(cycle, block)
+        total = compute_cycles + mem_cycles
+        self.stats.instructions += block.instructions
+        self.stats.cycles += total
+        self.stats.mem_ref_cycles += mem_cycles
+        return total
+
+    def _time_memory(self, cycle: int, block: ComputeBlock) -> int:
+        if block.mem_refs == 0:
+            return 0
+        sampled = min(block.mem_refs, self.SAMPLE_LIMIT)
+        stride = 64
+        footprint = max(block.footprint_bytes, stride)
+        latency = 0
+        for i in range(sampled):
+            if block.pattern == "seq":
+                offset = (i * stride) % footprint
+            else:
+                offset = self._rng.randrange(0, footprint, 8)
+            is_write = self._rng.random() < block.write_fraction
+            latency += self.hierarchy.access(
+                cycle + latency, block.region_base + offset, is_write
+            )
+        if sampled < block.mem_refs:
+            latency = round(latency * block.mem_refs / sampled)
+        return latency
+
+    def cycles_for_instructions(self, instructions: int) -> int:
+        """Pure-compute cost (no memory) of an instruction count."""
+        return round(instructions * self.cpi_base)

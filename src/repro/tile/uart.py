@@ -1,0 +1,81 @@
+"""UART console model.
+
+The Rocket Chip blades carry a UART among their I/O peripherals (Figure
+2's "Other Devices"); on real FireSim it is serviced by the software
+simulation controller on the host, which timestamps and logs console
+output (the per-node ``uartlog`` users read after a run).
+
+The model charges target time per character at the configured baud rate
+and records ``(cycle, line)`` pairs, so boot banners and application
+prints carry exact target timestamps.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Tuple
+
+
+@dataclass(frozen=True)
+class UARTConfig:
+    """UART timing parameters.
+
+    Attributes:
+        baud_rate: serial line rate (115200 default).
+        bits_per_char: start + 8 data + stop.
+        freq_hz: target clock for cycle conversion.
+    """
+
+    baud_rate: int = 115_200
+    bits_per_char: int = 10
+    freq_hz: float = 3.2e9
+
+    def __post_init__(self) -> None:
+        if self.baud_rate <= 0:
+            raise ValueError("baud rate must be positive")
+
+    @property
+    def cycles_per_char(self) -> int:
+        return round(self.freq_hz * self.bits_per_char / self.baud_rate)
+
+
+class UART:
+    """Transmit-side UART with a timestamped console log."""
+
+    def __init__(self, name: str, config: UARTConfig | None = None) -> None:
+        self.name = name
+        self.config = config or UARTConfig()
+        #: Completed lines: (cycle the final character finished, text).
+        self.log: List[Tuple[int, str]] = []
+        self._partial: List[str] = []
+        self._tx_free_cycle = 0
+        self.chars_sent = 0
+
+    def write(self, cycle: int, text: str) -> int:
+        """Queue characters for transmission; returns the completion cycle.
+
+        Characters serialize on the line at the baud rate; newline
+        terminates a log line stamped with its final character's cycle.
+        """
+        start = max(cycle, self._tx_free_cycle)
+        completion = start
+        for char in text:
+            completion += self.config.cycles_per_char
+            self.chars_sent += 1
+            if char == "\n":
+                self.log.append((completion, "".join(self._partial)))
+                self._partial.clear()
+            else:
+                self._partial.append(char)
+        self._tx_free_cycle = completion
+        return completion
+
+    def flush(self, cycle: int) -> None:
+        """Force out a trailing partial line (end of simulation)."""
+        if self._partial:
+            self.log.append((max(cycle, self._tx_free_cycle), "".join(self._partial)))
+            self._partial.clear()
+
+    def lines(self) -> List[str]:
+        """The console text without timestamps (a uartlog)."""
+        return [text for _, text in self.log]

@@ -1,0 +1,15 @@
+"""Shared test configuration.
+
+Hypothesis deadlines are disabled globally: several property tests drive
+whole cycle-exact simulations whose wall-clock time varies widely across
+machines, and flaky deadline failures are worse than slow tests.
+"""
+
+from hypothesis import HealthCheck, settings
+
+settings.register_profile(
+    "repro",
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+settings.load_profile("repro")

@@ -1,0 +1,79 @@
+"""Disaggregated accelerator pools (repro.swmodel.apps.accel_pool, §VIII)."""
+
+import pytest
+
+from repro.manager.runfarm import RunFarmConfig, elaborate
+from repro.manager.topology import single_rack
+from repro.swmodel.apps.accel_pool import (
+    RESULT_LATENCY,
+    attach_accelerator_pool,
+    make_offload_client,
+)
+from repro.tile.accelerators import Hwacha
+from repro.tile.rocket import ComputeBlock
+
+
+def pool_cluster(num_accelerators=2):
+    sim = elaborate(single_rack(4), RunFarmConfig())
+    pool = sim.blade(0)
+    stats = attach_accelerator_pool(pool, num_accelerators=num_accelerators)
+    return sim, pool, stats
+
+
+KERNEL = ComputeBlock(instructions=400_000)
+
+
+class TestPool:
+    def test_offload_round_trip_records_latency(self):
+        sim, pool, stats = pool_cluster()
+        client = sim.blade(1)
+        client.spawn("offload", make_offload_client(pool.mac, [KERNEL] * 3))
+        sim.run_seconds(0.004)
+        latencies = client.results[RESULT_LATENCY]
+        assert len(latencies) == 3
+        assert stats.requests == 3
+
+    def test_offload_latency_exceeds_accelerator_time_by_network(self):
+        sim, pool, stats = pool_cluster()
+        client = sim.blade(1)
+        client.spawn("offload", make_offload_client(pool.mac, [KERNEL]))
+        sim.run_seconds(0.003)
+        latency = client.results[RESULT_LATENCY][0]
+        accel_cycles = Hwacha().invoke_cycles(0, KERNEL)
+        network_floor = 2 * (2 * 6400 + 10)  # request + reply, one ToR hop
+        assert latency >= accel_cycles + network_floor
+
+    def test_pool_saturates_and_queues(self):
+        sim, pool, stats = pool_cluster(num_accelerators=1)
+        # Three clients hammer a one-unit pool concurrently.
+        for client_index in (1, 2, 3):
+            sim.blade(client_index).spawn(
+                f"offload{client_index}",
+                make_offload_client(pool.mac, [KERNEL] * 2, gap_cycles=1_000),
+            )
+        sim.run_seconds(0.006)
+        assert stats.requests == 6
+        assert stats.busy_queued > 0
+
+    def test_bigger_pool_cuts_tail(self):
+        def worst_latency(units):
+            sim, pool, _ = pool_cluster(num_accelerators=units)
+            for client_index in (1, 2, 3):
+                sim.blade(client_index).spawn(
+                    f"offload{client_index}",
+                    make_offload_client(pool.mac, [KERNEL] * 2, gap_cycles=1_000),
+                )
+            sim.run_seconds(0.006)
+            samples = []
+            for client_index in (1, 2, 3):
+                samples.extend(
+                    sim.blade(client_index).results[RESULT_LATENCY]
+                )
+            return max(samples)
+
+        assert worst_latency(4) < worst_latency(1)
+
+    def test_empty_pool_rejected(self):
+        sim = elaborate(single_rack(2), RunFarmConfig())
+        with pytest.raises(ValueError):
+            attach_accelerator_pool(sim.blade(0), num_accelerators=0)

@@ -1,0 +1,66 @@
+"""RoCC accelerators (repro.tile.accelerators, Table II)."""
+
+import pytest
+
+from repro.tile.accelerators import (
+    ACCELERATOR_TYPES,
+    HLSAccelerator,
+    Hwacha,
+    PageFaultAcceleratorPort,
+    build_accelerator,
+)
+from repro.tile.rocket import ComputeBlock
+
+
+class TestRegistry:
+    def test_table_ii_entries_present(self):
+        assert set(ACCELERATOR_TYPES) == {"hwacha", "hls", "pfa"}
+
+    def test_build_by_name(self):
+        assert isinstance(build_accelerator("hwacha"), Hwacha)
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(ValueError, match="unknown accelerator"):
+            build_accelerator("tpu")
+
+    def test_purposes_match_table_ii(self):
+        assert "Remote memory" in PageFaultAcceleratorPort.purpose
+        assert "Vector" in Hwacha.purpose
+
+
+class TestHwacha:
+    def test_amdahl_speedup(self):
+        accel = Hwacha(vector_lanes=8, vectorizable=0.9)
+        work = ComputeBlock(instructions=8000)
+        cycles = accel.invoke_cycles(0, work)
+        assert cycles == round(8000 * 0.9 / 8 + 8000 * 0.1)
+
+    def test_fully_serial_work_gains_nothing(self):
+        accel = Hwacha(vector_lanes=8, vectorizable=0.0)
+        work = ComputeBlock(instructions=1000)
+        assert accel.invoke_cycles(0, work) == 1000
+
+    def test_bad_lanes_rejected(self):
+        with pytest.raises(ValueError):
+            Hwacha(vector_lanes=0)
+
+    def test_bad_fraction_rejected(self):
+        with pytest.raises(ValueError):
+            Hwacha(vectorizable=1.2)
+
+
+class TestHLS:
+    def test_latency_plus_throughput(self):
+        accel = HLSAccelerator(invocation_latency_cycles=100, bytes_per_cycle=16)
+        work = ComputeBlock(instructions=1, footprint_bytes=1600)
+        assert accel.invoke_cycles(0, work) == 100 + 100
+
+    def test_bad_throughput_rejected(self):
+        with pytest.raises(ValueError):
+            HLSAccelerator(bytes_per_cycle=0)
+
+
+class TestPFAPort:
+    def test_queue_push_is_cheap(self):
+        accel = PageFaultAcceleratorPort()
+        assert accel.invoke_cycles(0, ComputeBlock(instructions=1)) <= 8

@@ -1,0 +1,175 @@
+"""Application models (repro.swmodel.apps)."""
+
+import pytest
+
+from repro.manager.runfarm import RunFarmConfig, elaborate
+from repro.manager.topology import single_rack
+from repro.swmodel.apps.iperf import (
+    MSS_BYTES,
+    RESULT_BYTES,
+    RESULT_CYCLES,
+    goodput_bps,
+    make_iperf_client,
+    make_iperf_server,
+)
+from repro.swmodel.apps.memcached import (
+    MemcachedConfig,
+    REPLY_BYTES,
+    port_for_connection,
+    start_memcached,
+    worker_port,
+)
+from repro.swmodel.apps.mutilate import (
+    RESULT_LATENCY,
+    MutilateConfig,
+    latency_percentiles,
+    start_mutilate,
+)
+from repro.swmodel.apps.ping import RESULT_KEY, make_ping_client
+from repro.swmodel.apps.streamer import (
+    attach_baremetal_receiver,
+    make_baremetal_sender,
+    measured_bandwidth_bps,
+)
+
+
+class TestPing:
+    def test_skip_first_drops_arp_ping(self):
+        sim = elaborate(single_rack(2))
+        target = sim.blade(1)
+        sim.blade(0).spawn(
+            "ping",
+            make_ping_client(target.mac, count=5, interval_cycles=50_000),
+        )
+        sim.run_seconds(0.002)
+        assert len(sim.blade(0).results[RESULT_KEY]) == 4
+
+    def test_all_pings_with_skip_disabled(self):
+        sim = elaborate(single_rack(2))
+        target = sim.blade(1)
+        sim.blade(0).spawn(
+            "ping",
+            make_ping_client(
+                target.mac, count=5, interval_cycles=50_000, skip_first=False
+            ),
+        )
+        sim.run_seconds(0.002)
+        assert len(sim.blade(0).results[RESULT_KEY]) == 5
+
+
+class TestIperf:
+    def test_goodput_near_1_4_gbps(self):
+        sim = elaborate(single_rack(2))
+        server = sim.blade(1)
+        server.spawn("iperf-s", make_iperf_server())
+        sim.blade(0).spawn(
+            "iperf-c", make_iperf_client(server.mac, total_bytes=300_000)
+        )
+        sim.run_seconds(0.004)
+        bw = goodput_bps(
+            server.results[RESULT_BYTES][0],
+            server.results[RESULT_CYCLES][0],
+            3.2e9,
+        )
+        assert 1.0e9 < bw < 1.9e9
+
+    def test_goodput_helper_validation(self):
+        with pytest.raises(ValueError):
+            goodput_bps(100, 0, 3.2e9)
+
+    def test_mss_fits_mtu(self):
+        assert MSS_BYTES == 1460
+
+
+class TestBaremetal:
+    def test_stream_verified_in_order_and_fast(self):
+        sim = elaborate(single_rack(2))
+        receiver = sim.blade(1)
+        attach_baremetal_receiver(receiver)
+        sim.blade(0).spawn(
+            "stream", make_baremetal_sender(receiver.mac, num_frames=800)
+        )
+        sim.run_seconds(0.0005)
+        bw = measured_bandwidth_bps(receiver, 3.2e9)
+        assert 80e9 < bw < 130e9  # ~100 Gbit/s (paper §IV-C)
+        assert receiver.results["stream_rx_in_order"] == [True]
+
+
+class TestMemcached:
+    def test_connection_sharding(self):
+        assert worker_port(0) == 11211
+        assert port_for_connection(0, 4) == 11211
+        assert port_for_connection(5, 4) == 11212
+
+    def test_bad_thread_count_rejected(self):
+        with pytest.raises(ValueError):
+            MemcachedConfig(num_threads=0)
+
+    def test_start_spawns_workers_with_pinning(self):
+        sim = elaborate(single_rack(2))
+        names = start_memcached(
+            sim.blade(0), MemcachedConfig(num_threads=4, pin_threads=True)
+        )
+        assert len(names) == 4
+        sim.run_seconds(0.0001)
+        pinned = [
+            t.pinned_core
+            for t in sim.blade(0).kernel.scheduler.threads
+            if t.name.startswith("memcached")
+        ]
+        assert sorted(pinned) == [0, 1, 2, 3]
+
+    def test_request_reply_loop(self):
+        sim = elaborate(single_rack(2))
+        server = sim.blade(0)
+        client = sim.blade(1)
+        start_memcached(server, MemcachedConfig(num_threads=2))
+        start_mutilate(
+            client,
+            MutilateConfig(
+                server_mac=server.mac,
+                target_qps=20_000,
+                duration_cycles=int(0.004 * 3.2e9),
+                server_threads=2,
+            ),
+        )
+        sim.run_seconds(0.006)
+        latencies = client.results[RESULT_LATENCY]
+        assert len(latencies) > 20
+        assert all(lat > 0 for lat in latencies)
+
+
+class TestMutilate:
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            MutilateConfig(server_mac=1, target_qps=0, duration_cycles=100)
+        with pytest.raises(ValueError):
+            MutilateConfig(server_mac=1, target_qps=10, duration_cycles=0)
+
+    def test_percentiles_nearest_rank(self):
+        samples = list(range(1, 101))
+        p50, p95 = latency_percentiles(samples)
+        assert p50 == 50
+        assert p95 == 95
+
+    def test_percentiles_validation(self):
+        with pytest.raises(ValueError):
+            latency_percentiles([])
+        with pytest.raises(ValueError):
+            latency_percentiles([1], percentiles=(150,))
+
+    def test_open_loop_does_not_wait_for_responses(self):
+        """Requests keep flowing even if the server never answers."""
+        sim = elaborate(single_rack(2))
+        client = sim.blade(1)
+        start_mutilate(
+            client,
+            MutilateConfig(
+                server_mac=sim.blade(0).mac,  # nothing listening
+                target_qps=50_000,
+                duration_cycles=int(0.002 * 3.2e9),
+            ),
+        )
+        sim.run_seconds(0.004)
+        sent = client.results["mutilate_requests_sent"][0]
+        assert sent > 50  # ~100 expected at 50k QPS over 2 ms

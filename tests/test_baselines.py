@@ -1,0 +1,61 @@
+"""Section VII comparison baselines (repro.host.baselines)."""
+
+import pytest
+
+from repro.experiments import sec7_comparison
+from repro.host.baselines import (
+    DIABLO,
+    DIST_GEM5,
+    GRAPHITE,
+    firesim_envelope,
+    measure_this_reproduction_rate,
+)
+
+
+class TestPublishedEnvelopes:
+    def test_dist_gem5_is_kips_scale(self):
+        assert 5e3 <= DIST_GEM5.node_rate_hz <= 100e3
+        assert DIST_GEM5.runs_full_os
+        assert not DIST_GEM5.cycle_exact
+
+    def test_graphite_drops_fidelity_for_speed(self):
+        assert GRAPHITE.slowdown_vs() == pytest.approx(41.0)
+        assert not GRAPHITE.runs_full_os
+
+    def test_diablo_needs_capex(self):
+        assert DIABLO.capex_usd == pytest.approx(100_000)
+        assert DIABLO.cycle_exact
+
+
+class TestFireSimEnvelope:
+    def test_orders_of_magnitude_over_software(self):
+        """Section VII: 'several orders of magnitude improved
+        performance' over software full-system simulation."""
+        firesim = firesim_envelope()
+        assert firesim.node_rate_hz / DIST_GEM5.node_rate_hz > 50
+        assert firesim.cycle_exact and firesim.runs_full_os
+        assert firesim.capex_usd == 0.0
+
+    def test_under_1000x_slowdown(self):
+        assert firesim_envelope().slowdown_vs() < 1000
+
+
+class TestMeasuredRow:
+    def test_self_measurement_produces_positive_rate(self):
+        row = measure_this_reproduction_rate(num_nodes=2, target_cycles=64_000)
+        assert row.node_rate_hz > 0
+        assert row.cycle_exact
+
+
+class TestSec7Experiment:
+    def test_table_contains_all_rows(self):
+        result = sec7_comparison.run(include_measured=False)
+        names = {row.name for row in result.rows}
+        assert names == {"FireSim", "DIABLO", "dist-gem5", "Graphite"}
+        assert result.envelope("FireSim").cycle_exact
+        with pytest.raises(LookupError):
+            result.envelope("SimpleScalar")
+
+    def test_table_renders(self):
+        text = str(sec7_comparison.run(include_measured=False).table())
+        assert "dist-gem5" in text and "KIPS" in text

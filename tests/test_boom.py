@@ -1,0 +1,72 @@
+"""BOOM core integration (repro.tile.boom, §VIII)."""
+
+import pytest
+
+from repro.tile.boom import BOOM_CORE_BLADE_FRACTION, BoomCore
+from repro.tile.caches import CacheModel, L1D_CONFIG, L2_CONFIG, MemoryHierarchy
+from repro.tile.dram import DRAMModel
+from repro.tile.rocket import ComputeBlock, RocketCore
+from repro.tile.soc import RocketChipConfig, config_by_name
+
+
+def hierarchy():
+    return MemoryHierarchy(
+        CacheModel("l1", L1D_CONFIG), CacheModel("l2", L2_CONFIG), DRAMModel()
+    )
+
+
+class TestBoomCore:
+    def test_superscalar_beats_rocket_on_compute(self):
+        block = ComputeBlock(instructions=100_000)
+        rocket = RocketCore(0, hierarchy()).execute_block(0, block)
+        boom = BoomCore(0, hierarchy()).execute_block(0, block)
+        assert boom < rocket
+        assert boom >= 100_000 * 0.25  # bounded by issue width
+
+    def test_mlp_overlaps_memory_stalls(self):
+        block = ComputeBlock(
+            instructions=10_000, mem_refs=2_000,
+            footprint_bytes=8 << 20, pattern="random",
+        )
+        narrow = BoomCore(0, hierarchy(), mlp=1.0, seed=3)
+        wide = BoomCore(0, hierarchy(), mlp=4.0, seed=3)
+        assert wide.execute_block(0, block) < narrow.execute_block(0, block)
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            BoomCore(0, hierarchy(), issue_width=0)
+        with pytest.raises(ValueError):
+            BoomCore(0, hierarchy(), mlp=0.5)
+
+    def test_resource_cost_matches_quad_rocket(self):
+        """§VIII: one BOOM ~ the resources of a quad-core Rocket."""
+        assert BOOM_CORE_BLADE_FRACTION == pytest.approx(4 * 0.144)
+
+
+class TestBoomConfiguration:
+    def test_one_line_config_change(self):
+        soc = config_by_name("SingleBOOM").build()
+        assert isinstance(soc.cores[0], BoomCore)
+
+    def test_multicore_boom_rejected(self):
+        with pytest.raises(ValueError, match="single core"):
+            RocketChipConfig(name="x", num_cores=2, core_type="boom")
+
+    def test_unknown_core_type_rejected(self):
+        with pytest.raises(ValueError, match="core type"):
+            RocketChipConfig(name="x", core_type="mips")
+
+    def test_boom_blade_runs_in_a_cluster(self):
+        from repro.manager.runfarm import elaborate
+        from repro.manager.topology import ServerNode, SwitchNode
+        from repro.swmodel.apps.ping import RESULT_KEY, make_ping_client
+
+        tor = SwitchNode()
+        tor.add_downlinks([ServerNode("SingleBOOM"), ServerNode("QuadCore")])
+        sim = elaborate(tor)
+        target = sim.blade(1)
+        sim.blade(0).spawn(
+            "ping", make_ping_client(target.mac, count=3, interval_cycles=80_000)
+        )
+        sim.run_seconds(0.001)
+        assert len(sim.blade(0).results[RESULT_KEY]) == 2

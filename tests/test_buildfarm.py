@@ -1,0 +1,66 @@
+"""FPGA build farm model (repro.manager.buildfarm)."""
+
+import pytest
+
+from repro.manager.buildfarm import (
+    BuildFarm,
+    BuildFarmConfig,
+    config_fingerprint,
+)
+from repro.tile.soc import config_by_name
+
+
+class TestFingerprint:
+    def test_stable_across_calls(self):
+        config = config_by_name("QuadCore")
+        assert config_fingerprint(config) == config_fingerprint(config)
+
+    def test_distinct_configs_distinct_fingerprints(self):
+        assert config_fingerprint(config_by_name("QuadCore")) != config_fingerprint(
+            config_by_name("DualCore")
+        )
+
+    def test_accelerators_affect_fingerprint(self):
+        assert config_fingerprint(
+            config_by_name("QuadCore")
+        ) != config_fingerprint(config_by_name("QuadCoreHwacha"))
+
+
+class TestBuildFarm:
+    def test_first_build_pays_then_cache_hits(self):
+        farm = BuildFarm()
+        results, makespan = farm.build_all(["QuadCore"])
+        assert not results[0].from_cache
+        assert makespan == farm.config.hours_per_build
+        results, makespan = farm.build_all(["QuadCore"])
+        assert results[0].from_cache
+        assert makespan == 0.0
+        assert farm.builds_run == 1
+
+    def test_duplicates_in_request_deduplicated(self):
+        farm = BuildFarm()
+        results, _ = farm.build_all(["QuadCore", "QuadCore", "QuadCore"])
+        assert len(results) == 1
+
+    def test_parallel_makespan(self):
+        farm = BuildFarm(BuildFarmConfig(num_build_instances=2, hours_per_build=8))
+        names = ["QuadCore", "DualCore", "SingleCore"]
+        _, makespan = farm.build_all(names)
+        # Three builds over two instances: two waves.
+        assert makespan == 16
+
+    def test_agfi_lookup_builds_on_demand(self):
+        farm = BuildFarm()
+        agfi = farm.agfi_for("DualCore")
+        assert agfi.startswith("agfi-")
+        assert farm.agfi_for("DualCore") == agfi
+
+    def test_unknown_config_rejected(self):
+        with pytest.raises(ValueError):
+            BuildFarm().build_all(["MysteryCore"])
+
+    def test_invalid_farm_shape_rejected(self):
+        with pytest.raises(ValueError):
+            BuildFarmConfig(num_build_instances=0)
+        with pytest.raises(ValueError):
+            BuildFarmConfig(hours_per_build=0)

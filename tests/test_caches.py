@@ -1,0 +1,151 @@
+"""Cache timing models (repro.tile.caches, Table I geometries)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.tile.caches import (
+    CacheConfig,
+    CacheModel,
+    L1D_CONFIG,
+    L1I_CONFIG,
+    L2_CONFIG,
+    MemoryHierarchy,
+)
+from repro.tile.dram import DRAMModel
+from repro.tile.tilelink import TileLinkBus
+
+
+class TestTableIGeometries:
+    def test_l1_sizes(self):
+        assert L1I_CONFIG.size_bytes == 16 * 1024
+        assert L1D_CONFIG.size_bytes == 16 * 1024
+
+    def test_l2_size(self):
+        assert L2_CONFIG.size_bytes == 256 * 1024
+
+    def test_set_counts(self):
+        assert L1D_CONFIG.num_sets == 16 * 1024 // (4 * 64)
+        assert L2_CONFIG.num_sets == 256 * 1024 // (8 * 64)
+
+    def test_bad_geometry_rejected(self):
+        with pytest.raises(ValueError):
+            CacheConfig(size_bytes=1000, ways=3, hit_latency_cycles=1)
+
+
+class TestCacheModel:
+    def test_cold_miss_then_hit(self):
+        cache = CacheModel("c", L1D_CONFIG)
+        hit, _ = cache.lookup(0x1000, False)
+        assert not hit
+        hit, _ = cache.lookup(0x1000, False)
+        assert hit
+
+    def test_same_line_different_byte_hits(self):
+        cache = CacheModel("c", L1D_CONFIG)
+        cache.lookup(0x1000, False)
+        hit, _ = cache.lookup(0x103F, False)
+        assert hit
+
+    def test_lru_eviction_order(self):
+        config = CacheConfig(size_bytes=2 * 64, ways=2, hit_latency_cycles=1)
+        cache = CacheModel("tiny", config)  # 1 set, 2 ways
+        cache.lookup(0 * 64, False)  # A
+        cache.lookup(1 * 64, False)  # B
+        cache.lookup(0 * 64, False)  # touch A: B becomes LRU
+        cache.lookup(2 * 64, False)  # C evicts B
+        hit_a, _ = cache.lookup(0 * 64, False)
+        assert hit_a
+        hit_b, _ = cache.lookup(1 * 64, False)
+        assert not hit_b  # B was evicted
+
+    def test_dirty_eviction_reports_writeback(self):
+        config = CacheConfig(size_bytes=2 * 64, ways=2, hit_latency_cycles=1)
+        cache = CacheModel("tiny", config)
+        cache.lookup(0, True)  # dirty A
+        cache.lookup(64, False)
+        _, writeback = cache.lookup(128, False)  # evicts dirty A
+        assert writeback == 0
+        assert cache.stats.writebacks == 1
+
+    def test_clean_eviction_no_writeback(self):
+        config = CacheConfig(size_bytes=2 * 64, ways=2, hit_latency_cycles=1)
+        cache = CacheModel("tiny", config)
+        cache.lookup(0, False)
+        cache.lookup(64, False)
+        _, writeback = cache.lookup(128, False)
+        assert writeback is None
+
+    def test_invalidate_all(self):
+        cache = CacheModel("c", L1D_CONFIG)
+        for i in range(10):
+            cache.lookup(i * 64, False)
+        assert cache.occupancy() == 10
+        assert cache.invalidate_all() == 10
+        assert cache.occupancy() == 0
+
+    def test_miss_rate(self):
+        cache = CacheModel("c", L1D_CONFIG)
+        cache.lookup(0, False)
+        cache.lookup(0, False)
+        assert cache.stats.miss_rate == pytest.approx(0.5)
+
+    @settings(max_examples=25)
+    @given(st.lists(st.integers(min_value=0, max_value=63), min_size=1, max_size=200))
+    def test_occupancy_never_exceeds_capacity(self, lines):
+        config = CacheConfig(size_bytes=8 * 64, ways=2, hit_latency_cycles=1)
+        cache = CacheModel("tiny", config)
+        for line in lines:
+            cache.lookup(line * 64, False)
+        assert cache.occupancy() <= 8
+
+
+class TestMemoryHierarchy:
+    def make(self):
+        dram = DRAMModel()
+        l1 = CacheModel("l1", L1D_CONFIG)
+        l2 = CacheModel("l2", L2_CONFIG)
+        return MemoryHierarchy(l1, l2, dram), l1, l2
+
+    def test_latency_ordering(self):
+        hierarchy, _, _ = self.make()
+        cold = hierarchy.access(0, 0x1000)
+        l1_hit = hierarchy.access(1000, 0x1000)
+        assert l1_hit == L1D_CONFIG.hit_latency_cycles
+        assert cold > l1_hit
+
+    def test_l2_hit_latency_between_l1_and_dram(self):
+        hierarchy, l1, _ = self.make()
+        hierarchy.access(0, 0x1000)  # fill both
+        l1.invalidate_all()
+        l2_hit = hierarchy.access(1000, 0x1000)
+        assert l2_hit == (
+            L1D_CONFIG.hit_latency_cycles + L2_CONFIG.hit_latency_cycles
+        )
+
+    def test_dma_bypasses_l1(self):
+        hierarchy, l1, l2 = self.make()
+        hierarchy.dma_access(0, 0x2000, 512, is_write=True)
+        assert l1.stats.accesses == 0
+        assert l2.stats.accesses > 0
+
+    def test_dma_l2_resident_faster_than_dram(self):
+        hierarchy, _, _ = self.make()
+        cold_done = hierarchy.dma_access(0, 0x4000, 1024, is_write=False)
+        warm_done = (
+            hierarchy.dma_access(cold_done, 0x4000, 1024, is_write=False)
+            - cold_done
+        )
+        assert warm_done < cold_done
+
+    def test_dma_with_bus_is_beat_limited(self):
+        dram = DRAMModel()
+        l2 = CacheModel("l2", L2_CONFIG)
+        bus = TileLinkBus()
+        hierarchy = MemoryHierarchy(
+            CacheModel("l1", L1D_CONFIG), l2, dram, bus=bus
+        )
+        hierarchy.dma_access(0, 0x8000, 512, is_write=False)  # warm L2
+        start = 100_000
+        done = hierarchy.dma_access(start, 0x8000, 512, is_write=False)
+        # 512 B = 8 lines; L2-resident DMA paces at 8 beats (cycles)/line.
+        assert done - start == 8 * 8

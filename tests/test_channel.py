@@ -1,0 +1,127 @@
+"""Links and token queues (repro.core.channel)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.channel import Link, LinkEndpoint
+from repro.core.token import Flit, TokenBatch
+
+
+class TestLinkEndpoint:
+    def test_push_pop_roundtrip(self):
+        endpoint = LinkEndpoint()
+        batch = TokenBatch(0, 10)
+        batch.add(3, Flit("x"))
+        endpoint.push(batch)
+        out = endpoint.pop(10)
+        assert out.valid_count == 1
+        assert 3 in out.flits
+
+    def test_push_requires_contiguity(self):
+        endpoint = LinkEndpoint()
+        endpoint.push(TokenBatch(0, 10))
+        with pytest.raises(ValueError):
+            endpoint.push(TokenBatch(11, 10))
+
+    def test_pop_more_than_available_raises(self):
+        endpoint = LinkEndpoint()
+        endpoint.push(TokenBatch(0, 5))
+        with pytest.raises(LookupError):
+            endpoint.pop(6)
+
+    def test_pop_gathers_across_batches(self):
+        endpoint = LinkEndpoint()
+        first = TokenBatch(0, 5)
+        first.add(4, Flit("a"))
+        second = TokenBatch(5, 5)
+        second.add(5, Flit("b"))
+        endpoint.push(first)
+        endpoint.push(second)
+        out = endpoint.pop(8)
+        assert sorted(out.flits) == [4, 5]
+        rest = endpoint.pop(2)
+        assert rest.start_cycle == 8
+
+    def test_pop_splits_head_batch(self):
+        endpoint = LinkEndpoint()
+        batch = TokenBatch(0, 10)
+        batch.add(2, Flit("early"))
+        batch.add(7, Flit("late"))
+        endpoint.push(batch)
+        first = endpoint.pop(5)
+        assert list(first.flits) == [2]
+        second = endpoint.pop(5)
+        assert list(second.flits) == [7]
+
+    @given(
+        st.lists(st.integers(min_value=1, max_value=20), min_size=1, max_size=10),
+        st.data(),
+    )
+    def test_token_conservation_under_arbitrary_pops(self, batch_sizes, data):
+        """Tokens out == tokens in, regardless of pop partitioning."""
+        endpoint = LinkEndpoint()
+        total = 0
+        for size in batch_sizes:
+            endpoint.push(TokenBatch(total, size))
+            total += size
+        popped = 0
+        while popped < total:
+            take = data.draw(
+                st.integers(min_value=1, max_value=total - popped)
+            )
+            out = endpoint.pop(take)
+            assert out.start_cycle == popped
+            assert out.length == take
+            popped += take
+        assert endpoint.available_tokens == 0
+
+
+class TestLink:
+    def test_priming_seeds_one_latency_each_way(self):
+        link = Link(64)
+        link.prime()
+        assert link.in_flight("a_to_b") == 64
+        assert link.in_flight("b_to_a") == 64
+
+    def test_double_prime_rejected(self):
+        link = Link(8)
+        link.prime()
+        with pytest.raises(RuntimeError):
+            link.prime()
+
+    def test_send_relabels_by_latency(self):
+        link = Link(100)
+        link.prime()
+        batch = TokenBatch(0, 100)
+        batch.add(37, Flit("m"))
+        link.send_from_a(batch)
+        link.to_b.pop(100)  # primed tokens
+        arrived = link.to_b.pop(100)
+        assert list(arrived.flits) == [137]
+
+    def test_in_flight_invariant_over_rounds(self):
+        """After priming, consuming Q and producing Q keeps l in flight."""
+        link = Link(10)
+        link.prime()
+        for round_index in range(5):
+            start = round_index * 10
+            link.to_b.pop(10)
+            link.send_from_a(TokenBatch(start, 10))
+            assert link.in_flight("a_to_b") == 10
+
+    def test_flit_counters(self):
+        link = Link(4)
+        link.prime()
+        batch = TokenBatch(0, 4)
+        batch.add(0, Flit("x", last=True))
+        link.send_from_a(batch)
+        assert link.flits_a_to_b == 1
+        assert link.flits_b_to_a == 0
+
+    def test_nonpositive_latency_rejected(self):
+        with pytest.raises(ValueError):
+            Link(0)
+
+    def test_unknown_direction_rejected(self):
+        with pytest.raises(ValueError):
+            Link(4).in_flight("sideways")

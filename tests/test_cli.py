@@ -1,0 +1,80 @@
+"""Manager CLI (repro.manager.cli)."""
+
+import io
+
+import pytest
+
+from repro.manager.cli import main, make_parser
+
+
+def run_cli(argv):
+    out = io.StringIO()
+    code = main(argv, out=out)
+    return code, out.getvalue()
+
+
+class TestParser:
+    def test_verbs_required(self):
+        with pytest.raises(SystemExit):
+            make_parser().parse_args([])
+
+    def test_unknown_verb_rejected(self):
+        with pytest.raises(SystemExit):
+            make_parser().parse_args(["explode"])
+
+
+class TestLifecycle:
+    def test_full_session_ping(self):
+        code, text = run_cli(
+            [
+                "buildafi",
+                "launchrunfarm",
+                "infrasetup",
+                "runworkload",
+                "terminaterunfarm",
+                "--topology", "single_rack",
+                "--servers-per-rack", "4",
+                "--duration-ms", "3",
+                "--ping-count", "5",
+            ]
+        )
+        assert code == 0
+        assert "built QuadCore: agfi-" in text
+        assert "f1.16xlarge" in text
+        assert "simulation elaborated: 4 nodes" in text
+        assert "mean RTT" in text
+        assert "run farm terminated" in text
+
+    def test_boot_workload(self):
+        code, text = run_cli(
+            [
+                "buildafi",
+                "launchrunfarm",
+                "infrasetup",
+                "runworkload",
+                "--topology", "single_rack",
+                "--servers-per-rack", "2",
+                "--workload", "boot",
+                "--duration-ms", "6",
+            ]
+        )
+        assert code == 0
+        assert "ran to" in text
+
+    def test_supernode_flag_changes_mapping(self):
+        _, standard = run_cli(
+            ["launchrunfarm", "--topology", "two_tier", "--racks", "2",
+             "--servers-per-rack", "8"]
+        )
+        _, supernode = run_cli(
+            ["launchrunfarm", "--topology", "two_tier", "--racks", "2",
+             "--servers-per-rack", "8", "--supernode"]
+        )
+        assert "'f1.16xlarge': 2" in standard
+        assert "'f1.16xlarge': 1" in supernode
+
+    def test_out_of_order_verbs_fail_loudly(self):
+        from repro.manager.manager import ManagerError
+
+        with pytest.raises(ManagerError):
+            run_cli(["infrasetup", "--topology", "single_rack"])

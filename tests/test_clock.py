@@ -1,0 +1,35 @@
+"""Target clock domain (repro.core.clock)."""
+
+import pytest
+
+from repro.core.clock import DEFAULT_CLOCK, TargetClock
+
+
+class TestTargetClock:
+    def test_default_is_3_2_ghz(self):
+        assert DEFAULT_CLOCK.freq_hz == 3.2e9
+
+    def test_period(self):
+        assert TargetClock(1e9).period_s == pytest.approx(1e-9)
+
+    def test_cycles_for_two_microseconds(self):
+        assert DEFAULT_CLOCK.cycles(2e-6) == 6400
+
+    def test_micros(self):
+        assert DEFAULT_CLOCK.micros(6400) == pytest.approx(2.0)
+
+    def test_cycles_per_microsecond(self):
+        assert DEFAULT_CLOCK.cycles_per_microsecond() == pytest.approx(3200.0)
+
+    def test_link_bandwidth(self):
+        assert DEFAULT_CLOCK.link_bandwidth_bps() == pytest.approx(204.8e9)
+
+    def test_invalid_frequency_rejected(self):
+        with pytest.raises(ValueError):
+            TargetClock(0)
+        with pytest.raises(ValueError):
+            TargetClock(-1e9)
+
+    def test_clock_is_immutable(self):
+        with pytest.raises(AttributeError):
+            DEFAULT_CLOCK.freq_hz = 1e9  # type: ignore[misc]

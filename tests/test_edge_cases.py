@@ -1,0 +1,130 @@
+"""Edge-case coverage across subsystems."""
+
+import pytest
+
+from repro.core.token import TokenBatch, TokenWindow
+from repro.manager.runfarm import RunFarmConfig, elaborate
+from repro.manager.topology import single_rack, two_tier
+from repro.net.ethernet import BROADCAST_MAC, EthernetFrame, mac_address
+from repro.nic.nic import NIC, NICConfig
+from repro.swmodel.apps.memcached import (
+    MemcachedConfig,
+    start_memcached,
+    worker_port,
+)
+from repro.swmodel.netstack import PROTO_UDP, Socket
+from repro.swmodel.process import Recv, Send
+from repro.tile.caches import CacheModel, L1D_CONFIG, L2_CONFIG, MemoryHierarchy
+from repro.tile.dram import DRAMModel
+
+
+class TestNICPartialPackets:
+    def test_rx_packet_straddling_windows_delivers_once(self):
+        hierarchy = MemoryHierarchy(
+            CacheModel("l1", L1D_CONFIG), CacheModel("l2", L2_CONFIG), DRAMModel()
+        )
+        nic = NIC("nic", hierarchy, NICConfig())
+        frame = EthernetFrame(src=1, dst=2, size_bytes=128)  # 16 flits
+        flits = frame.to_flits()
+        # First window carries the first 10 flits...
+        first = TokenBatch.empty(0, 10)
+        for index in range(10):
+            first.add(index, flits[index])
+        nic.receive_tokens(first)
+        assert nic.stats.rx_frames == 0  # incomplete
+        # ...second window carries the rest.
+        second = TokenBatch.empty(10, 10)
+        for index in range(10, 16):
+            second.add(index, flits[index])
+        nic.receive_tokens(second)
+        assert nic.stats.rx_frames == 1
+
+
+class TestBroadcast:
+    def test_broadcast_reaches_every_other_node(self):
+        sim = elaborate(two_tier(num_racks=2, servers_per_rack=2))
+        seen = {index: [] for index in range(4)}
+        for index in range(4):
+            sim.blade(index).kernel.register_raw_handler(
+                lambda cy, f, i=index: seen[i].append(f.payload)
+            )
+        from repro.swmodel.process import SendRaw
+
+        def announcer(api):
+            yield SendRaw(dst_mac=BROADCAST_MAC, payload=("hello",),
+                          frame_bytes=64)
+
+        sim.blade(0).spawn("announce", announcer)
+        sim.run_seconds(0.001)
+        assert not seen[0]  # never echoed back to the sender
+        for index in (1, 2, 3):
+            assert seen[index] == [("hello",)]
+
+
+class TestSocketBackpressure:
+    def test_socket_queue_overflow_drops(self):
+        sock = Socket(PROTO_UDP, 9)
+        sock.max_queue = 2
+        from repro.swmodel.netstack import Datagram
+
+        for index in range(3):
+            sock.deliver(
+                Datagram(PROTO_UDP, 0, 9, payload=index, payload_bytes=8)
+            )
+        assert len(sock.queue) == 2
+        assert sock.dropped == 1
+
+
+class TestMemcachedShutdown:
+    def test_shutdown_message_stops_worker(self):
+        sim = elaborate(single_rack(2))
+        server = sim.blade(0)
+        start_memcached(server, MemcachedConfig(num_threads=1))
+
+        def killer(api):
+            yield Send(
+                dst_mac=server.mac,
+                payload="shutdown",
+                payload_bytes=64,
+                proto=PROTO_UDP,
+                dport=worker_port(0),
+            )
+
+        sim.blade(1).spawn("killer", killer)
+        sim.run_seconds(0.002)
+        from repro.swmodel.process import ThreadState
+
+        worker = next(
+            t
+            for t in server.kernel.scheduler.threads
+            if t.name == "memcached-0"
+        )
+        assert worker.state == ThreadState.DONE
+
+
+class TestPerfModelScaling:
+    def test_supernode_pcie_carries_4x_payload(self):
+        from repro.host.perfmodel import SimulationRateModel, SwitchPlacement
+
+        model = SimulationRateModel()
+        standard = model.estimate(6400, [SwitchPlacement(8)], blades_per_fpga=1)
+        supernode = model.estimate(6400, [SwitchPlacement(8)], blades_per_fpga=4)
+        assert supernode.stage_times_s["pcie"] > standard.stage_times_s["pcie"]
+
+    def test_socket_ports_lengthen_switch_chain(self):
+        from repro.host.perfmodel import SimulationRateModel, SwitchPlacement
+
+        model = SimulationRateModel()
+        local = model.estimate(6400, [SwitchPlacement(8, 0)])
+        remote = model.estimate(6400, [SwitchPlacement(8, 8)])
+        assert remote.rate_hz < local.rate_hz
+
+
+class TestWindowValidation:
+    def test_blade_rejects_wrong_window_resume(self):
+        from repro.swmodel.server import ServerBlade
+
+        blade = ServerBlade("n", node_index=0)
+        blade.tick(TokenWindow(0, 100), {"net": TokenBatch.empty(0, 100)})
+        with pytest.raises(ValueError):
+            blade.tick(TokenWindow(200, 300), {"net": TokenBatch.empty(200, 100)})

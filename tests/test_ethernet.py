@@ -1,0 +1,91 @@
+"""Ethernet frames and addressing (repro.net.ethernet)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.net.ethernet import (
+    BROADCAST_MAC,
+    EthernetFrame,
+    HEADER_BYTES,
+    MIN_FRAME_BYTES,
+    MTU_BYTES,
+    mac_address,
+    segment_bytes,
+)
+
+
+class TestMacAddress:
+    def test_locally_administered_prefix(self):
+        assert mac_address(0) == 0x02_00_00_00_00_00
+
+    def test_deterministic_and_unique(self):
+        macs = {mac_address(i) for i in range(1000)}
+        assert len(macs) == 1000
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            mac_address(-1)
+        with pytest.raises(ValueError):
+            mac_address(2**24)
+
+
+class TestEthernetFrame:
+    def test_runt_frames_padded_to_minimum(self):
+        frame = EthernetFrame(src=1, dst=2, size_bytes=10)
+        assert frame.size_bytes == MIN_FRAME_BYTES
+
+    def test_oversize_frame_rejected(self):
+        with pytest.raises(ValueError, match="segment"):
+            EthernetFrame(src=1, dst=2, size_bytes=MTU_BYTES + HEADER_BYTES + 1)
+
+    def test_flit_count(self):
+        frame = EthernetFrame(src=1, dst=2, size_bytes=1514)
+        assert frame.flit_count == 190
+
+    def test_to_flits_marks_last(self):
+        frame = EthernetFrame(src=1, dst=2, size_bytes=64)
+        flits = frame.to_flits()
+        assert len(flits) == 8
+        assert all(not f.last for f in flits[:-1])
+        assert flits[-1].last
+        assert [f.index for f in flits] == list(range(8))
+
+    def test_frame_ids_unique(self):
+        a = EthernetFrame(src=1, dst=2, size_bytes=64)
+        b = EthernetFrame(src=1, dst=2, size_bytes=64)
+        assert a.frame_id != b.frame_id
+
+    def test_flits_reference_frame(self):
+        frame = EthernetFrame(src=1, dst=2, size_bytes=64, payload="hi")
+        assert all(f.data is frame for f in frame.to_flits())
+
+
+class TestSegmentBytes:
+    def test_exact_example(self):
+        assert segment_bytes(3000, mss=1460) == [1460, 1460, 80]
+
+    def test_zero_bytes(self):
+        assert segment_bytes(0) == []
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            segment_bytes(-1)
+
+    def test_bad_mss_rejected(self):
+        with pytest.raises(ValueError):
+            segment_bytes(100, mss=0)
+
+    @given(
+        total=st.integers(min_value=0, max_value=10**5),
+        mss=st.integers(min_value=1, max_value=1460),
+    )
+    def test_segments_sum_to_total_and_respect_mss(self, total, mss):
+        segments = segment_bytes(total, mss=mss)
+        assert sum(segments) == total
+        assert all(0 < s <= mss for s in segments)
+        # Only the final segment may be partial.
+        assert all(s == mss for s in segments[:-1])
+
+    def test_broadcast_constant_is_48_bits(self):
+        assert BROADCAST_MAC == (1 << 48) - (1 << 32) + 0xFFFFFFFF or True
+        assert BROADCAST_MAC == 0xFFFF_FFFF_FFFF

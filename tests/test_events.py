@@ -1,0 +1,85 @@
+"""Deterministic event queue (repro.core.events)."""
+
+import pytest
+
+from repro.core.events import EventQueue
+
+
+class TestEventQueue:
+    def test_fires_in_cycle_order(self):
+        queue = EventQueue()
+        fired = []
+        queue.schedule(20, lambda c: fired.append(("b", c)))
+        queue.schedule(10, lambda c: fired.append(("a", c)))
+        queue.run_until(100)
+        assert fired == [("a", 10), ("b", 20)]
+
+    def test_same_cycle_fires_in_insertion_order(self):
+        queue = EventQueue()
+        fired = []
+        for tag in "abc":
+            queue.schedule(5, lambda c, t=tag: fired.append(t))
+        queue.run_until(6)
+        assert fired == ["a", "b", "c"]
+
+    def test_run_until_is_exclusive(self):
+        queue = EventQueue()
+        fired = []
+        queue.schedule(10, lambda c: fired.append(c))
+        queue.run_until(10)
+        assert fired == []
+        queue.run_until(11)
+        assert fired == [10]
+
+    def test_events_scheduled_inside_window_fire(self):
+        queue = EventQueue()
+        fired = []
+
+        def chain(cycle):
+            fired.append(cycle)
+            if cycle < 5:
+                queue.schedule(cycle + 1, chain)
+
+        queue.schedule(0, chain)
+        queue.run_until(10)
+        assert fired == [0, 1, 2, 3, 4, 5]
+
+    def test_cancel(self):
+        queue = EventQueue()
+        fired = []
+        handle = queue.schedule(5, lambda c: fired.append("cancelled"))
+        queue.schedule(6, lambda c: fired.append("kept"))
+        queue.cancel(handle)
+        queue.run_until(10)
+        assert fired == ["kept"]
+
+    def test_next_cycle_skips_cancelled(self):
+        queue = EventQueue()
+        handle = queue.schedule(5, lambda c: None)
+        queue.schedule(9, lambda c: None)
+        queue.cancel(handle)
+        assert queue.next_cycle() == 9
+
+    def test_len_accounts_for_cancellations(self):
+        queue = EventQueue()
+        handle = queue.schedule(1, lambda c: None)
+        queue.schedule(2, lambda c: None)
+        queue.cancel(handle)
+        assert len(queue) == 1
+
+    def test_negative_cycle_rejected(self):
+        with pytest.raises(ValueError):
+            EventQueue().schedule(-1, lambda c: None)
+
+    def test_empty_property(self):
+        queue = EventQueue()
+        assert queue.empty
+        queue.schedule(1, lambda c: None)
+        assert not queue.empty
+
+    def test_run_until_returns_fired_count(self):
+        queue = EventQueue()
+        for cycle in range(5):
+            queue.schedule(cycle, lambda c: None)
+        assert queue.run_until(3) == 3
+        assert queue.run_until(100) == 2

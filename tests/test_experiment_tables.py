@@ -1,0 +1,43 @@
+"""Every experiment's table() renders the rows the paper reports."""
+
+import pytest
+
+from repro.experiments import (
+    fig5_ping,
+    fig8_simrate,
+    fig9_latency_sweep,
+    fig11_pfa,
+    sec5c_scale,
+    sec7_comparison,
+)
+
+
+class TestTableRendering:
+    def test_fig8_table_mentions_anchor(self):
+        text = str(fig8_simrate.run(node_counts=(1024,)).table())
+        assert "3.42" in text
+        assert "1024" in text
+
+    def test_fig9_table_has_batch_column(self):
+        text = str(fig9_latency_sweep.run(latencies_cycles=(6400,)).table())
+        assert "6400" in text
+        assert "batch" in text
+
+    def test_sec5c_table_lists_every_headline(self):
+        text = str(sec5c_scale.run().table())
+        for fragment in ("32", "100.00", "438.40", "12.80", "3.42", "4096"):
+            assert fragment in text
+
+    def test_fig11_table_reports_both_workloads(self):
+        result = fig11_pfa.run(fractions=(0.5,), quick=True)
+        text = str(result.table())
+        assert "genome" in text and "qsort" in text
+
+    def test_sec7_table_reports_fidelity_columns(self):
+        text = str(sec7_comparison.run(include_measured=False).table())
+        assert "cycle-exact" in text
+        assert "FireSim" in text
+
+    def test_fig5_point_overhead_property(self):
+        point = fig5_ping.PingPoint(2.0, 8.01, 42.18)
+        assert point.overhead_us == pytest.approx(34.17)

@@ -1,0 +1,205 @@
+"""Experiment harness smoke tests: every table/figure module runs and
+reproduces the paper's qualitative result at reduced scale.  Full-scale
+runs live in benchmarks/."""
+
+import pytest
+
+from repro.experiments import (
+    fig5_ping,
+    fig6_saturation,
+    fig7_memcached,
+    fig8_simrate,
+    fig9_latency_sweep,
+    fig11_pfa,
+    sec4b_iperf,
+    sec4c_baremetal,
+    sec5c_scale,
+    table3_datacenter,
+)
+from repro.experiments.common import Table, cycles_to_us, percentile, us_to_cycles
+
+
+class TestCommonHelpers:
+    def test_unit_roundtrip(self):
+        assert us_to_cycles(2.0) == 6400
+        assert cycles_to_us(6400) == pytest.approx(2.0)
+
+    def test_percentile_validation(self):
+        with pytest.raises(ValueError):
+            percentile([], 50)
+        with pytest.raises(ValueError):
+            percentile([1], 0)
+
+    def test_table_rendering(self):
+        table = Table("t", ["a", "b"])
+        table.add_row(1, 2.5)
+        text = str(table)
+        assert "a" in text and "2.50" in text
+        with pytest.raises(ValueError):
+            table.add_row(1)
+
+
+class TestFig5:
+    def test_overhead_constant_across_latencies(self):
+        result = fig5_ping.run(latencies_us=(1.0, 4.0), quick=True)
+        overheads = [p.overhead_us for p in result.points]
+        assert overheads[0] == pytest.approx(overheads[1], abs=0.5)
+        # The paper's ~34 us Linux stack offset.
+        assert 30 < overheads[0] < 38
+
+    def test_measured_parallels_ideal(self):
+        result = fig5_ping.run(latencies_us=(1.0, 4.0), quick=True)
+        deltas = [
+            p.measured_rtt_us - p.ideal_rtt_us for p in result.points
+        ]
+        assert max(deltas) - min(deltas) < 1.0
+
+
+class TestSec4bIperf:
+    def test_tcp_ceiling_near_1_4_gbps(self):
+        result = sec4b_iperf.run(quick=True)
+        assert 1.1 < result.goodput_gbps < 1.7
+
+
+class TestSec4cBaremetal:
+    def test_nic_drives_about_100_gbps(self):
+        result = sec4c_baremetal.run(quick=True)
+        assert 85 < result.bandwidth_gbps < 125
+        assert result.in_order
+
+
+class TestFig6:
+    def test_low_rate_never_saturates(self):
+        series = fig6_saturation.run_rate(
+            1.0, num_senders=4, stagger_us=20, tail_us=60, bucket_us=20
+        )
+        assert series.peak_gbps < 10  # 4 x 1 Gbit/s << 200
+
+
+class TestFig7:
+    def test_point_collects_percentiles(self):
+        point = fig7_memcached.run_point(
+            fig7_memcached.CONFIGS["4 threads"],
+            "4 threads",
+            30_000,
+            measure_seconds=0.008,
+            warmup_seconds=0.002,
+        )
+        assert point.p95_us >= point.p50_us > 0
+        assert point.achieved_qps > 10_000
+
+
+class TestFig8:
+    def test_rate_monotonically_decreases(self):
+        result = fig8_simrate.run(node_counts=(2, 16, 128, 1024))
+        standard = [p.standard_mhz for p in result.points]
+        assert standard == sorted(standard, reverse=True)
+
+    def test_1024_supernode_anchor(self):
+        result = fig8_simrate.run(node_counts=(1024,))
+        assert result.points[0].supernode_mhz == pytest.approx(3.42, abs=0.15)
+
+
+class TestFig9:
+    def test_rate_grows_with_batch_size(self):
+        result = fig9_latency_sweep.run(latencies_cycles=(320, 3200, 25600))
+        rates = [p.rate_mhz for p in result.points]
+        assert rates == sorted(rates)
+
+    def test_functional_probe_runs(self):
+        points = fig9_latency_sweep.run_functional_probe(
+            latencies_cycles=(800, 6400), target_cycles=64_000
+        )
+        assert len(points) == 2
+        assert all(p.rate_mhz > 0 for p in points)
+
+
+class TestTable3:
+    def test_median_rises_per_tier(self):
+        shape = table3_datacenter.DatacenterShape(
+            num_aggregation=2, racks_per_aggregation=2, servers_per_rack=4
+        )
+        rows = [
+            table3_datacenter.run_pairing(
+                pairing, shape, per_pair_qps=4000, measure_seconds=0.006
+            )
+            for pairing in table3_datacenter.PAIRINGS
+        ]
+        p50s = [r.p50_us for r in rows]
+        assert p50s[0] < p50s[1] < p50s[2]
+        # Each tier adds ~4 link latencies (+switching) = ~8 us.
+        assert p50s[1] - p50s[0] == pytest.approx(8.0, abs=2.5)
+        assert p50s[2] - p50s[1] == pytest.approx(8.0, abs=2.5)
+
+    def test_pairings_cover_all_nodes(self):
+        shape = table3_datacenter.DatacenterShape()
+        for pairing in table3_datacenter.PAIRINGS:
+            pairs = table3_datacenter._pair_nodes(shape, pairing)
+            servers = {s for s, _ in pairs}
+            clients = {c for _, c in pairs}
+            assert len(pairs) == shape.num_nodes // 2
+            assert not servers & clients
+
+    def test_cross_dc_pairs_span_aggregation_groups(self):
+        shape = table3_datacenter.DatacenterShape()
+        racks_per_agg = shape.racks_per_aggregation
+        per_rack = shape.servers_per_rack
+        for server, client in table3_datacenter._pair_nodes(
+            shape, "cross-datacenter"
+        ):
+            server_agg = (server // per_rack) // racks_per_agg
+            client_agg = (client // per_rack) // racks_per_agg
+            assert server_agg != client_agg
+
+
+class TestSec5c:
+    def test_headline_numbers(self):
+        result = sec5c_scale.run()
+        assert result.num_nodes == 1024
+        assert result.num_cores == 4096
+        assert result.num_f1 == 32
+        assert result.num_m4 == 5
+        assert result.spot_per_hour == pytest.approx(100.0)
+        assert result.on_demand_per_hour == pytest.approx(438.4)
+        assert result.fpga_value_musd == pytest.approx(12.8)
+        assert result.sim_rate_mhz == pytest.approx(3.42, abs=0.15)
+        assert result.slowdown < 1000
+        assert result.aggregate_bips == pytest.approx(14.0, abs=1.0)
+        assert result.single_node_lut_fraction == pytest.approx(0.326)
+        assert result.supernode_lut_fraction == pytest.approx(0.758)
+
+
+class TestFig11:
+    def test_pfa_beats_software_paging(self):
+        result = fig11_pfa.run(fractions=(0.25, 0.75), quick=True)
+        for point in result.points:
+            assert point.pfa_slowdown < point.sw_slowdown
+            assert point.evictions_equal
+            assert 1.8 < point.metadata_ratio < 3.5
+
+    def test_genome_improvement_near_paper(self):
+        result = fig11_pfa.run(fractions=(0.125,), quick=True)
+        assert result.best_improvement("genome") == pytest.approx(1.4, abs=0.25)
+
+
+class TestFig6RampShape:
+    def test_bandwidth_ramps_by_one_sender_per_entry(self):
+        """The dotted-line structure of Figure 6: each sender's entry
+        raises the aggregate by roughly its configured rate until the
+        uplink saturates."""
+        series = fig6_saturation.run_rate(
+            10.0, num_senders=4, stagger_us=40, tail_us=80, bucket_us=20
+        )
+        # Bandwidth while only sender 0 is active (skip its ramp bucket).
+        def window_mean(start_us, end_us):
+            lo = int(start_us // series.bucket_us)
+            hi = int(end_us // series.bucket_us)
+            window = series.series_gbps[lo:hi]
+            return sum(window) / len(window)
+
+        one_sender = window_mean(20, 40)
+        two_senders = window_mean(60, 80)
+        four_senders = window_mean(160, 200)
+        assert one_sender == pytest.approx(10.0, abs=2.5)
+        assert two_senders == pytest.approx(20.0, abs=4.0)
+        assert four_senders == pytest.approx(40.0, abs=6.0)

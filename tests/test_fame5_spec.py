@@ -1,0 +1,85 @@
+"""FAME-5 elaboration and the SPECint single-node farm (§VIII)."""
+
+import pytest
+
+from repro.experiments import sec8_singlenode
+from repro.manager.runfarm import RunFarmConfig, elaborate
+from repro.manager.topology import single_rack
+from repro.swmodel.apps.ping import RESULT_KEY, make_ping_client
+from repro.swmodel.apps.spec import (
+    SPECINT_2017,
+    SpecBenchmark,
+    benchmark_by_name,
+    make_spec_runner,
+    reference_cycles,
+)
+from repro.tile.soc import config_by_name
+
+
+class TestFame5Elaboration:
+    def _run(self, fame5):
+        sim = elaborate(
+            single_rack(4),
+            RunFarmConfig(fame5_blades_per_pipeline=fame5),
+        )
+        target = sim.blade(1)
+        sim.blade(0).spawn(
+            "ping", make_ping_client(target.mac, count=4, interval_cycles=80_000)
+        )
+        sim.run_seconds(0.001)
+        return tuple(sim.blade(0).results[RESULT_KEY])
+
+    def test_fame5_is_cycle_identical_to_standard(self):
+        """FAME-5 multiplexing is functionally transparent (§VIII)."""
+        assert self._run(1) == self._run(4)
+
+    def test_fame5_halves_model_count(self):
+        plain = elaborate(single_rack(4))
+        muxed = elaborate(
+            single_rack(4), RunFarmConfig(fame5_blades_per_pipeline=2)
+        )
+        # 4 blades + 1 switch vs 2 pipelines + 1 switch.
+        assert len(plain.simulation.models) == 5
+        assert len(muxed.simulation.models) == 3
+
+    def test_bad_factor_rejected(self):
+        with pytest.raises(ValueError):
+            RunFarmConfig(fame5_blades_per_pipeline=0)
+
+
+class TestSpecSuite:
+    def test_suite_has_ten_intrate_benchmarks(self):
+        assert len(SPECINT_2017) == 10
+        assert all(b.name.endswith("_r") for b in SPECINT_2017)
+
+    def test_lookup(self):
+        assert benchmark_by_name("505.mcf_r").pattern == "random"
+        with pytest.raises(ValueError):
+            benchmark_by_name("999.nonesuch")
+
+    def test_mcf_is_most_memory_bound(self):
+        """mcf's CPI must dominate (its published character)."""
+        soc = config_by_name("QuadCore").build()
+        scale = 1e-7
+        cpis = {
+            b.name: reference_cycles(b, soc, scale) / (b.instructions * scale)
+            for b in SPECINT_2017
+        }
+        assert max(cpis, key=cpis.get) == "505.mcf_r"
+        assert cpis["548.exchange2_r"] < 1.5  # compute-bound
+
+    def test_bad_scale_rejected(self):
+        soc = config_by_name("QuadCore").build()
+        with pytest.raises(ValueError):
+            make_spec_runner(SPECINT_2017[0], soc, scale=0)
+
+
+class TestSec8Experiment:
+    def test_quick_farm_produces_rows(self):
+        result = sec8_singlenode.run(quick=True)
+        assert len(result.rows) == 3
+        for row in result.rows:
+            assert row.simulated_cycles > 0
+            assert row.est_reference_host_hours > 0
+        # The paper's "roughly one day": tens of host-hours per benchmark.
+        assert 5 < result.suite_host_hours < 120

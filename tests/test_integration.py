@@ -1,0 +1,123 @@
+"""Cross-cutting integration tests: determinism and multi-tenant traffic."""
+
+import pytest
+
+from repro.manager.runfarm import RunFarmConfig, elaborate
+from repro.manager.topology import two_tier
+from repro.swmodel.apps.iperf import (
+    RESULT_BYTES,
+    make_iperf_client,
+    make_iperf_server,
+)
+from repro.swmodel.apps.memcached import MemcachedConfig, start_memcached
+from repro.swmodel.apps.mutilate import (
+    RESULT_LATENCY,
+    MutilateConfig,
+    start_mutilate,
+)
+from repro.swmodel.apps.ping import RESULT_KEY as PING_KEY
+from repro.swmodel.apps.ping import make_ping_client
+
+
+def mixed_workload_run():
+    """A 2-rack cluster running ping + iperf + memcached concurrently."""
+    sim = elaborate(two_tier(num_racks=2, servers_per_rack=4), RunFarmConfig())
+    # Ping crosses the root; iperf stays in rack 0; memcached in rack 1.
+    sim.blade(0).spawn(
+        "ping", make_ping_client(sim.blade(7).mac, count=6, interval_cycles=200_000)
+    )
+    sim.blade(2).spawn("iperf-s", make_iperf_server())
+    sim.blade(1).spawn(
+        "iperf-c", make_iperf_client(sim.blade(2).mac, total_bytes=200_000)
+    )
+    server = sim.blade(4)
+    start_memcached(server, MemcachedConfig(num_threads=4))
+    start_mutilate(
+        sim.blade(5),
+        MutilateConfig(
+            server_mac=server.mac,
+            target_qps=20_000,
+            duration_cycles=int(0.004 * 3.2e9),
+            server_threads=4,
+            seed=11,
+        ),
+    )
+    sim.run_seconds(0.006)
+    return sim
+
+
+class TestMixedTraffic:
+    def test_all_workloads_complete_side_by_side(self):
+        sim = mixed_workload_run()
+        assert len(sim.blade(0).results[PING_KEY]) == 5
+        assert sim.blade(2).results[RESULT_BYTES][0] == 200_000
+        assert len(sim.blade(5).results[RESULT_LATENCY]) > 10
+
+    def test_ping_latency_unaffected_by_other_racks_traffic(self):
+        """iperf in rack 0 and memcached in rack 1 share no links with
+        the unloaded measurement path beyond the (underutilized) root."""
+        sim = mixed_workload_run()
+        rtts = sim.blade(0).results[PING_KEY]
+        ideal = 8 * 6400 + 4 * 10
+        overheads = [r - ideal for r in rtts]
+        # Every ping keeps the unloaded software-stack offset (~34 us);
+        # allow scheduler-level jitter only.
+        assert max(overheads) - min(overheads) < 32_000  # < 10 us
+
+
+class TestDeterminism:
+    def test_full_cluster_is_bit_reproducible(self):
+        first = mixed_workload_run()
+        second = mixed_workload_run()
+        assert (
+            first.blade(0).results[PING_KEY]
+            == second.blade(0).results[PING_KEY]
+        )
+        assert (
+            first.blade(5).results[RESULT_LATENCY]
+            == second.blade(5).results[RESULT_LATENCY]
+        )
+        assert (
+            first.simulation.stats.valid_tokens_moved
+            == second.simulation.stats.valid_tokens_moved
+        )
+
+    def test_quantum_does_not_change_results(self):
+        """Sub-latency quanta change host cost, never target behaviour."""
+
+        def run(quantum):
+            from repro.core.simulation import Simulation
+            from repro.net.ethernet import mac_address
+            from repro.net.switch import SwitchConfig, SwitchModel
+            from repro.swmodel.server import ServerBlade
+
+            sim = Simulation(quantum_override=quantum)
+            a = sim.add_model(ServerBlade("node0", node_index=0))
+            b = sim.add_model(ServerBlade("node1", node_index=1))
+            switch = sim.add_model(
+                SwitchModel(
+                    "tor",
+                    SwitchConfig(num_ports=2),
+                    mac_table={mac_address(0): 0, mac_address(1): 1},
+                )
+            )
+            sim.connect(a, "net", switch, "port0", 6400)
+            sim.connect(switch, "port1", b, "net", 6400)
+            a.spawn(
+                "ping", make_ping_client(b.mac, count=4, interval_cycles=60_000)
+            )
+            sim.run_cycles(2_000_000)
+            return a.results[PING_KEY]
+
+        assert run(None) == run(1600) == run(400)
+
+    def test_oversized_quantum_rejected(self):
+        from repro.core.simulation import Simulation
+        from repro.core.fame import NullModel
+
+        sim = Simulation(quantum_override=8000)
+        a = sim.add_model(NullModel("a", ["x"]))
+        b = sim.add_model(NullModel("b", ["x"]))
+        sim.connect(a, "x", b, "x", 6400)
+        with pytest.raises(ValueError, match="exceeds"):
+            sim.run_cycles(6400)

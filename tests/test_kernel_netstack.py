@@ -1,0 +1,227 @@
+"""Kernel + network stack integration (repro.swmodel.kernel/netstack)."""
+
+import pytest
+
+from repro.core.simulation import Simulation
+from repro.net.ethernet import mac_address
+from repro.net.switch import SwitchConfig, SwitchModel
+from repro.swmodel.netstack import (
+    Datagram,
+    NetStackCosts,
+    PROTO_ICMP,
+    PROTO_TCP,
+    PROTO_UDP,
+)
+from repro.swmodel.process import Compute, Recv, Send, Sleep
+from repro.swmodel.server import ServerBlade
+
+
+def two_node_cluster(link_latency=6400, switching=10):
+    sim = Simulation()
+    a = sim.add_model(ServerBlade("node0", node_index=0))
+    b = sim.add_model(ServerBlade("node1", node_index=1))
+    switch = sim.add_model(
+        SwitchModel(
+            "tor",
+            SwitchConfig(num_ports=2, min_latency_cycles=switching),
+            mac_table={mac_address(0): 0, mac_address(1): 1},
+        )
+    )
+    sim.connect(a, "net", switch, "port0", link_latency)
+    sim.connect(switch, "port1", b, "net", link_latency)
+    return sim, a, b
+
+
+class TestEffects:
+    def test_compute_and_record(self):
+        sim, a, b = two_node_cluster()
+
+        def body(api):
+            start = api.now()
+            yield Compute(10_000)
+            api.record("elapsed", api.now() - start)
+
+        a.spawn("worker", body)
+        sim.run_cycles(64_000)
+        elapsed = a.results["elapsed"][0]
+        assert elapsed >= 10_000
+        assert elapsed < 20_000  # scheduling overhead only
+
+    def test_sleep_duration(self):
+        sim, a, b = two_node_cluster()
+
+        def body(api):
+            start = api.now()
+            yield Sleep(50_000)
+            api.record("slept", api.now() - start)
+
+        a.spawn("sleeper", body)
+        sim.run_cycles(200_000)
+        assert a.results["slept"][0] >= 50_000
+
+    def test_unknown_effect_raises(self):
+        sim, a, b = two_node_cluster()
+
+        def body(api):
+            yield "not-an-effect"
+
+        a.spawn("bad", body)
+        with pytest.raises(TypeError, match="unknown effect"):
+            sim.run_cycles(64_000)
+
+
+class TestUdpDelivery:
+    def test_send_recv_roundtrip(self):
+        sim, a, b = two_node_cluster()
+
+        def receiver(api):
+            sock = api.socket(PROTO_UDP, 9000)
+            datagram = yield Recv(sock)
+            api.record("got", datagram.payload)
+
+        def sender(api):
+            yield Send(
+                dst_mac=mac_address(1),
+                payload="hello",
+                payload_bytes=100,
+                proto=PROTO_UDP,
+                dport=9000,
+            )
+
+        b.spawn("rx", receiver)
+        a.spawn("tx", sender)
+        sim.run_seconds(0.001)
+        assert b.results["got"] == ["hello"]
+
+    def test_unbound_port_counts_no_socket(self):
+        sim, a, b = two_node_cluster()
+
+        def sender(api):
+            yield Send(
+                dst_mac=mac_address(1),
+                payload="void",
+                payload_bytes=64,
+                proto=PROTO_UDP,
+                dport=4242,
+            )
+
+        a.spawn("tx", sender)
+        sim.run_seconds(0.001)
+        assert b.kernel.netstack.stats.rx_no_socket == 1
+
+    def test_double_bind_rejected(self):
+        sim, a, b = two_node_cluster()
+        a.kernel.netstack.bind(PROTO_UDP, 7)
+        with pytest.raises(ValueError):
+            a.kernel.netstack.bind(PROTO_UDP, 7)
+
+
+class TestIcmp:
+    def test_echo_answered_in_kernel_without_userspace(self):
+        sim, a, b = two_node_cluster()
+
+        def pinger(api):
+            sock = api.socket(PROTO_ICMP, 1)
+            t0 = api.now()
+            yield Send(
+                dst_mac=mac_address(1),
+                payload="echo-request",
+                payload_bytes=56,
+                proto=PROTO_ICMP,
+                sport=1,
+            )
+            yield Recv(sock)
+            api.record("rtt", api.now() - t0)
+
+        a.spawn("ping", pinger)
+        sim.run_seconds(0.001)
+        assert len(a.results["rtt"]) == 1
+        # No application thread ran on b, yet the echo was answered.
+        assert b.kernel.netstack.stats.icmp_echoes_answered == 1
+
+    def test_rtt_is_ideal_plus_constant_overhead(self):
+        """The Figure 5 structure: two latencies, same software offset."""
+
+        def measure(latency):
+            sim, a, b = two_node_cluster(link_latency=latency)
+
+            def pinger(api):
+                sock = api.socket(PROTO_ICMP, 1)
+                for _ in range(3):
+                    t0 = api.now()
+                    yield Send(
+                        dst_mac=mac_address(1),
+                        payload="echo-request",
+                        payload_bytes=56,
+                        proto=PROTO_ICMP,
+                        sport=1,
+                    )
+                    yield Recv(sock)
+                    api.record("rtt", api.now() - t0)
+                    yield Sleep(100_000)
+
+            a.spawn("ping", pinger)
+            sim.run_seconds(0.002)
+            rtts = a.results["rtt"]
+            ideal = 4 * latency + 2 * 10
+            return rtts[-1] - ideal
+
+        overhead_short = measure(1600)
+        overhead_long = measure(12800)
+        assert overhead_short == overhead_long
+        # ~34 us at 3.2 GHz = ~108,800 cycles (within 15%).
+        assert 0.85 * 108_800 < overhead_short < 1.15 * 108_800
+
+
+class TestTcpAcks:
+    def test_acks_do_not_storm(self):
+        sim, a, b = two_node_cluster()
+
+        def receiver(api):
+            sock = api.socket(PROTO_TCP, 5000)
+            while True:
+                yield Recv(sock)
+
+        def sender(api):
+            for _ in range(8):
+                yield Send(
+                    dst_mac=mac_address(1),
+                    payload="data",
+                    payload_bytes=1000,
+                    proto=PROTO_TCP,
+                    dport=5000,
+                )
+
+        b.spawn("rx", receiver)
+        a.spawn("tx", sender)
+        sim.run_seconds(0.002)
+        # Delayed ACKs: one per two segments, and ACKs are never ACKed.
+        assert b.kernel.netstack.stats.acks_sent == 4
+        assert a.kernel.netstack.stats.acks_sent == 0
+
+
+class TestDriverModel:
+    def test_descriptors_replenished_across_bursts(self):
+        sim, a, b = two_node_cluster()
+
+        def receiver(api):
+            sock = api.socket(PROTO_UDP, 9000)
+            while True:
+                datagram = yield Recv(sock)
+                api.record("seen", datagram.payload)
+
+        def sender(api):
+            for index in range(300):  # more than the 128-descriptor ring
+                yield Send(
+                    dst_mac=mac_address(1),
+                    payload=index,
+                    payload_bytes=64,
+                    proto=PROTO_UDP,
+                    dport=9000,
+                )
+
+        b.spawn("rx", receiver)
+        a.spawn("tx", sender)
+        sim.run_seconds(0.012)
+        assert len(b.results["seen"]) == 300
+        assert b.nic.stats.rx_dropped_frames == 0

@@ -1,0 +1,95 @@
+"""Topology-to-instance mapping (repro.manager.mapper, §III-B3)."""
+
+import pytest
+
+from repro.host.fpga import SUPERNODE_FPGA
+from repro.manager.mapper import (
+    Deployment,
+    HostConfig,
+    SUPERNODE_HOST,
+    map_topology,
+)
+from repro.manager.topology import datacenter_tree, single_rack, two_tier
+from repro.net.transport import TransportKind
+
+
+class TestStandardMapping:
+    def test_one_blade_per_fpga(self):
+        deployment = map_topology(single_rack(8))
+        assert deployment.num_f1_instances == 1
+        fpgas = {(p.instance_index, p.fpga_index) for p in deployment.server_placements}
+        assert len(fpgas) == 8
+        assert all(p.slot_index == 0 for p in deployment.server_placements)
+
+    def test_nine_servers_need_two_instances(self):
+        deployment = map_topology(single_rack(9))
+        assert deployment.num_f1_instances == 2
+
+    def test_tor_colocates_when_rack_fits(self):
+        deployment = map_topology(single_rack(8))
+        (tor,) = deployment.switch_placements
+        assert tor.host.startswith("f1:")
+        assert all(
+            t == TransportKind.PCIE for t in tor.downlink_transports
+        )
+
+    def test_root_switch_on_m4_with_sockets(self):
+        deployment = map_topology(two_tier(num_racks=2, servers_per_rack=8))
+        root_placement = next(
+            p
+            for p in deployment.switch_placements
+            if p.uplink_transport is None
+        )
+        assert root_placement.host.startswith("m4:")
+        assert all(
+            t == TransportKind.SOCKET
+            for t in root_placement.downlink_transports
+        )
+        assert deployment.num_m4_instances == 1
+
+
+class TestSupernodeMapping:
+    def test_four_blades_per_fpga(self):
+        deployment = map_topology(single_rack(8), SUPERNODE_HOST)
+        assert deployment.num_f1_instances == 1
+        slots = {p.slot_index for p in deployment.server_placements}
+        assert slots == {0, 1, 2, 3}
+        fpgas = {p.fpga_index for p in deployment.server_placements}
+        assert fpgas == {0, 1}
+
+    def test_paper_1024_node_mapping(self):
+        """Section V-C: 32 f1.16xlarge + 5 m4.16xlarge."""
+        deployment = map_topology(datacenter_tree(), SUPERNODE_HOST)
+        assert deployment.num_f1_instances == 32
+        assert deployment.num_m4_instances == 5
+        assert deployment.instance_counts == {
+            "f1.16xlarge": 32,
+            "m4.16xlarge": 5,
+        }
+
+    def test_paper_cost_from_deployment(self):
+        deployment = map_topology(datacenter_tree(), SUPERNODE_HOST)
+        report = deployment.cost()
+        assert report.spot_per_hour == pytest.approx(100.0)
+        assert report.total_fpgas == 256
+
+    def test_rate_estimate_matches_anchor(self):
+        deployment = map_topology(datacenter_tree(), SUPERNODE_HOST)
+        rate = deployment.rate_estimate(6400)
+        assert rate.rate_mhz == pytest.approx(3.42, abs=0.15)
+
+
+class TestHostConfig:
+    def test_f1_2xlarge_variant(self):
+        config = HostConfig(fpgas_per_instance=1)
+        assert config.f1_instance_name == "f1.2xlarge"
+        deployment = map_topology(single_rack(4), config)
+        assert deployment.num_f1_instances == 4
+
+    def test_invalid_fpga_count_rejected(self):
+        with pytest.raises(ValueError):
+            HostConfig(fpgas_per_instance=4)
+
+    def test_blades_per_instance(self):
+        assert HostConfig().blades_per_instance == 8
+        assert SUPERNODE_HOST.blades_per_instance == 32

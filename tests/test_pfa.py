@@ -1,0 +1,183 @@
+"""Page-Fault Accelerator subsystem (repro.pfa, §VI)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.pfa.pfa import FaultCosts, PageFaultAccelerator, SoftwarePaging
+from repro.pfa.remote import AnalyticRemoteMemory, PAGE_BYTES, RemoteMemoryParams
+from repro.pfa.runtime import PagedExecutor, pages_for_bytes, run_trace_all_local
+from repro.pfa.workloads import (
+    PEAK_MEMORY_BYTES,
+    WorkloadConfig,
+    genome_trace,
+    local_memory_sweep,
+    qsort_trace,
+)
+
+
+class TestRemoteMemory:
+    def test_fetch_latency_structure(self):
+        params = RemoteMemoryParams()
+        remote = AnalyticRemoteMemory(params)
+        latency = remote.fetch_latency_cycles()
+        # request out + server + page back, each at least a link latency.
+        assert latency > 2 * params.link_latency_cycles
+        assert latency > params.page_transfer_cycles
+
+    def test_hops_add_latency(self):
+        direct = AnalyticRemoteMemory(RemoteMemoryParams(hops=0))
+        via_tor = AnalyticRemoteMemory(RemoteMemoryParams(hops=1))
+        assert (
+            via_tor.fetch_latency_cycles() > direct.fetch_latency_cycles()
+        )
+
+    def test_page_transfer_is_512_flits(self):
+        assert RemoteMemoryParams().page_transfer_cycles == PAGE_BYTES // 8
+
+    def test_counters(self):
+        remote = AnalyticRemoteMemory()
+        remote.fetch(0, 1)
+        remote.evict(0, 2)
+        assert remote.pages_fetched == 1
+        assert remote.pages_evicted == 1
+
+
+class TestBackends:
+    def test_pfa_fault_faster_than_software(self):
+        remote_sw, remote_hw = AnalyticRemoteMemory(), AnalyticRemoteMemory()
+        sw = SoftwarePaging(remote_sw)
+        pfa = PageFaultAccelerator(remote_hw)
+        sw_resume = sw.fault(0, 1)
+        pfa_resume = pfa.fault(0, 1)
+        assert pfa_resume < sw_resume
+
+    def test_newq_drains_at_batch_size(self):
+        pfa = PageFaultAccelerator(AnalyticRemoteMemory(), free_frames=1000)
+        batch = pfa.costs.pfa_newq_batch_size
+        cycle = 0
+        for page in range(batch - 1):
+            cycle = pfa.fault(cycle, page)
+        assert pfa.stats.newq_batches == 0
+        pfa.fault(cycle, batch)
+        assert pfa.stats.newq_batches == 1
+        assert len(pfa.new_queue) == 0
+
+    def test_empty_freeq_forces_synchronous_refill(self):
+        pfa = PageFaultAccelerator(AnalyticRemoteMemory(), free_frames=2)
+        cycle = 0
+        for page in range(3):
+            cycle = pfa.fault(cycle, page)
+        # The third fault found freeQ empty and drained newQ synchronously.
+        assert pfa.stats.newq_batches >= 1
+
+    def test_flush_drains_residue(self):
+        pfa = PageFaultAccelerator(AnalyticRemoteMemory())
+        pfa.fault(0, 1)
+        assert len(pfa.new_queue) == 1
+        pfa.flush(10**6)
+        assert len(pfa.new_queue) == 0
+
+    def test_metadata_per_page_ratio_near_paper(self):
+        costs = FaultCosts()
+        sw_per_page = costs.sw_metadata_cycles
+        pfa_per_page = costs.pfa_metadata_per_page_cycles
+        assert 2.0 < sw_per_page / pfa_per_page < 3.5
+
+
+class TestExecutor:
+    def test_all_resident_never_faults(self):
+        trace = [(page, 100) for page in range(4)] * 10
+        executor = PagedExecutor(SoftwarePaging(AnalyticRemoteMemory()), 4)
+        result = executor.run(iter(trace))
+        assert result.faults == 4  # cold faults only
+        assert result.evictions == 0
+
+    def test_thrash_faults_every_access(self):
+        trace = [(page, 100) for page in range(8)] * 3
+        executor = PagedExecutor(SoftwarePaging(AnalyticRemoteMemory()), 2)
+        result = executor.run(iter(trace))
+        assert result.faults == 24  # cyclic sweep through 8 pages, LRU of 2
+
+    def test_evictions_identical_across_backends(self):
+        config = WorkloadConfig(
+            footprint_bytes=1 << 20, steps=2000, compute_per_step_cycles=500
+        )
+        sw = PagedExecutor(SoftwarePaging(AnalyticRemoteMemory()), 32).run(
+            genome_trace(config)
+        )
+        pfa = PagedExecutor(
+            PageFaultAccelerator(AnalyticRemoteMemory()), 32
+        ).run(genome_trace(config))
+        assert sw.faults == pfa.faults
+        assert sw.evictions == pfa.evictions
+
+    def test_overhead_definition(self):
+        trace = [(0, 1000), (1, 1000)]
+        result = PagedExecutor(
+            SoftwarePaging(AnalyticRemoteMemory()), 4
+        ).run(iter(trace))
+        assert result.overhead_cycles == result.total_cycles - 2000
+
+    def test_zero_resident_pages_rejected(self):
+        with pytest.raises(ValueError):
+            PagedExecutor(SoftwarePaging(AnalyticRemoteMemory()), 0)
+
+    @settings(max_examples=15)
+    @given(
+        local=st.integers(min_value=1, max_value=64),
+        steps=st.integers(min_value=1, max_value=500),
+    )
+    def test_faults_bounded_by_accesses(self, local, steps):
+        config = WorkloadConfig(
+            footprint_bytes=64 * PAGE_BYTES,
+            steps=steps,
+            compute_per_step_cycles=10,
+        )
+        result = PagedExecutor(
+            SoftwarePaging(AnalyticRemoteMemory()), local
+        ).run(genome_trace(config))
+        assert result.faults <= steps
+        assert result.total_cycles >= result.compute_cycles
+
+
+class TestWorkloads:
+    def test_genome_is_deterministic(self):
+        config = WorkloadConfig(steps=500)
+        assert list(genome_trace(config)) == list(genome_trace(config))
+
+    def test_genome_covers_footprint(self):
+        config = WorkloadConfig(steps=5000, footprint_bytes=64 * PAGE_BYTES)
+        pages = {page for page, _ in genome_trace(config)}
+        assert len(pages) > 32  # random probes touch most of 64 pages
+
+    def test_qsort_touch_count_is_pages_times_depth(self):
+        config = WorkloadConfig(footprint_bytes=16 * PAGE_BYTES)
+        touches = sum(1 for _ in qsort_trace(config))
+        # 16 pages, spans 16,8,4,2,1 -> 5 full sweeps.
+        assert touches == 16 * 5
+
+    def test_qsort_locality_beats_genome(self):
+        genome_config = WorkloadConfig(
+            footprint_bytes=256 * PAGE_BYTES, steps=1280
+        )
+        qsort_config = WorkloadConfig(footprint_bytes=256 * PAGE_BYTES)
+        local = 64  # quarter of the footprint
+        genome_run = PagedExecutor(
+            SoftwarePaging(AnalyticRemoteMemory()), local
+        ).run(genome_trace(genome_config))
+        qsort_run = PagedExecutor(
+            SoftwarePaging(AnalyticRemoteMemory()), local
+        ).run(qsort_trace(qsort_config))
+        genome_fault_rate = genome_run.faults / 1280
+        qsort_fault_rate = qsort_run.faults / (256 * 9)
+        assert qsort_fault_rate < genome_fault_rate
+
+    def test_peak_memory_matches_paper(self):
+        assert PEAK_MEMORY_BYTES == 64 * 1024 * 1024
+        assert pages_for_bytes(PEAK_MEMORY_BYTES) == 16384
+
+    def test_sweep_fractions_validated(self):
+        with pytest.raises(ValueError):
+            local_memory_sweep((0.0,))
+        points = local_memory_sweep((0.5,), 64 * PAGE_BYTES)
+        assert points == [(0.5, 32)]

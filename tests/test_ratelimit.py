@@ -1,0 +1,86 @@
+"""NIC token-bucket rate limiter (repro.nic.ratelimit, §III-A2)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.nic.ratelimit import TokenBucketLimiter, rate_settings_for_bandwidth
+
+
+class TestRateSettings:
+    def test_paper_bandwidth_points_are_exact(self):
+        link = 204.8e9
+        assert rate_settings_for_bandwidth(100e9, link) == (125, 256)
+        assert rate_settings_for_bandwidth(40e9, link) == (25, 128)
+        assert rate_settings_for_bandwidth(10e9, link) == (25, 512)
+        assert rate_settings_for_bandwidth(1e9, link) == (5, 1024)
+
+    def test_full_rate(self):
+        assert rate_settings_for_bandwidth(204.8e9, 204.8e9) == (1, 1)
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            rate_settings_for_bandwidth(0, 204.8e9)
+        with pytest.raises(ValueError):
+            rate_settings_for_bandwidth(300e9, 204.8e9)
+
+
+class TestTokenBucket:
+    def test_unlimited_rate_admits_every_cycle(self):
+        limiter = TokenBucketLimiter(1, 1)
+        for cycle in range(10):
+            assert limiter.next_send_cycle(cycle) == cycle
+            limiter.consume(cycle)
+
+    def test_half_rate_spacing(self):
+        limiter = TokenBucketLimiter(1, 2)
+        sends = []
+        cycle = 0
+        for _ in range(8):
+            cycle = limiter.next_send_cycle(cycle)
+            limiter.consume(cycle)
+            sends.append(cycle)
+            cycle += 1
+        # One credit every 2 cycles: 8 sends span ~16 cycles.
+        assert sends[-1] - sends[0] >= 13
+
+    def test_consume_without_credit_raises(self):
+        limiter = TokenBucketLimiter(1, 4)
+        limiter.consume(limiter.next_send_cycle(0))
+        with pytest.raises(RuntimeError):
+            limiter.consume(1)  # no credit until next period tick
+
+    def test_invalid_settings_rejected(self):
+        with pytest.raises(ValueError):
+            TokenBucketLimiter(0, 1)
+        with pytest.raises(ValueError):
+            TokenBucketLimiter(3, 2)  # k > p exceeds link rate
+
+    def test_runtime_reconfiguration(self):
+        limiter = TokenBucketLimiter(1, 1)
+        limiter.set_rate(1, 4)
+        assert limiter.rate_fraction == 0.25
+
+    def test_cap_bounds_idle_accrual(self):
+        limiter = TokenBucketLimiter(2, 8)
+        # Long idle: credits must not exceed the cap (k).
+        limiter.next_send_cycle(10_000)
+        assert limiter.available <= limiter.cap
+
+    @settings(max_examples=20)
+    @given(
+        k=st.integers(min_value=1, max_value=16),
+        p_mult=st.integers(min_value=1, max_value=32),
+    )
+    def test_effective_rate_is_k_over_p(self, k, p_mult):
+        """Back-to-back sending achieves k/p of the link rate (§III-A2)."""
+        p = k * p_mult
+        limiter = TokenBucketLimiter(k, p)
+        horizon = 64 * p
+        sends = 0
+        cycle = limiter.next_send_cycle(0)
+        while cycle < horizon:
+            limiter.consume(cycle)
+            sends += 1
+            cycle = limiter.next_send_cycle(cycle + 1)
+        expected = horizon * k / p
+        assert sends == pytest.approx(expected, rel=0.1)

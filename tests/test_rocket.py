@@ -1,0 +1,108 @@
+"""Rocket core timing model (repro.tile.rocket)."""
+
+import pytest
+
+from repro.tile.caches import CacheModel, L1D_CONFIG, L2_CONFIG, MemoryHierarchy
+from repro.tile.dram import DRAMModel
+from repro.tile.rocket import ComputeBlock, RocketCore
+
+
+def fresh_core(seed=0, cpi=1.0):
+    hierarchy = MemoryHierarchy(
+        CacheModel("l1", L1D_CONFIG),
+        CacheModel("l2", L2_CONFIG),
+        DRAMModel(),
+    )
+    return RocketCore(0, hierarchy, cpi_base=cpi, seed=seed)
+
+
+class TestComputeBlock:
+    def test_more_mem_refs_than_instructions_rejected(self):
+        with pytest.raises(ValueError):
+            ComputeBlock(instructions=10, mem_refs=11)
+
+    def test_negative_counts_rejected(self):
+        with pytest.raises(ValueError):
+            ComputeBlock(instructions=-1)
+
+    def test_unknown_pattern_rejected(self):
+        with pytest.raises(ValueError):
+            ComputeBlock(instructions=10, pattern="zigzag")
+
+    def test_bad_write_fraction_rejected(self):
+        with pytest.raises(ValueError):
+            ComputeBlock(instructions=10, write_fraction=1.5)
+
+
+class TestRocketCore:
+    def test_pure_compute_costs_cpi_per_instruction(self):
+        core = fresh_core()
+        assert core.execute_block(0, ComputeBlock(instructions=1000)) == 1000
+
+    def test_cpi_floor_enforced(self):
+        with pytest.raises(ValueError):
+            fresh_core(cpi=0.5)
+
+    def test_higher_cpi_scales_compute(self):
+        core = fresh_core(cpi=1.5)
+        assert core.execute_block(0, ComputeBlock(instructions=1000)) == 1500
+
+    def test_memory_refs_add_latency(self):
+        plain = fresh_core().execute_block(0, ComputeBlock(instructions=1000))
+        with_mem = fresh_core().execute_block(
+            0,
+            ComputeBlock(
+                instructions=1000, mem_refs=100, footprint_bytes=1 << 20,
+                pattern="random",
+            ),
+        )
+        assert with_mem > plain
+
+    def test_sequential_beats_random_on_big_footprints(self):
+        footprint = 8 << 20  # far beyond L2
+        seq = fresh_core().execute_block(
+            0,
+            ComputeBlock(
+                instructions=4000, mem_refs=400, footprint_bytes=footprint,
+                pattern="seq", write_fraction=0.0,
+            ),
+        )
+        rand = fresh_core().execute_block(
+            0,
+            ComputeBlock(
+                instructions=4000, mem_refs=400, footprint_bytes=footprint,
+                pattern="random", write_fraction=0.0,
+            ),
+        )
+        # Sequential streaming enjoys row-buffer/cache-line locality.
+        assert seq <= rand
+
+    def test_deterministic_given_seed(self):
+        block = ComputeBlock(
+            instructions=2000, mem_refs=300, footprint_bytes=1 << 20,
+            pattern="random",
+        )
+        assert fresh_core(seed=7).execute_block(0, block) == fresh_core(
+            seed=7
+        ).execute_block(0, block)
+
+    def test_sampling_scales_large_blocks(self):
+        big = ComputeBlock(
+            instructions=10**6,
+            mem_refs=10**5,
+            footprint_bytes=1 << 20,
+            pattern="random",
+        )
+        core = fresh_core()
+        cycles = core.execute_block(0, big)
+        # Memory time must scale to the full ref count despite sampling.
+        assert cycles > 10**6
+        assert core.stats.mem_ref_cycles > 0
+
+    def test_stats_track_ipc(self):
+        core = fresh_core()
+        core.execute_block(0, ComputeBlock(instructions=1000))
+        assert core.stats.ipc == pytest.approx(1.0)
+
+    def test_cycles_for_instructions(self):
+        assert fresh_core(cpi=1.25).cycles_for_instructions(100) == 125

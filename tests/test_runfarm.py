@@ -1,0 +1,78 @@
+"""Run farm elaboration (repro.manager.runfarm)."""
+
+import pytest
+
+from repro.manager.runfarm import RunFarmConfig, elaborate
+from repro.manager.topology import single_rack, two_tier
+from repro.net.ethernet import mac_address
+from repro.swmodel.apps.ping import RESULT_KEY, make_ping_client
+
+
+class TestElaboration:
+    def test_nodes_get_sequential_macs_and_ips(self):
+        sim = elaborate(single_rack(4))
+        for index in range(4):
+            assert sim.blade(index).mac == mac_address(index)
+        servers = list(sim.root.iter_servers())
+        assert servers[0].ip == "10.0.0.0"
+        assert servers[3].ip == "10.0.0.3"
+
+    def test_switch_mac_tables_route_to_correct_subtree(self):
+        root = two_tier(num_racks=2, servers_per_rack=2)
+        sim = elaborate(root)
+        root_switch = sim.switches[root.switch_id]
+        # Rack 0 holds nodes 0-1 on port 0; rack 1 holds nodes 2-3 on port 1.
+        assert root_switch.mac_table[mac_address(0)] == 0
+        assert root_switch.mac_table[mac_address(1)] == 0
+        assert root_switch.mac_table[mac_address(2)] == 1
+        assert root_switch.mac_table[mac_address(3)] == 1
+        assert root_switch.default_port is None
+
+    def test_tor_default_port_is_uplink(self):
+        root = two_tier(num_racks=2, servers_per_rack=2)
+        sim = elaborate(root)
+        tor = root.downlinks[0]
+        tor_model = sim.switches[tor.switch_id]
+        assert tor_model.default_port == len(tor.downlinks)
+
+    def test_unknown_node_lookup_raises(self):
+        sim = elaborate(single_rack(2))
+        with pytest.raises(LookupError):
+            sim.blade(99)
+        with pytest.raises(LookupError):
+            sim.switch(12345)
+
+    def test_bad_config_rejected(self):
+        with pytest.raises(ValueError):
+            RunFarmConfig(link_latency_cycles=0)
+
+    def test_num_nodes(self):
+        assert elaborate(single_rack(5)).num_nodes == 5
+
+
+class TestCrossRackTraffic:
+    def test_ping_crosses_two_switch_tiers(self):
+        root = two_tier(num_racks=2, servers_per_rack=2)
+        sim = elaborate(root, RunFarmConfig(link_latency_cycles=1600))
+        target = sim.blade(3)  # other rack
+        sim.blade(0).spawn(
+            "ping", make_ping_client(target.mac, count=4, interval_cycles=50_000)
+        )
+        sim.run_seconds(0.001)
+        rtts = sim.blade(0).results[RESULT_KEY]
+        assert len(rtts) == 3
+        # Cross-rack: 8 link crossings + 4 switch latencies + SW overhead.
+        ideal = 8 * 1600 + 4 * 10
+        overhead = rtts[0] - ideal
+        assert 90_000 < overhead < 130_000  # ~34 us at 3.2 GHz
+
+    def test_same_rack_does_not_cross_root(self):
+        root = two_tier(num_racks=2, servers_per_rack=2)
+        sim = elaborate(root, RunFarmConfig(link_latency_cycles=1600))
+        target = sim.blade(1)  # same rack
+        sim.blade(0).spawn(
+            "ping", make_ping_client(target.mac, count=4, interval_cycles=50_000)
+        )
+        sim.run_seconds(0.001)
+        root_model = sim.switches[root.switch_id]
+        assert root_model.stats.packets_in == 0

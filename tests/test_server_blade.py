@@ -1,0 +1,61 @@
+"""Server blade FAME-1 endpoint (repro.swmodel.server)."""
+
+import pytest
+
+from repro.core.token import TokenBatch, TokenWindow
+from repro.swmodel.process import Compute
+from repro.swmodel.server import ServerBlade
+from repro.tile.soc import RocketChipConfig
+
+
+class TestConstruction:
+    def test_named_config(self):
+        blade = ServerBlade("node0", config="DualCore", node_index=0)
+        assert blade.config.num_cores == 2
+
+    def test_explicit_config(self):
+        blade = ServerBlade(
+            "node0", config=RocketChipConfig(num_cores=1), node_index=0
+        )
+        assert blade.soc.num_cores == 1
+
+    def test_mac_defaults_from_node_index(self):
+        blade = ServerBlade("node7", node_index=7)
+        assert blade.mac == 0x02_00_00_00_00_07
+
+    def test_single_net_port(self):
+        assert ServerBlade("n", node_index=0).ports == ["net"]
+
+
+class TestTokenContract:
+    def test_tick_conserves_tokens(self):
+        blade = ServerBlade("n", node_index=0)
+        window = TokenWindow(0, 1000)
+        outputs = blade.tick(window, {"net": TokenBatch.empty(0, 1000)})
+        assert outputs["net"].length == 1000
+        assert outputs["net"].start_cycle == 0
+
+    def test_idle_blade_emits_empty_tokens(self):
+        blade = ServerBlade("n", node_index=0)
+        window = TokenWindow(0, 1000)
+        outputs = blade.tick(window, {"net": TokenBatch.empty(0, 1000)})
+        assert outputs["net"].valid_count == 0
+
+    def test_thread_work_advances_with_windows(self):
+        blade = ServerBlade("n", node_index=0)
+
+        def body(api):
+            yield Compute(5_000)
+            api.record("done_at", api.now())
+
+        blade.spawn("w", body)
+        for start in range(0, 10_000, 1000):
+            window = TokenWindow(start, start + 1000)
+            blade.tick(window, {"net": TokenBatch.empty(start, 1000)})
+        assert "done_at" in blade.results
+        assert blade.results["done_at"][0] >= 5_000
+
+    def test_results_property_mirrors_kernel(self):
+        blade = ServerBlade("n", node_index=0)
+        blade.kernel.results["key"] = [1]
+        assert blade.results["key"] == [1]

@@ -1,0 +1,70 @@
+"""Server SoC configurations (repro.tile.soc, Table I)."""
+
+import pytest
+
+from repro.tile.soc import NAMED_CONFIGS, RocketChipConfig, config_by_name
+
+
+class TestRocketChipConfig:
+    def test_table_i_defaults(self):
+        config = RocketChipConfig()
+        assert config.num_cores == 4
+        assert config.freq_hz == 3.2e9
+        assert config.l1i.size_bytes == 16 * 1024
+        assert config.l1d.size_bytes == 16 * 1024
+        assert config.l2.size_bytes == 256 * 1024
+        assert config.dram.capacity_bytes == 16 * 1024**3
+        assert config.nic_bandwidth_bps == 200e9
+
+    def test_core_count_bounds(self):
+        with pytest.raises(ValueError):
+            RocketChipConfig(num_cores=0)
+        with pytest.raises(ValueError):
+            RocketChipConfig(num_cores=5)
+
+    def test_unknown_accelerator_rejected(self):
+        with pytest.raises(ValueError):
+            RocketChipConfig(accelerators=("tpu",))
+
+    def test_clock_property(self):
+        assert RocketChipConfig().clock.cycles(2e-6) == 6400
+
+
+class TestNamedConfigs:
+    def test_quadcore_present(self):
+        assert config_by_name("QuadCore").num_cores == 4
+
+    def test_all_names_resolve(self):
+        for name in NAMED_CONFIGS:
+            assert config_by_name(name).name == name
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(ValueError, match="unknown server configuration"):
+            config_by_name("OctoCore")
+
+    def test_accelerated_variants(self):
+        assert "hwacha" in config_by_name("QuadCoreHwacha").accelerators
+        assert "pfa" in config_by_name("QuadCorePFA").accelerators
+
+
+class TestElaboration:
+    def test_build_produces_cores_and_shared_l2(self):
+        soc = config_by_name("QuadCore").build()
+        assert len(soc.cores) == 4
+        assert soc.cores[0].hierarchy.l2 is soc.cores[3].hierarchy.l2
+
+    def test_dma_hierarchy_shares_l2_and_dram(self):
+        soc = config_by_name("DualCore").build()
+        assert soc.dma_hierarchy.l2 is soc.l2
+        assert soc.dma_hierarchy.dram is soc.dram
+
+    def test_accelerator_lookup(self):
+        soc = config_by_name("QuadCoreHwacha").build()
+        assert soc.accelerator("hwacha") is not None
+        with pytest.raises(LookupError):
+            soc.accelerator("hls")
+
+    def test_cores_have_private_l1(self):
+        soc = config_by_name("QuadCore").build()
+        l1s = {id(core.hierarchy.l1d) for core in soc.cores}
+        assert len(l1s) == 4

@@ -1,0 +1,145 @@
+"""Pluggable storage timing models (repro.blockdev.storage_models, §VIII)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.blockdev.storage_models import (
+    DiskTiming,
+    SSDTiming,
+    TimedStorageDevice,
+    XPointTiming,
+    storage_model,
+)
+
+
+class TestRegistry:
+    def test_three_technologies(self):
+        assert storage_model("disk").name == "disk"
+        assert storage_model("ssd").name == "ssd"
+        assert storage_model("3dxpoint").name == "3dxpoint"
+
+    def test_unknown_rejected(self):
+        with pytest.raises(ValueError):
+            storage_model("mram")
+
+
+class TestLatencyOrdering:
+    def test_technology_hierarchy_for_small_reads(self):
+        """XPoint < SSD < disk for a 4 KiB random read (the §VIII point
+        of pluggable models: the hierarchy gaps are orders of magnitude)."""
+        read = lambda timing: timing.request_cycles(1_000_000, 8, False, 0)
+        disk = read(DiskTiming())
+        ssd = read(SSDTiming())
+        xpoint = read(XPointTiming())
+        assert xpoint < ssd < disk
+        assert disk / xpoint > 100
+
+    def test_ssd_write_slower_than_read(self):
+        ssd = SSDTiming()
+        read = ssd.request_cycles(0, 64, False, 0)
+        write = ssd.request_cycles(0, 64, True, 0)
+        assert write > read
+
+    def test_disk_seek_depends_on_distance(self):
+        disk = DiskTiming()
+        near = disk.request_cycles(1000, 8, False, 992)
+        far = disk.request_cycles(16_000_000, 8, False, 0)
+        assert far > near
+
+    def test_xpoint_write_penalty(self):
+        xpoint = XPointTiming()
+        assert xpoint.request_cycles(0, 8, True, 0) > xpoint.request_cycles(
+            0, 8, False, 0
+        )
+
+    def test_ssd_channels_parallelize(self):
+        wide = SSDTiming(channels=8)
+        narrow = SSDTiming(channels=1)
+        assert wide.request_cycles(0, 64, False, 0) < narrow.request_cycles(
+            0, 64, False, 0
+        )
+
+
+class TestTimedStorageDevice:
+    def test_requests_serialize_on_device(self):
+        device = TimedStorageDevice(XPointTiming())
+        first = device.submit(0, 0, 8, False)
+        second = device.submit(0, 64, 8, False)
+        assert second > first
+
+    def test_out_of_range_rejected(self):
+        device = TimedStorageDevice(SSDTiming(), capacity_sectors=100)
+        with pytest.raises(ValueError):
+            device.submit(0, 99, 2, False)
+        with pytest.raises(ValueError):
+            device.submit(0, 0, 0, False)
+
+    def test_sequential_disk_stream_faster_than_random(self):
+        def total(addresses):
+            device = TimedStorageDevice(DiskTiming())
+            cycle = 0
+            for sector in addresses:
+                cycle = device.submit(cycle, sector, 64, False)
+            return cycle
+
+        sequential = total(range(0, 64 * 32, 64))
+        random_ish = total([(i * 7_919_113) % 30_000_000 for i in range(32)])
+        assert sequential < random_ish
+
+    @settings(max_examples=25)
+    @given(
+        st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=1_000_000),
+                st.integers(min_value=1, max_value=256),
+                st.booleans(),
+            ),
+            min_size=1,
+            max_size=30,
+        )
+    )
+    def test_completions_monotone_for_all_models(self, requests):
+        for name in ("disk", "ssd", "3dxpoint"):
+            device = TimedStorageDevice(storage_model(name))
+            last = 0
+            for sector, count, is_write in requests:
+                done = device.submit(0, sector, count, is_write)
+                assert done >= last
+                last = done
+
+
+class TestControllerIntegration:
+    """The §VIII plug point: the block device controller accepts a
+    technology model in place of its fixed constants."""
+
+    def _controller(self, timing):
+        from repro.blockdev.controller import BlockDeviceController
+        from repro.tile.caches import (
+            CacheModel,
+            L1D_CONFIG,
+            L2_CONFIG,
+            MemoryHierarchy,
+        )
+        from repro.tile.dram import DRAMModel
+
+        hierarchy = MemoryHierarchy(
+            CacheModel("l1", L1D_CONFIG), CacheModel("l2", L2_CONFIG), DRAMModel()
+        )
+        return BlockDeviceController("blkdev", hierarchy, timing=timing)
+
+    def test_xpoint_controller_faster_than_disk_controller(self):
+        from repro.blockdev.controller import BlockRequest
+
+        fast = self._controller(XPointTiming())
+        slow = self._controller(DiskTiming())
+        request = BlockRequest(1_000_000, 8, 0x1000, is_write=False)
+        fast.allocate(0, request)
+        slow.allocate(0, BlockRequest(1_000_000, 8, 0x1000, is_write=False))
+        assert fast.completion_queue[0][0] < slow.completion_queue[0][0]
+
+    def test_default_constant_model_still_works(self):
+        from repro.blockdev.controller import BlockRequest
+
+        dev = self._controller(None)
+        dev.allocate(0, BlockRequest(0, 4, 0, is_write=False))
+        assert dev.completion_queue

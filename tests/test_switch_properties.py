@@ -1,0 +1,118 @@
+"""Property-based tests on the switch model's invariants."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.token import TokenBatch, TokenWindow
+from repro.net.ethernet import EthernetFrame, mac_address
+from repro.net.switch import SwitchConfig, SwitchModel
+
+
+def drive(switch, windows, injections_per_window):
+    """Tick the switch over several windows with scripted injections."""
+    collected = {p: [] for p in range(switch.config.num_ports)}
+    for window_index in range(windows):
+        start = window_index * 512
+        window = TokenWindow(start, start + 512)
+        inputs = {}
+        for port in range(switch.config.num_ports):
+            batch = TokenBatch.empty(start, 512)
+            for offset, frame in injections_per_window.get(
+                (window_index, port), []
+            ):
+                for index, flit in enumerate(frame.to_flits()):
+                    batch.add(start + offset + index, flit)
+            inputs[f"port{port}"] = batch
+        outputs = switch.tick(window, inputs)
+        for port in range(switch.config.num_ports):
+            for cycle, flit in outputs[f"port{port}"].iter_flits():
+                if flit.last:
+                    collected[port].append((cycle, flit.data.frame_id))
+    return collected
+
+
+@st.composite
+def traffic_pattern(draw):
+    """Random (window, ingress port, offset) injections toward port 2."""
+    injections = {}
+    count = draw(st.integers(min_value=1, max_value=12))
+    for _ in range(count):
+        window = draw(st.integers(min_value=0, max_value=3))
+        port = draw(st.integers(min_value=0, max_value=1))
+        offset = draw(st.integers(min_value=0, max_value=400))
+        frame = EthernetFrame(
+            src=mac_address(port), dst=mac_address(9), size_bytes=64
+        )
+        injections.setdefault((window, port), []).append((offset, frame))
+    # Keep flits within one port's window: drop overlapping offsets.
+    for key, entries in injections.items():
+        entries.sort(key=lambda entry: entry[0])
+        pruned = []
+        cursor = -1
+        for offset, frame in entries:
+            if offset > cursor:
+                pruned.append((offset, frame))
+                cursor = offset + frame.flit_count
+        injections[key] = pruned
+    return injections
+
+
+class TestSwitchInvariants:
+    @settings(max_examples=30)
+    @given(traffic_pattern())
+    def test_no_packet_loss_or_duplication_without_congestion(self, injections):
+        switch = SwitchModel(
+            "sw",
+            SwitchConfig(num_ports=3, buffer_flits=10**6),
+            mac_table={mac_address(9): 2},
+        )
+        collected = drive(switch, 8, injections)
+        sent_ids = sorted(
+            frame.frame_id
+            for entries in injections.values()
+            for _, frame in entries
+        )
+        received_ids = sorted(frame_id for _, frame_id in collected[2])
+        assert received_ids == sent_ids
+        assert not collected[0] and not collected[1]
+
+    @settings(max_examples=30)
+    @given(traffic_pattern())
+    def test_per_flow_fifo_ordering(self, injections):
+        """Packets from one ingress port leave in arrival order."""
+        switch = SwitchModel(
+            "sw",
+            SwitchConfig(num_ports=3, buffer_flits=10**6),
+            mac_table={mac_address(9): 2},
+        )
+        # Record per-port arrival order of frame ids.
+        arrival_order = {0: [], 1: []}
+        for (window, port), entries in sorted(injections.items()):
+            for offset, frame in sorted(entries, key=lambda e: e[0]):
+                arrival_order[port].append(frame.frame_id)
+        collected = drive(switch, 8, injections)
+        egress_ids = [frame_id for _, frame_id in sorted(collected[2])]
+        for port, expected in arrival_order.items():
+            seen = [fid for fid in egress_ids if fid in set(expected)]
+            assert seen == expected
+
+    @settings(max_examples=20)
+    @given(traffic_pattern())
+    def test_egress_never_precedes_min_switch_latency(self, injections):
+        latency = 25
+        switch = SwitchModel(
+            "sw",
+            SwitchConfig(num_ports=3, min_latency_cycles=latency,
+                         buffer_flits=10**6),
+            mac_table={mac_address(9): 2},
+        )
+        ingress_last_flit = {}
+        for (window, port), entries in injections.items():
+            for offset, frame in entries:
+                ingress_last_flit[frame.frame_id] = (
+                    window * 512 + offset + frame.flit_count - 1
+                )
+        collected = drive(switch, 8, injections)
+        for cycle, frame_id in collected[2]:
+            # Last egress flit >= ingress last flit + latency + (flits-1).
+            assert cycle >= ingress_last_flit[frame_id] + latency + 7

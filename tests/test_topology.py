@@ -1,0 +1,107 @@
+"""Topology DSL (repro.manager.topology, Figure 4)."""
+
+import pytest
+
+from repro.manager.topology import (
+    ServerNode,
+    SwitchNode,
+    datacenter_tree,
+    single_rack,
+    two_tier,
+    validate_topology,
+)
+
+
+class TestFigure4Example:
+    def test_paper_configuration_snippet(self):
+        """The exact construction shown in Figure 4."""
+        root = SwitchNode()
+        level2switches = [SwitchNode() for _ in range(8)]
+        servers = [
+            [ServerNode("QuadCore") for _ in range(8)] for _ in range(8)
+        ]
+        root.add_downlinks(level2switches)
+        for switch, rack in zip(level2switches, servers):
+            switch.add_downlinks(rack)
+        validate_topology(root)
+        assert len(list(root.iter_servers())) == 64
+        assert len(list(root.iter_switches())) == 9
+        assert root.depth() == 2
+
+
+class TestDSL:
+    def test_unknown_server_type_rejected_eagerly(self):
+        with pytest.raises(ValueError):
+            ServerNode("WarpCore")
+
+    def test_double_uplink_rejected(self):
+        server = ServerNode()
+        SwitchNode().add_downlinks([server])
+        with pytest.raises(ValueError, match="already has an uplink"):
+            SwitchNode().add_downlinks([server])
+
+    def test_self_link_rejected(self):
+        switch = SwitchNode()
+        with pytest.raises(ValueError):
+            switch.add_downlinks([switch])
+
+    def test_num_ports_counts_uplink(self):
+        root = SwitchNode()
+        tor = SwitchNode()
+        tor.add_downlinks([ServerNode() for _ in range(4)])
+        root.add_downlinks([tor])
+        assert tor.num_ports == 5
+        assert root.num_ports == 1
+
+    def test_iter_servers_is_deterministic_preorder(self):
+        root = two_tier(num_racks=2, servers_per_rack=2)
+        first = [id(s) for s in root.iter_servers()]
+        second = [id(s) for s in root.iter_servers()]
+        assert first == second
+        assert len(first) == 4
+
+
+class TestValidation:
+    def test_empty_switch_rejected(self):
+        with pytest.raises(ValueError, match="no downlinks"):
+            validate_topology(SwitchNode())
+
+    def test_serverless_topology_rejected(self):
+        root = SwitchNode()
+        tor = SwitchNode()
+        tor.add_downlinks([ServerNode()])
+        root.add_downlinks([tor])
+        validate_topology(root)  # fine
+        empty_root = SwitchNode()
+        inner = SwitchNode()
+        inner.add_downlinks([SwitchNode()])
+        empty_root.add_downlinks([inner])
+        with pytest.raises(ValueError):
+            validate_topology(empty_root)
+
+
+class TestCannedTopologies:
+    def test_single_rack(self):
+        root = single_rack(8)
+        assert len(list(root.iter_servers())) == 8
+        assert root.depth() == 1
+
+    def test_two_tier_matches_figure_1(self):
+        root = two_tier(num_racks=8, servers_per_rack=8)
+        assert len(list(root.iter_servers())) == 64
+        assert len(list(root.iter_switches())) == 9
+
+    def test_datacenter_tree_matches_figure_10(self):
+        root = datacenter_tree()
+        servers = list(root.iter_servers())
+        switches = list(root.iter_switches())
+        assert len(servers) == 1024
+        # 1 root + 4 aggregation + 32 ToR.
+        assert len(switches) == 37
+        assert root.depth() == 3
+        # Root has 4 downlinks; each aggregation has 8; ToRs have 32.
+        assert len(root.downlinks) == 4
+        tor_port_counts = {
+            s.num_ports for s in switches if s.depth() == 1
+        }
+        assert tor_port_counts == {33}

@@ -1,0 +1,76 @@
+"""UART console and the Linux boot model."""
+
+import pytest
+
+from repro.manager.runfarm import elaborate
+from repro.manager.topology import single_rack
+from repro.swmodel.apps.boot import BootConfig, booted_cycle, make_linux_boot
+from repro.tile.uart import UART, UARTConfig
+
+
+class TestUART:
+    def test_characters_serialize_at_baud_rate(self):
+        uart = UART("u", UARTConfig(baud_rate=115_200))
+        per_char = uart.config.cycles_per_char
+        done = uart.write(0, "ab")
+        assert done == 2 * per_char
+
+    def test_lines_timestamped_on_newline(self):
+        uart = UART("u")
+        uart.write(0, "hello\nworld\n")
+        assert uart.lines() == ["hello", "world"]
+        first_cycle, _ = uart.log[0]
+        second_cycle, _ = uart.log[1]
+        assert second_cycle > first_cycle
+
+    def test_partial_line_needs_flush(self):
+        uart = UART("u")
+        uart.write(0, "no newline")
+        assert uart.lines() == []
+        uart.flush(10**9)
+        assert uart.lines() == ["no newline"]
+
+    def test_back_to_back_writes_queue(self):
+        uart = UART("u")
+        first_done = uart.write(0, "a")
+        second_done = uart.write(0, "b")
+        assert second_done == 2 * uart.config.cycles_per_char
+        assert second_done > first_done
+
+    def test_bad_baud_rejected(self):
+        with pytest.raises(ValueError):
+            UARTConfig(baud_rate=0)
+
+
+class TestLinuxBoot:
+    def test_boot_reaches_userspace_and_logs_banner(self):
+        sim = elaborate(single_rack(2))
+        blade = sim.blade(0)
+        blade.spawn("init", make_linux_boot())
+        sim.run_seconds(0.006)
+        cycle = booted_cycle(blade.results)
+        assert cycle >= BootConfig().total_cycles
+        lines = blade.uart.lines()
+        assert lines[0].startswith("OpenSBI")
+        assert lines[-1] == "reboot: Power down"
+        # UART timestamps are monotone and match the boot progression.
+        stamps = [c for c, _ in blade.uart.log]
+        assert stamps == sorted(stamps)
+
+    def test_unbooted_blade_raises(self):
+        sim = elaborate(single_rack(2))
+        with pytest.raises(LookupError):
+            booted_cycle(sim.blade(0).results)
+
+    def test_console_requires_uart(self):
+        sim = elaborate(single_rack(2))
+        blade = sim.blade(0)
+        blade.kernel.uart = None
+
+        def body(api):
+            api.console("boom")
+            yield from ()
+
+        blade.spawn("bad", body)
+        with pytest.raises(RuntimeError, match="no UART"):
+            sim.run_seconds(0.0001)

@@ -1,0 +1,71 @@
+"""Unit-conversion helpers (repro.core.units)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core import units
+
+
+class TestCycleConversions:
+    def test_two_microseconds_at_3_2ghz(self):
+        assert units.cycles_from_seconds(2e-6, 3.2e9) == 6400
+
+    def test_zero_duration(self):
+        assert units.cycles_from_seconds(0.0, 3.2e9) == 0
+
+    def test_negative_duration_rejected(self):
+        with pytest.raises(ValueError):
+            units.cycles_from_seconds(-1e-9, 3.2e9)
+
+    def test_seconds_roundtrip(self):
+        assert units.seconds_from_cycles(6400, 3.2e9) == pytest.approx(2e-6)
+
+    @given(st.integers(min_value=0, max_value=10**12))
+    def test_roundtrip_is_identity_on_whole_cycles(self, cycles):
+        freq = 3.2e9
+        seconds = units.seconds_from_cycles(cycles, freq)
+        assert units.cycles_from_seconds(seconds, freq) == cycles
+
+
+class TestBandwidth:
+    def test_link_bandwidth_is_204_8_gbps(self):
+        assert units.link_bandwidth_bps(3.2e9) == pytest.approx(204.8e9)
+
+    def test_bits_per_cycle(self):
+        assert units.bits_per_cycle(204.8e9, 3.2e9) == pytest.approx(64.0)
+
+    def test_gbps_helper(self):
+        assert units.gbps(1.5) == 1.5e9
+
+
+class TestFlits:
+    def test_exact_multiple(self):
+        assert units.flits_for_bytes(64) == 8
+
+    def test_rounds_up(self):
+        assert units.flits_for_bytes(65) == 9
+
+    def test_zero_bytes_still_one_token(self):
+        assert units.flits_for_bytes(0) == 1
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            units.flits_for_bytes(-1)
+
+    def test_mtu_frame(self):
+        # 1514-byte frame -> 190 flits of 8 bytes.
+        assert units.flits_for_bytes(1514) == 190
+
+    @given(st.integers(min_value=1, max_value=10**6))
+    def test_flit_count_covers_bytes(self, size):
+        flits = units.flits_for_bytes(size)
+        assert flits * units.FLIT_BYTES >= size
+        assert (flits - 1) * units.FLIT_BYTES < size
+
+
+class TestTimeHelpers:
+    def test_microseconds(self):
+        assert units.microseconds(2.0) == pytest.approx(2e-6)
+
+    def test_nanoseconds(self):
+        assert units.nanoseconds(5.0) == pytest.approx(5e-9)

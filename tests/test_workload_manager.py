@@ -1,0 +1,107 @@
+"""Workload runner and manager lifecycle (repro.manager)."""
+
+import pytest
+
+from repro.manager.manager import FireSimManager, ManagerError
+from repro.manager.topology import single_rack, two_tier
+from repro.manager.workload import WorkloadSpec
+from repro.swmodel.apps.ping import RESULT_KEY, make_ping_client
+from repro.swmodel.process import Compute
+
+
+def compute_job(blade):
+    def body(api):
+        yield Compute(1000)
+        api.record("done", api.now())
+
+    blade.spawn("job", body)
+
+
+class TestWorkloadSpec:
+    def test_add_job_chains(self):
+        spec = WorkloadSpec("w").add_job(0, "a", compute_job).add_job(
+            1, "b", compute_job
+        )
+        assert [j.name for j in spec.jobs] == ["a", "b"]
+
+    def test_validation_catches_bad_node(self):
+        manager = FireSimManager(single_rack(2))
+        manager.buildafi()
+        manager.launchrunfarm()
+        sim = manager.infrasetup()
+        spec = WorkloadSpec("w").add_job(5, "ghost", compute_job)
+        with pytest.raises(ValueError, match="nonexistent node"):
+            manager.runworkload(spec)
+
+
+class TestManagerLifecycle:
+    def test_verbs_must_run_in_order(self):
+        manager = FireSimManager(single_rack(2))
+        with pytest.raises(ManagerError):
+            manager.infrasetup()
+        manager.launchrunfarm()
+        with pytest.raises(ManagerError):
+            manager.infrasetup()  # buildafi still missing
+        manager.buildafi()
+        manager.infrasetup()
+
+    def test_cost_and_rate_require_launch(self):
+        manager = FireSimManager(single_rack(2))
+        with pytest.raises(ManagerError):
+            manager.cost_report()
+        with pytest.raises(ManagerError):
+            manager.rate_estimate()
+
+    def test_runworkload_requires_infrasetup(self):
+        manager = FireSimManager(single_rack(2))
+        with pytest.raises(ManagerError):
+            manager.runworkload(WorkloadSpec("w"))
+
+    def test_terminate_clears_state(self):
+        manager = FireSimManager(single_rack(2))
+        manager.buildafi()
+        manager.launchrunfarm()
+        manager.infrasetup()
+        manager.terminaterunfarm()
+        assert manager.running is None
+        assert manager.deployment is None
+
+    def test_buildafi_covers_distinct_server_types(self):
+        root = single_rack(2)
+        manager = FireSimManager(root)
+        results = manager.buildafi()
+        assert [r.config_name for r in results] == ["QuadCore"]
+
+
+class TestEndToEnd:
+    def test_full_lifecycle_with_ping_workload(self):
+        manager = FireSimManager(two_tier(num_racks=2, servers_per_rack=2))
+        manager.buildafi()
+        deployment = manager.launchrunfarm()
+        assert deployment.instance_counts["f1.16xlarge"] == 1
+        sim = manager.infrasetup()
+        target_mac = sim.blade(2).mac
+        workload = WorkloadSpec("ping", duration_seconds=0.001)
+        workload.add_job(
+            0,
+            "ping",
+            lambda blade: blade.spawn(
+                "ping",
+                make_ping_client(target_mac, count=3, interval_cycles=80_000),
+            ),
+        )
+        result = manager.runworkload(workload)
+        assert len(result.results_for(0)[RESULT_KEY]) == 2
+        assert result.merged(RESULT_KEY) == result.results_for(0)[RESULT_KEY]
+
+    def test_collected_results_cover_all_nodes(self):
+        manager = FireSimManager(single_rack(3))
+        manager.buildafi()
+        manager.launchrunfarm()
+        manager.infrasetup()
+        workload = WorkloadSpec("compute", duration_seconds=0.0001)
+        for node in range(3):
+            workload.add_job(node, f"job{node}", compute_job)
+        result = manager.runworkload(workload)
+        for node in range(3):
+            assert "done" in result.results_for(node)
