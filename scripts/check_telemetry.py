@@ -1,0 +1,110 @@
+#!/usr/bin/env python
+"""Validate telemetry artifacts exported by --telemetry-out.
+
+Usage: python scripts/check_telemetry.py OUT_DIR
+
+Checks that OUT_DIR holds a metrics.json conforming to the
+repro.obs.metrics/v1 schema (with the keys the acceptance criteria
+demand), a metrics.csv with the expected header, and a trace.json that
+is a structurally valid Chrome trace_event document. Exits non-zero
+with a message on the first violation; prints a one-line summary on
+success. Intended for CI smoke tests — stdlib only.
+"""
+
+import json
+import os
+import sys
+
+REQUIRED_METRICS = ("sim.rounds", "sim.cycles", "sim.rate_mhz")
+SWITCH_SUFFIXES = (".packets_dropped", ".bytes_in", ".bytes_out")
+VALID_PHASES = set("BEXibsfnMmpPOND(){}cv")
+
+
+def fail(message):
+    print(f"check_telemetry: FAIL: {message}", file=sys.stderr)
+    raise SystemExit(1)
+
+
+def load_json(path):
+    if not os.path.exists(path):
+        fail(f"missing artifact: {path}")
+    with open(path) as fh:
+        try:
+            return json.load(fh)
+        except ValueError as exc:
+            fail(f"{path} is not valid JSON: {exc}")
+
+
+def check_metrics(out_dir):
+    document = load_json(os.path.join(out_dir, "metrics.json"))
+    schema = document.get("schema")
+    if schema != "repro.obs.metrics/v1":
+        fail(f"metrics.json schema is {schema!r}")
+    metrics = document.get("metrics")
+    if not isinstance(metrics, dict) or not metrics:
+        fail("metrics.json has no metrics")
+    for name in REQUIRED_METRICS:
+        if name not in metrics:
+            fail(f"metrics.json missing {name}")
+        if not isinstance(metrics[name], (int, float)):
+            fail(f"{name} is not numeric: {metrics[name]!r}")
+    switch_keys = [k for k in metrics if k.startswith("switch.")]
+    for suffix in SWITCH_SUFFIXES:
+        if not any(k.endswith(suffix) for k in switch_keys):
+            fail(f"no switch.*{suffix} metric")
+    rate = document.get("rate")
+    if not isinstance(rate, dict) or "rate_mhz" not in rate:
+        fail("metrics.json missing the rate report")
+    return len(metrics)
+
+
+def check_csv(out_dir):
+    path = os.path.join(out_dir, "metrics.csv")
+    if not os.path.exists(path):
+        fail(f"missing artifact: {path}")
+    with open(path) as fh:
+        header = fh.readline().strip()
+        rows = sum(1 for _ in fh)
+    if header != "name,value":
+        fail(f"metrics.csv header is {header!r}")
+    if rows == 0:
+        fail("metrics.csv has no data rows")
+    return rows
+
+
+def check_trace(out_dir):
+    document = load_json(os.path.join(out_dir, "trace.json"))
+    events = document.get("traceEvents")
+    if not isinstance(events, list) or not events:
+        fail("trace.json has no traceEvents")
+    for index, event in enumerate(events):
+        for key in ("name", "ph", "pid", "tid"):
+            if key not in event:
+                fail(f"traceEvents[{index}] missing {key!r}")
+        if event["ph"] not in VALID_PHASES:
+            fail(f"traceEvents[{index}] has unknown phase {event['ph']!r}")
+        if event["ph"] == "X" and "dur" not in event:
+            fail(f"traceEvents[{index}] is a complete event without dur")
+    names = {e["name"] for e in events}
+    if "runworkload" not in names:
+        fail("trace.json lacks the runworkload manager span")
+    return len(events)
+
+
+def main(argv):
+    if len(argv) != 2:
+        print(__doc__, file=sys.stderr)
+        return 2
+    out_dir = argv[1]
+    metrics = check_metrics(out_dir)
+    rows = check_csv(out_dir)
+    events = check_trace(out_dir)
+    print(
+        f"check_telemetry: OK ({metrics} metrics, {rows} csv rows, "
+        f"{events} trace events)"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv))

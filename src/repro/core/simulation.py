@@ -25,7 +25,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 from math import gcd
-from typing import Dict, List, Optional, Tuple
+from time import perf_counter
+from typing import Any, Dict, List, Optional, Tuple
 
 from repro.core.channel import Link, LinkEndpoint
 from repro.core.clock import DEFAULT_CLOCK, TargetClock
@@ -82,6 +83,10 @@ class Simulation:
         self._attachments: Dict[Tuple[int, str], _Attachment] = {}
         self.current_cycle = 0
         self.stats = SimulationStats()
+        #: Optional round observer (a :class:`repro.obs.rate.RateMonitor`).
+        #: When None the round loop takes the unobserved fast path, so an
+        #: untelemetered run pays one None check per round.
+        self.observer: Optional[Any] = None
         self._started = False
         if quantum_override is not None and quantum_override < 1:
             raise ValueError("quantum override must be >= 1 cycle")
@@ -183,6 +188,9 @@ class Simulation:
         self.run_cycles(self.clock.cycles(seconds))
 
     def _run_round(self, quantum: int) -> None:
+        if self.observer is not None:
+            self._run_round_observed(quantum)
+            return
         window = TokenWindow(self.current_cycle, self.current_cycle + quantum)
         for model in self.models:
             inputs = {
@@ -197,6 +205,41 @@ class Simulation:
         self.current_cycle = window.end
         self.stats.rounds += 1
         self.stats.cycles += quantum
+
+    def _run_round_observed(self, quantum: int) -> None:
+        """The observed twin of :meth:`_run_round`.
+
+        Identical token movement, but each model tick is bracketed with
+        host timestamps reported to the observer (per-model tick spans
+        and per-round wall clock).  Kept separate so the unobserved path
+        carries no timing calls at all.
+        """
+        observer = self.observer
+        window = TokenWindow(self.current_cycle, self.current_cycle + quantum)
+        round_start = perf_counter()
+        for model in self.models:
+            inputs = {
+                port: self._attachments[(id(model), port)].receive(quantum)
+                for port in model.ports
+            }
+            tick_start = perf_counter()
+            outputs = model.tick(window, inputs)
+            tick_end = perf_counter()
+            observer.record_model_tick(
+                model.name, tick_start, tick_end, window.start, window.end
+            )
+            for port, batch in outputs.items():
+                self._attachments[(id(model), port)].transmit(batch)
+                self.stats.tokens_moved += batch.length
+                self.stats.valid_tokens_moved += batch.valid_count
+        self.current_cycle = window.end
+        self.stats.rounds += 1
+        self.stats.cycles += quantum
+        observer.record_round(quantum, perf_counter() - round_start)
+
+    def register_metrics(self, registry: Any, prefix: str = "sim") -> None:
+        """Expose the aggregate counters through a metrics registry."""
+        registry.register_source(prefix, self.stats)
 
     # -- inspection --------------------------------------------------------
 

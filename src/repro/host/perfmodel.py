@@ -107,6 +107,17 @@ class RateEstimate:
         """How many times slower than the target machine (e.g. 3.2 GHz)."""
         return target_hz / self.rate_hz
 
+    def prediction_error(self, measured_hz: float) -> float:
+        """Signed relative error of this prediction vs a measured rate.
+
+        ``measured_hz`` typically comes from a live
+        :class:`repro.obs.rate.RateMonitor` report; positive means the
+        model over-predicted.
+        """
+        if measured_hz <= 0.0:
+            raise ValueError("measured rate must be positive")
+        return (self.rate_hz - measured_hz) / measured_hz
+
 
 class SimulationRateModel:
     """Analytic round-time model of the distributed token simulation."""

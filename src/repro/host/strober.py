@@ -172,3 +172,18 @@ class StroberSampler:
             freq_hz=self.power_model.freq_hz,
             samples=len(self.samples),
         )
+
+    def register_metrics(self, registry, prefix: Optional[str] = None) -> None:
+        """Expose the live energy estimate through callback gauges.
+
+        Registered under ``strober.<blade>.*`` by default; values track
+        :meth:`report` as more samples arrive.
+        """
+        prefix = prefix or f"strober.{self.blade.name}"
+        registry.gauge(f"{prefix}.samples", lambda: float(len(self.samples)))
+        registry.gauge(
+            f"{prefix}.total_energy_j", lambda: self.report().total_energy_j
+        )
+        registry.gauge(
+            f"{prefix}.average_power_w", lambda: self.report().average_power_w
+        )

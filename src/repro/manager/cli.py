@@ -12,13 +12,27 @@ reproduction::
 
 Verbs run left to right against one manager instance, so a full
 build-deploy-run-collect session is a single invocation.
+
+Observability:
+
+* ``status`` (a verb, usually placed after ``runworkload``) prints the
+  *measured* simulation rate and per-model host-time profile from the
+  live :class:`~repro.obs.rate.RateMonitor`, next to the perf model's
+  prediction;
+* ``--telemetry-out DIR`` dumps ``metrics.json``/``metrics.csv`` and a
+  Chrome ``trace.json`` (open in ``chrome://tracing`` or Perfetto)
+  after the verbs complete;
+* ``--json`` replaces the free-form text with one machine-parseable
+  JSON object on stdout — ``{"verbs": {<verb>: <summary>, ...}}`` —
+  for scripting runs.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
-from typing import Callable, Dict, List, Optional, Sequence
+from typing import Any, Callable, Dict, List, Optional, Sequence
 
 from repro.experiments.common import cycles_to_us
 from repro.manager.manager import FireSimManager
@@ -40,6 +54,7 @@ VERBS = (
     "launchrunfarm",
     "infrasetup",
     "runworkload",
+    "status",
     "terminaterunfarm",
 )
 
@@ -99,7 +114,111 @@ def make_parser() -> argparse.ArgumentParser:
     parser.add_argument("--workload", default="ping", choices=("ping", "boot"))
     parser.add_argument("--duration-ms", type=float, default=4.0)
     parser.add_argument("--ping-count", type=int, default=10)
+    parser.add_argument("--json", action="store_true",
+                        help="print one JSON object instead of text")
+    parser.add_argument("--telemetry-out", metavar="DIR", default=None,
+                        help="dump metrics.json/metrics.csv/trace.json here")
     return parser
+
+
+def _run_verb(
+    verb: str, args: argparse.Namespace, manager: FireSimManager
+) -> tuple:
+    """Execute one verb; returns (human lines, JSON summary)."""
+    if verb == "buildafi":
+        results = manager.buildafi()
+        lines = [
+            f"built {r.config_name}: {r.agfi}"
+            + (" (cached)" if r.from_cache else "")
+            for r in results
+        ]
+        lines.append(
+            f"build farm makespan: {manager.build_makespan_hours:.1f} h"
+        )
+        return lines, {
+            "builds": [
+                {"config": r.config_name, "agfi": r.agfi,
+                 "cached": r.from_cache}
+                for r in results
+            ],
+            "makespan_hours": manager.build_makespan_hours,
+        }
+
+    if verb == "launchrunfarm":
+        deployment = manager.launchrunfarm()
+        cost = manager.cost_report()
+        rate = manager.rate_estimate()
+        lines = [
+            f"launched: {deployment.instance_counts}",
+            str(cost),
+            f"predicted rate: {rate.rate_mhz:.2f} MHz",
+        ]
+        return lines, {
+            "instances": dict(deployment.instance_counts),
+            "spot_per_hour": cost.spot_per_hour,
+            "predicted_rate_mhz": rate.rate_mhz,
+        }
+
+    if verb == "infrasetup":
+        sim = manager.infrasetup()
+        lines = [
+            f"simulation elaborated: {sim.num_nodes} nodes, "
+            f"{len(sim.switches)} switches"
+        ]
+        return lines, {
+            "nodes": sim.num_nodes,
+            "switches": len(sim.switches),
+        }
+
+    if verb == "runworkload":
+        workload = build_workload(args, manager)
+        result = manager.runworkload(workload)
+        lines = [
+            f"workload {result.workload_name!r} ran to "
+            f"{result.target_seconds * 1e3:.2f} ms of target time"
+        ]
+        summary: Dict[str, Any] = {
+            "workload": result.workload_name,
+            "target_ms": result.target_seconds * 1e3,
+        }
+        rtts = result.merged(PING_KEY)
+        if rtts:
+            mean = sum(rtts) / len(rtts)
+            lines.append(
+                f"ping: {len(rtts)} samples, mean RTT "
+                f"{cycles_to_us(mean):.2f} us"
+            )
+            summary["ping"] = {
+                "samples": len(rtts),
+                "mean_rtt_us": cycles_to_us(mean),
+            }
+        return lines, summary
+
+    if verb == "status":
+        report = manager.rate_report()
+        lines = [
+            f"measured rate: {report.rate_mhz:.3f} MHz "
+            f"({report.rounds} rounds, {report.cycles} cycles, "
+            f"{report.wall_seconds:.3f} s host)",
+        ]
+        summary = {"rate": report.to_dict()}
+        for name, share in list(report.host_time_shares.items())[:5]:
+            lines.append(f"  {name}: {share * 100.0:.1f}% of host time")
+        if manager.deployment is not None:
+            predicted = manager.rate_estimate()
+            lines.append(f"predicted rate: {predicted.rate_mhz:.2f} MHz")
+            summary["predicted_rate_mhz"] = predicted.rate_mhz
+            if report.rate_hz > 0.0:
+                error = predicted.prediction_error(report.rate_hz)
+                lines.append(f"prediction error: {error * 100.0:+.0f}%")
+                summary["prediction_error"] = error
+        return lines, summary
+
+    if verb == "terminaterunfarm":
+        manager.terminaterunfarm()
+        return ["run farm terminated"], {"terminated": True}
+
+    raise ValueError(f"unknown verb {verb!r}")
 
 
 def main(argv: Optional[Sequence[str]] = None, out=sys.stdout) -> int:
@@ -112,43 +231,26 @@ def main(argv: Optional[Sequence[str]] = None, out=sys.stdout) -> int:
     manager = FireSimManager(
         topology, run_config=run_config, host_config=host_config
     )
+    if args.telemetry_out or "status" in args.verbs:
+        manager.enable_telemetry()
 
+    summaries: Dict[str, Any] = {}
     for verb in args.verbs:
-        if verb == "buildafi":
-            results = manager.buildafi()
-            for result in results:
-                cached = " (cached)" if result.from_cache else ""
-                print(f"built {result.config_name}: {result.agfi}{cached}", file=out)
-            print(f"build farm makespan: {manager.build_makespan_hours:.1f} h", file=out)
-        elif verb == "launchrunfarm":
-            deployment = manager.launchrunfarm()
-            print(f"launched: {deployment.instance_counts}", file=out)
-            print(str(manager.cost_report()), file=out)
-            rate = manager.rate_estimate()
-            print(f"predicted rate: {rate.rate_mhz:.2f} MHz", file=out)
-        elif verb == "infrasetup":
-            sim = manager.infrasetup()
-            print(
-                f"simulation elaborated: {sim.num_nodes} nodes, "
-                f"{len(sim.switches)} switches", file=out,
-            )
-        elif verb == "runworkload":
-            workload = build_workload(args, manager)
-            result = manager.runworkload(workload)
-            print(
-                f"workload {result.workload_name!r} ran to "
-                f"{result.target_seconds * 1e3:.2f} ms of target time", file=out,
-            )
-            rtts = result.merged(PING_KEY)
-            if rtts:
-                mean = sum(rtts) / len(rtts)
-                print(
-                    f"ping: {len(rtts)} samples, mean RTT "
-                    f"{cycles_to_us(mean):.2f} us", file=out,
-                )
-        elif verb == "terminaterunfarm":
-            manager.terminaterunfarm()
-            print("run farm terminated", file=out)
+        lines, summary = _run_verb(verb, args, manager)
+        summaries[verb] = summary
+        if not args.json:
+            for line in lines:
+                print(line, file=out)
+
+    document: Dict[str, Any] = {"verbs": summaries}
+    if args.telemetry_out:
+        written = manager.dump_telemetry(args.telemetry_out)
+        document["telemetry"] = written
+        if not args.json:
+            for artifact, path in sorted(written.items()):
+                print(f"telemetry: {artifact} -> {path}", file=out)
+    if args.json:
+        print(json.dumps(document, indent=2, sort_keys=True), file=out)
     return 0
 
 

@@ -24,8 +24,9 @@ Example (the Figure 4 configuration)::
 
 from __future__ import annotations
 
+from contextlib import nullcontext
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Any, ContextManager, Dict, List, Optional
 
 from repro.host.costs import CostReport
 from repro.host.perfmodel import RateEstimate, SimulationRateModel
@@ -34,6 +35,8 @@ from repro.manager.mapper import Deployment, HostConfig, map_topology
 from repro.manager.runfarm import RunFarmConfig, RunningSimulation, elaborate
 from repro.manager.topology import SwitchNode
 from repro.manager.workload import WorkloadResult, WorkloadSpec, run_workload
+from repro.obs.rate import RateReport
+from repro.obs.session import TelemetrySession
 
 
 class ManagerError(RuntimeError):
@@ -58,23 +61,70 @@ class FireSimManager:
         self.build_makespan_hours: float = 0.0
         self.deployment: Optional[Deployment] = None
         self.running: Optional[RunningSimulation] = None
+        self.telemetry: Optional[TelemetrySession] = None
+
+    # -- telemetry ------------------------------------------------------
+
+    def enable_telemetry(self, trace: bool = True) -> TelemetrySession:
+        """Attach a telemetry session covering all later verbs.
+
+        Installs the session's trace sink process-wide (switch/tracer
+        instrumentation starts emitting) and, once :meth:`infrasetup`
+        elaborates the simulation, hooks the rate monitor and every
+        model's counters into the session registry.  Idempotent.
+        """
+        if self.telemetry is None:
+            self.telemetry = TelemetrySession(
+                trace=trace, freq_hz=self.run_config.freq_hz
+            ).install()
+            if self.running is not None:
+                self.telemetry.attach_running(self.running)
+        return self.telemetry
+
+    def _span(self, verb: str) -> ContextManager[Any]:
+        if self.telemetry is None:
+            return nullcontext()
+        return self.telemetry.span(verb)
+
+    def rate_report(self) -> RateReport:
+        """Measured simulation rate so far (requires telemetry)."""
+        if self.telemetry is None:
+            raise ManagerError("enable_telemetry before reading rate_report")
+        return self.telemetry.rate_report()
+
+    def dump_telemetry(self, out_dir: str) -> Dict[str, str]:
+        """Write metrics.json/metrics.csv/trace.json into ``out_dir``."""
+        if self.telemetry is None:
+            raise ManagerError("enable_telemetry before dump_telemetry")
+        if self.telemetry.rate.rounds:
+            self.telemetry.registry.gauge("sim.quantum_cycles").set(
+                self.telemetry.rate.cycles / self.telemetry.rate.rounds
+            )
+        topology_info = {
+            "servers": sum(1 for _ in self.topology.iter_servers()),
+            "switches": sum(1 for _ in self.topology.iter_switches()),
+            "depth": self.topology.depth(),
+        }
+        return self.telemetry.dump(out_dir, extra={"topology": topology_info})
 
     # -- lifecycle ------------------------------------------------------
 
     def buildafi(self) -> List[BuildResult]:
         """Build FPGA images for every distinct server configuration."""
-        config_names = sorted(
-            {s.server_type for s in self.topology.iter_servers()}
-        )
-        self.build_results, self.build_makespan_hours = (
-            self.build_farm.build_all(config_names)
-        )
-        return self.build_results
+        with self._span("buildafi"):
+            config_names = sorted(
+                {s.server_type for s in self.topology.iter_servers()}
+            )
+            self.build_results, self.build_makespan_hours = (
+                self.build_farm.build_all(config_names)
+            )
+            return self.build_results
 
     def launchrunfarm(self) -> Deployment:
         """Map the topology onto instances (the run farm)."""
-        self.deployment = map_topology(self.topology, self.host_config)
-        return self.deployment
+        with self._span("launchrunfarm"):
+            self.deployment = map_topology(self.topology, self.host_config)
+            return self.deployment
 
     def infrasetup(self) -> RunningSimulation:
         """Flash FPGAs and start switch models: elaborate the simulation."""
@@ -82,19 +132,30 @@ class FireSimManager:
             raise ManagerError("launchrunfarm must run before infrasetup")
         if self.build_results is None:
             raise ManagerError("buildafi must run before infrasetup")
-        self.running = elaborate(self.topology, self.run_config)
-        return self.running
+        with self._span("infrasetup"):
+            self.running = elaborate(self.topology, self.run_config)
+            if self.telemetry is not None:
+                self.telemetry.attach_running(self.running)
+            return self.running
 
     def runworkload(self, workload: WorkloadSpec) -> WorkloadResult:
         """Deploy a workload onto the running simulation and collect."""
         if self.running is None:
             raise ManagerError("infrasetup must run before runworkload")
-        return run_workload(self.running, workload)
+        with self._span("runworkload"):
+            return run_workload(self.running, workload)
 
     def terminaterunfarm(self) -> None:
-        """Release the run farm (instances stop accruing cost)."""
-        self.running = None
-        self.deployment = None
+        """Release the run farm (instances stop accruing cost).
+
+        The telemetry session survives termination so results can still
+        be dumped, but its process-wide trace sink is uninstalled.
+        """
+        with self._span("terminaterunfarm"):
+            self.running = None
+            self.deployment = None
+        if self.telemetry is not None:
+            self.telemetry.uninstall()
 
     # -- reporting --------------------------------------------------------
 

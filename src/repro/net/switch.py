@@ -36,6 +36,7 @@ from typing import Dict, Iterable, List, Optional, Tuple
 from repro.core.fame import Fame1Model
 from repro.core.token import Flit, TokenBatch, TokenWindow
 from repro.net.ethernet import BROADCAST_MAC, EthernetFrame
+from repro.obs.trace import get_trace_sink
 
 
 @dataclass
@@ -84,12 +85,19 @@ class _QueuedPacket:
 
 @dataclass
 class SwitchStats:
-    """Counters a switch maintains (also feed the Figure 6 bandwidth probe)."""
+    """Counters a switch maintains (also feed the Figure 6 bandwidth probe).
+
+    Byte conservation holds per switch for unicast traffic:
+    ``bytes_in == bytes_out + bytes_dropped + queued bytes`` (broadcast
+    frames are counted once on ingress but duplicated on egress).
+    """
 
     packets_in: int = 0
     packets_out: int = 0
     packets_dropped: int = 0
+    bytes_in: int = 0
     bytes_out: int = 0
+    bytes_dropped: int = 0
     broadcasts: int = 0
 
 
@@ -170,6 +178,7 @@ class SwitchModel(Fame1Model):
                     timestamp = cycle + self.config.min_latency_cycles
                     completed.append((timestamp, port_index, frame))
                     self.stats.packets_in += 1
+                    self.stats.bytes_in += frame.size_bytes
                     partial.clear()
         return completed
 
@@ -179,6 +188,7 @@ class SwitchModel(Fame1Model):
         """Sort this round's packets by timestamp and route to outputs."""
         pending = list(arrivals)
         heapq.heapify(pending)
+        sink = get_trace_sink()
         while pending:
             timestamp, ingress_port, frame = heapq.heappop(pending)
             for out_port in self.route(frame, ingress_port):
@@ -186,6 +196,13 @@ class SwitchModel(Fame1Model):
                     self._out_queues[out_port],
                     _QueuedPacket(timestamp, next(self._seq), frame),
                 )
+                if sink.enabled:
+                    sink.target_instant(
+                        "enqueue", "switch", timestamp, track=self.name,
+                        args={"frame": frame.frame_id,
+                              "in_port": ingress_port,
+                              "out_port": out_port},
+                    )
 
     def _egress(self, window: TokenWindow) -> Dict[str, TokenBatch]:
         outputs: Dict[str, TokenBatch] = {}
@@ -197,6 +214,7 @@ class SwitchModel(Fame1Model):
         batch = window.new_batch()
         queue = self._out_queues[port_index]
         pace = self.config.cycles_per_flit
+        sink = get_trace_sink()
         cursor = max(self._port_next_free[port_index], window.start)
         while queue and cursor < window.end:
             packet = queue[0]
@@ -210,6 +228,13 @@ class SwitchModel(Fame1Model):
                 if lag > self.config.buffer_flits:
                     heapq.heappop(queue)
                     self.stats.packets_dropped += 1
+                    self.stats.bytes_dropped += packet.frame.size_bytes
+                    if sink.enabled:
+                        sink.target_instant(
+                            "drop", "switch", start, track=self.name,
+                            args={"frame": packet.frame.frame_id,
+                                  "port": port_index, "lag": lag},
+                        )
                     continue
             total_flits = packet.frame.flit_count
             cycle = start
@@ -231,6 +256,13 @@ class SwitchModel(Fame1Model):
                 heapq.heappop(queue)
                 self.stats.packets_out += 1
                 self.stats.bytes_out += packet.frame.size_bytes
+                if sink.enabled:
+                    sink.target_span(
+                        "dequeue", "switch", packet.release_cycle,
+                        cycle - pace, track=self.name,
+                        args={"frame": packet.frame.frame_id,
+                              "port": port_index},
+                    )
                 if self.egress_log is not None:
                     self.egress_log.append(
                         (cycle - pace, packet.frame.size_bytes)
@@ -245,3 +277,15 @@ class SwitchModel(Fame1Model):
     def queued_packets(self) -> int:
         """Packets currently buffered across all output ports."""
         return sum(len(q) for q in self._out_queues)
+
+    def queued_bytes(self) -> int:
+        """Bytes buffered across all output ports (straddlers count whole)."""
+        return sum(
+            packet.frame.size_bytes
+            for queue in self._out_queues
+            for packet in queue
+        )
+
+    def register_metrics(self, registry, prefix: Optional[str] = None) -> None:
+        """Register this switch's counters under ``switch.<name>.*``."""
+        registry.register_source(prefix or f"switch.{self.name}", self.stats)

@@ -26,6 +26,7 @@ from repro.core.fame import Fame1Model
 from repro.core.simulation import Simulation
 from repro.core.token import TokenBatch, TokenWindow
 from repro.net.ethernet import EthernetFrame
+from repro.obs.trace import get_trace_sink
 
 
 @dataclass
@@ -73,6 +74,14 @@ class LinkTracer(Fame1Model):
                             last_flit_cycle=cycle,
                         )
                     )
+                    sink = get_trace_sink()
+                    if sink.enabled:
+                        sink.target_span(
+                            direction, "net", first_cycle, cycle,
+                            track=f"tracer.{self.name}",
+                            args={"frame": frame.frame_id,
+                                  "bytes": frame.size_bytes},
+                        )
         return out
 
     def _tick(self, window, inputs):

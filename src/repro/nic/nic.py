@@ -238,6 +238,10 @@ class NIC:
 
     # -- inspection --------------------------------------------------------
 
+    def register_metrics(self, registry, prefix: Optional[str] = None) -> None:
+        """Register tx/rx/drop counters under ``nic.<name>.*``."""
+        registry.register_source(prefix or f"nic.{self.name}", self.stats)
+
     @property
     def tx_backlog(self) -> int:
         """Frames queued in the send path, including the one in flight."""

@@ -1,0 +1,64 @@
+"""Unified telemetry: metrics, structured tracing, and rate profiling.
+
+FireSim's operational story is *visibility into a running cluster
+simulation*: the paper reports achieved simulation rate (MHz), switch
+and link utilization, and per-blade activity (Strober sampling,
+Sections III-B2/V).  This package is the reproduction's single place to
+collect all of that:
+
+* :mod:`repro.obs.metrics` — a registry of counters/gauges/histograms
+  with hierarchical dotted names (``sim.rounds``,
+  ``switch.tor.packets_dropped``, ``blade.node0.l2.misses``),
+  snapshot/delta reads, and JSON + CSV export.  Existing stats
+  dataclasses register themselves as *sources* without changing their
+  public APIs.
+* :mod:`repro.obs.trace` — a process-wide :class:`TraceSink` emitting
+  Chrome ``trace_event`` JSON with separate target-time and host-time
+  tracks, loadable in ``chrome://tracing`` / Perfetto.  The default sink
+  is a no-op whose only cost at each instrumentation point is one
+  attribute check.
+* :mod:`repro.obs.rate` — a :class:`RateMonitor` that measures
+  wall-clock per simulation quantum and reports achieved MHz plus
+  per-model host-time shares: the *measured* counterpart to
+  :class:`repro.host.perfmodel.SimulationRateModel`'s predictions.
+* :mod:`repro.obs.export` — ``metrics.json`` / ``trace.json`` dumps
+  (validated by ``scripts/check_telemetry.py``).
+* :mod:`repro.obs.session` — :class:`TelemetrySession`, the bundle the
+  manager wires through its lifecycle verbs.
+
+Nothing in this package imports from other ``repro`` subpackages, so any
+layer may depend on it.
+"""
+
+from repro.obs.export import dump_telemetry
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+from repro.obs.rate import RateMonitor, RateReport
+from repro.obs.session import TelemetrySession
+from repro.obs.trace import (
+    ChromeTraceSink,
+    NullTraceSink,
+    TraceSink,
+    get_trace_sink,
+    set_trace_sink,
+)
+
+__all__ = [
+    "ChromeTraceSink",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NullTraceSink",
+    "RateMonitor",
+    "RateReport",
+    "TelemetrySession",
+    "TraceSink",
+    "dump_telemetry",
+    "get_trace_sink",
+    "set_trace_sink",
+]

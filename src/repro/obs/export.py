@@ -1,0 +1,54 @@
+"""Telemetry export: ``metrics.json`` + ``trace.json`` artifacts.
+
+The manager's ``--telemetry-out DIR`` flag funnels through
+:func:`dump_telemetry`; ``scripts/check_telemetry.py`` validates the
+emitted files (the CI smoke test), and EXPERIMENTS.md figures can be
+regenerated from ``metrics.json``/``metrics.csv`` without re-running a
+simulation.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Any, Dict, Optional
+
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace import ChromeTraceSink
+
+METRICS_FILE = "metrics.json"
+METRICS_CSV_FILE = "metrics.csv"
+TRACE_FILE = "trace.json"
+
+
+def dump_telemetry(
+    out_dir: str,
+    registry: MetricsRegistry,
+    sink: Optional[ChromeTraceSink] = None,
+    extra: Optional[Dict[str, Any]] = None,
+) -> Dict[str, str]:
+    """Write metrics (JSON + CSV) and, if traced, the Chrome trace.
+
+    Returns ``{artifact-name: path}`` for everything written.
+    """
+    os.makedirs(out_dir, exist_ok=True)
+    written: Dict[str, str] = {}
+
+    metrics_path = os.path.join(out_dir, METRICS_FILE)
+    with open(metrics_path, "w", encoding="utf-8") as fh:
+        fh.write(registry.to_json(extra=extra))
+        fh.write("\n")
+    written[METRICS_FILE] = metrics_path
+
+    csv_path = os.path.join(out_dir, METRICS_CSV_FILE)
+    with open(csv_path, "w", encoding="utf-8") as fh:
+        fh.write(registry.to_csv())
+    written[METRICS_CSV_FILE] = csv_path
+
+    if sink is not None:
+        trace_path = os.path.join(out_dir, TRACE_FILE)
+        with open(trace_path, "w", encoding="utf-8") as fh:
+            fh.write(sink.to_json())
+            fh.write("\n")
+        written[TRACE_FILE] = trace_path
+
+    return written

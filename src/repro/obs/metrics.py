@@ -1,0 +1,264 @@
+"""Metrics registry: hierarchical counters, gauges, and histograms.
+
+The registry is the reproduction's single namespace for numeric
+telemetry.  Names are dotted paths mirroring the system hierarchy::
+
+    sim.rounds                      orchestrator round count
+    sim.rate_mhz                    achieved simulation rate
+    switch.switch0.packets_dropped  per-switch counters
+    blade.node0.l2.misses           per-blade cache counters
+
+Two registration styles coexist:
+
+* **owned instruments** — :meth:`MetricsRegistry.counter` /
+  :meth:`gauge` / :meth:`histogram` create objects the caller mutates;
+* **sources** — :meth:`MetricsRegistry.register_source` adopts an
+  existing stats object (any dataclass or plain object with numeric
+  attributes).  Its fields are read reflectively at snapshot time, so
+  the owning subsystem keeps its public dataclass API and pays zero
+  cost per event.
+
+Snapshots are flat ``{name: value}`` dicts; :meth:`delta` subtracts two
+snapshots for windowed rates; :meth:`to_json` / :meth:`to_csv` export
+machine-readable artifacts (the gem5-standardization argument: stats you
+can diff and script against, not free-form logs).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from bisect import insort
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+Number = float
+
+#: Metrics snapshot format marker embedded in exported JSON.
+METRICS_SCHEMA = "repro.obs.metrics/v1"
+
+
+def _validate_name(name: str) -> str:
+    if not name or name.startswith(".") or name.endswith(".") or ".." in name:
+        raise ValueError(f"bad metric name {name!r}")
+    return name
+
+
+class Counter:
+    """A monotonically increasing count."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0
+
+    def inc(self, amount: int = 1) -> None:
+        if amount < 0:
+            raise ValueError(f"counter {self.name} cannot decrease")
+        self.value += amount
+
+
+class Gauge:
+    """A point-in-time value, set directly or read through a callback."""
+
+    __slots__ = ("name", "_value", "_fn")
+
+    def __init__(
+        self, name: str, fn: Optional[Callable[[], Number]] = None
+    ) -> None:
+        self.name = name
+        self._value: Number = 0.0
+        self._fn = fn
+
+    def set(self, value: Number) -> None:
+        if self._fn is not None:
+            raise ValueError(f"gauge {self.name} is callback-driven")
+        self._value = value
+
+    @property
+    def value(self) -> Number:
+        return self._fn() if self._fn is not None else self._value
+
+
+class Histogram:
+    """A streaming distribution: count/sum/min/max plus percentiles.
+
+    Keeps every observation (simulations are finite and host-side), so
+    percentiles are exact rather than bucketed approximations.
+    """
+
+    __slots__ = ("name", "_sorted")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._sorted: List[Number] = []
+
+    def observe(self, value: Number) -> None:
+        insort(self._sorted, value)
+
+    @property
+    def count(self) -> int:
+        return len(self._sorted)
+
+    @property
+    def total(self) -> Number:
+        return sum(self._sorted)
+
+    @property
+    def mean(self) -> Number:
+        return self.total / self.count if self._sorted else 0.0
+
+    def percentile(self, p: float) -> Number:
+        """Exact percentile by nearest-rank; 0 with no observations."""
+        if not 0.0 <= p <= 100.0:
+            raise ValueError(f"percentile must be in [0, 100], got {p}")
+        if not self._sorted:
+            return 0.0
+        rank = max(0, min(len(self._sorted) - 1,
+                          round(p / 100.0 * (len(self._sorted) - 1))))
+        return self._sorted[rank]
+
+    def summary(self) -> Dict[str, Number]:
+        if not self._sorted:
+            return {"count": 0, "sum": 0.0, "min": 0.0, "max": 0.0,
+                    "mean": 0.0, "p50": 0.0, "p99": 0.0}
+        return {
+            "count": self.count,
+            "sum": self.total,
+            "min": self._sorted[0],
+            "max": self._sorted[-1],
+            "mean": self.mean,
+            "p50": self.percentile(50),
+            "p99": self.percentile(99),
+        }
+
+
+def _numeric_attrs(obj: Any) -> List[str]:
+    """Attribute names on ``obj`` exporting int/float values.
+
+    Dataclass fields come first, then read-only properties defined on
+    the class (``utilization``, ``miss_rate`` and friends), so derived
+    ratios export alongside their raw counters.
+    """
+    names: List[str] = []
+    if dataclasses.is_dataclass(obj):
+        names.extend(f.name for f in dataclasses.fields(obj))
+    else:
+        names.extend(
+            k for k in vars(obj) if not k.startswith("_")
+        )
+    for klass in type(obj).__mro__:
+        for key, member in vars(klass).items():
+            if isinstance(member, property) and not key.startswith("_"):
+                if key not in names:
+                    names.append(key)
+    return [
+        name for name in names
+        if isinstance(getattr(obj, name), (int, float))
+        and not isinstance(getattr(obj, name), bool)
+    ]
+
+
+class MetricsRegistry:
+    """The process's metric namespace."""
+
+    def __init__(self) -> None:
+        self._counters: Dict[str, Counter] = {}
+        self._gauges: Dict[str, Gauge] = {}
+        self._histograms: Dict[str, Histogram] = {}
+        #: prefix -> stats object read reflectively at snapshot time.
+        self._sources: List[Tuple[str, Any]] = []
+
+    # -- owned instruments ---------------------------------------------
+
+    def _claim(self, name: str) -> str:
+        _validate_name(name)
+        if (name in self._counters or name in self._gauges
+                or name in self._histograms):
+            raise ValueError(f"metric {name!r} already registered")
+        return name
+
+    def counter(self, name: str) -> Counter:
+        if name in self._counters:
+            return self._counters[name]
+        self._counters[self._claim(name)] = counter = Counter(name)
+        return counter
+
+    def gauge(
+        self, name: str, fn: Optional[Callable[[], Number]] = None
+    ) -> Gauge:
+        if name in self._gauges and fn is None:
+            return self._gauges[name]
+        self._gauges[self._claim(name)] = gauge = Gauge(name, fn)
+        return gauge
+
+    def histogram(self, name: str) -> Histogram:
+        if name in self._histograms:
+            return self._histograms[name]
+        self._histograms[self._claim(name)] = histogram = Histogram(name)
+        return histogram
+
+    # -- adopted sources -----------------------------------------------
+
+    def register_source(self, prefix: str, stats: Any) -> None:
+        """Adopt an existing stats object under ``prefix``.
+
+        The object's numeric dataclass fields and properties are read at
+        snapshot time as ``prefix.field`` — the owner keeps mutating its
+        own dataclass and never touches the registry again.
+        """
+        _validate_name(prefix)
+        for existing_prefix, existing in self._sources:
+            if existing_prefix == prefix and existing is stats:
+                return  # idempotent: re-registration is a no-op
+        if not _numeric_attrs(stats):
+            raise ValueError(
+                f"source {prefix!r} ({type(stats).__name__}) exports no "
+                "numeric fields"
+            )
+        self._sources.append((prefix, stats))
+
+    # -- reads ----------------------------------------------------------
+
+    def snapshot(self) -> Dict[str, Number]:
+        """One flat, sorted ``{name: value}`` view of everything."""
+        out: Dict[str, Number] = {}
+        for name, counter in self._counters.items():
+            out[name] = counter.value
+        for name, gauge in self._gauges.items():
+            out[name] = gauge.value
+        for name, histogram in self._histograms.items():
+            for key, value in histogram.summary().items():
+                out[f"{name}.{key}"] = value
+        for prefix, stats in self._sources:
+            for attr in _numeric_attrs(stats):
+                out[f"{prefix}.{attr}"] = getattr(stats, attr)
+        return dict(sorted(out.items()))
+
+    @staticmethod
+    def delta(
+        before: Dict[str, Number], after: Dict[str, Number]
+    ) -> Dict[str, Number]:
+        """``after - before`` for every name present in ``after``."""
+        return {
+            name: value - before.get(name, 0)
+            for name, value in after.items()
+        }
+
+    # -- export ----------------------------------------------------------
+
+    def to_json(self, extra: Optional[Dict[str, Any]] = None) -> str:
+        document: Dict[str, Any] = {
+            "schema": METRICS_SCHEMA,
+            "metrics": self.snapshot(),
+        }
+        if extra:
+            document.update(extra)
+        return json.dumps(document, indent=2, sort_keys=True)
+
+    def to_csv(self) -> str:
+        lines = ["name,value"]
+        lines.extend(
+            f"{name},{value}" for name, value in self.snapshot().items()
+        )
+        return "\n".join(lines) + "\n"

@@ -1,0 +1,163 @@
+"""Live simulation-rate profiling.
+
+:class:`repro.host.perfmodel.SimulationRateModel` *predicts* how fast a
+mapped design simulates; :class:`RateMonitor` *measures* it on the host
+actually running the functional simulation.  Attached to a
+:class:`~repro.core.simulation.Simulation`, it observes every round:
+
+* wall-clock per quantum (min/mean/max over the run);
+* achieved simulation rate in MHz — target cycles per wall second, the
+  number Figures 8/9 plot;
+* per-model host-time shares — which blade or switch model the host
+  actually spends its time ticking, the profile that tells you where a
+  perf PR should aim.
+
+When a :class:`~repro.obs.trace.ChromeTraceSink` is supplied, each
+model tick also lands as a host-time span, so Perfetto shows the round
+structure visually.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional
+
+from repro.obs.trace import TraceSink
+
+
+@dataclass
+class RateReport:
+    """Measured rate and host-time profile over the observed window."""
+
+    wall_seconds: float
+    cycles: int
+    rounds: int
+    freq_hz: float
+    model_host_seconds: Dict[str, float] = field(default_factory=dict)
+    min_round_s: float = 0.0
+    max_round_s: float = 0.0
+
+    @property
+    def rate_hz(self) -> float:
+        """Achieved target cycles per wall-clock second."""
+        if self.wall_seconds <= 0.0:
+            return 0.0
+        return self.cycles / self.wall_seconds
+
+    @property
+    def rate_mhz(self) -> float:
+        return self.rate_hz / 1e6
+
+    @property
+    def slowdown_vs_target(self) -> float:
+        """How many times slower than the simulated machine itself."""
+        return self.freq_hz / self.rate_hz if self.rate_hz else float("inf")
+
+    @property
+    def host_time_shares(self) -> Dict[str, float]:
+        """Fraction of model-tick host time spent in each model."""
+        total = sum(self.model_host_seconds.values())
+        if total <= 0.0:
+            return {}
+        return {
+            name: seconds / total
+            for name, seconds in sorted(
+                self.model_host_seconds.items(),
+                key=lambda item: item[1],
+                reverse=True,
+            )
+        }
+
+    def compare_prediction(self, estimate: Any) -> float:
+        """Measured/predicted rate ratio against a ``RateEstimate``.
+
+        Duck-typed on ``rate_hz`` so :mod:`repro.obs` stays free of
+        ``repro.host`` imports.
+        """
+        predicted = float(estimate.rate_hz)
+        if predicted <= 0.0:
+            raise ValueError("prediction must have a positive rate")
+        return self.rate_hz / predicted
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "wall_seconds": self.wall_seconds,
+            "cycles": self.cycles,
+            "rounds": self.rounds,
+            "rate_mhz": self.rate_mhz,
+            "min_round_s": self.min_round_s,
+            "max_round_s": self.max_round_s,
+            "host_time_shares": self.host_time_shares,
+        }
+
+
+class RateMonitor:
+    """Observes a :class:`Simulation`'s rounds and profiles host time.
+
+    The orchestrator calls :meth:`record_model_tick` once per model per
+    round and :meth:`record_round` once per round — only when a monitor
+    is attached, so an unmonitored simulation's fast path is untouched.
+    """
+
+    def __init__(self, trace: Optional[TraceSink] = None) -> None:
+        self.trace = trace
+        self.freq_hz = 0.0
+        self.rounds = 0
+        self.cycles = 0
+        self.wall_seconds = 0.0
+        self.model_host_seconds: Dict[str, float] = {}
+        self._min_round_s = float("inf")
+        self._max_round_s = 0.0
+
+    def attach(self, simulation: Any) -> "RateMonitor":
+        """Install on a simulation (its ``observer`` slot); returns self."""
+        simulation.observer = self
+        self.freq_hz = simulation.clock.freq_hz
+        return self
+
+    # -- orchestrator callbacks ----------------------------------------
+
+    def record_model_tick(
+        self, name: str, start_s: float, end_s: float,
+        window_start: int, window_end: int,
+    ) -> None:
+        elapsed = end_s - start_s
+        self.model_host_seconds[name] = (
+            self.model_host_seconds.get(name, 0.0) + elapsed
+        )
+        trace = self.trace
+        if trace is not None and trace.enabled:
+            trace.host_span(
+                name, "sim.tick", start_s, end_s, track="model-ticks",
+                args={"window": [window_start, window_end]},
+            )
+
+    def record_round(self, quantum: int, round_wall_s: float) -> None:
+        self.rounds += 1
+        self.cycles += quantum
+        self.wall_seconds += round_wall_s
+        if round_wall_s < self._min_round_s:
+            self._min_round_s = round_wall_s
+        if round_wall_s > self._max_round_s:
+            self._max_round_s = round_wall_s
+
+    # -- reads ----------------------------------------------------------
+
+    def report(self) -> RateReport:
+        return RateReport(
+            wall_seconds=self.wall_seconds,
+            cycles=self.cycles,
+            rounds=self.rounds,
+            freq_hz=self.freq_hz,
+            model_host_seconds=dict(self.model_host_seconds),
+            min_round_s=0.0 if self.rounds == 0 else self._min_round_s,
+            max_round_s=self._max_round_s,
+        )
+
+    def register_metrics(self, registry: Any, prefix: str = "sim") -> None:
+        """Expose the live rate through callback gauges."""
+        registry.gauge(f"{prefix}.rate_mhz", lambda: self.report().rate_mhz)
+        registry.gauge(f"{prefix}.wall_seconds", lambda: self.wall_seconds)
+        registry.gauge(
+            f"{prefix}.observed_rounds", lambda: float(self.rounds)
+        )

@@ -1,0 +1,95 @@
+"""TelemetrySession: one run's registry + trace sink + rate monitor.
+
+The :class:`~repro.manager.manager.FireSimManager` owns at most one
+session; enabling it wires every layer in:
+
+* the session's :class:`~repro.obs.trace.ChromeTraceSink` becomes the
+  process-wide sink, so switch/tracer instrumentation points light up;
+* :meth:`attach_running` hooks the :class:`RateMonitor` onto the
+  elaborated simulation and lets every stats-bearing model register its
+  counters (``sim.*``, ``switch.*``, ``blade.*``);
+* :meth:`span` wraps manager verbs in host-time trace spans and records
+  their durations as gauges (``manager.buildafi.seconds`` …).
+
+Everything here is duck-typed against the models' ``register_metrics``
+hooks, so :mod:`repro.obs` never imports the layers it observes.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from typing import Any, Dict, Iterator, Optional
+
+from repro.obs.export import dump_telemetry
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.rate import RateMonitor, RateReport
+from repro.obs.trace import ChromeTraceSink, set_trace_sink
+
+
+class TelemetrySession:
+    """Collects one run's metrics, trace, and rate profile."""
+
+    def __init__(self, trace: bool = True, freq_hz: float = 3.2e9) -> None:
+        self.registry = MetricsRegistry()
+        self.sink: Optional[ChromeTraceSink] = (
+            ChromeTraceSink(freq_hz=freq_hz) if trace else None
+        )
+        self.rate = RateMonitor(trace=self.sink)
+        self._installed = False
+
+    # -- lifecycle -------------------------------------------------------
+
+    def install(self) -> "TelemetrySession":
+        """Make this session's sink the process-wide trace sink."""
+        if self.sink is not None:
+            set_trace_sink(self.sink)
+            self._installed = True
+        return self
+
+    def uninstall(self) -> None:
+        """Restore the no-op process sink (idempotent)."""
+        if self._installed:
+            set_trace_sink(None)
+            self._installed = False
+
+    # -- wiring ----------------------------------------------------------
+
+    def attach_running(self, running: Any) -> None:
+        """Wire an elaborated simulation (a ``RunningSimulation``) in."""
+        simulation = running.simulation
+        self.rate.attach(simulation)
+        self.rate.register_metrics(self.registry)
+        simulation.register_metrics(self.registry)
+        for switch in running.switches.values():
+            switch.register_metrics(self.registry)
+        for blade in running.blades.values():
+            blade.register_metrics(self.registry)
+
+    @contextmanager
+    def span(self, name: str, cat: str = "manager") -> Iterator[None]:
+        """Host-time span around a verb; duration lands as a gauge too."""
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            end = time.perf_counter()
+            if self.sink is not None:
+                self.sink.host_span(name, cat, start, end, track=cat)
+            self.registry.gauge(f"{cat}.{name}.seconds").set(end - start)
+
+    # -- reads / export ---------------------------------------------------
+
+    def rate_report(self) -> RateReport:
+        return self.rate.report()
+
+    def dump(
+        self, out_dir: str, extra: Optional[Dict[str, Any]] = None
+    ) -> Dict[str, str]:
+        """Write metrics.json/metrics.csv/trace.json into ``out_dir``."""
+        payload = {"rate": self.rate_report().to_dict()}
+        if extra:
+            payload.update(extra)
+        return dump_telemetry(
+            out_dir, self.registry, sink=self.sink, extra=payload
+        )

@@ -1,0 +1,194 @@
+"""Structured tracing in Chrome ``trace_event`` format.
+
+One process-wide :class:`TraceSink` receives spans and instants from the
+instrumented layers and renders them as Chrome's JSON Array/Object trace
+format, loadable in ``chrome://tracing`` or Perfetto.  Two tracks keep
+the two clocks apart:
+
+* **target time** (pid ``TARGET_PID``) — events stamped in simulated
+  cycles, converted to microseconds of *target* time at the sink's
+  configured clock; switch enqueue/dequeue/drop instants and tracer
+  packet spans live here;
+* **host time** (pid ``HOST_PID``) — events stamped with
+  ``time.perf_counter``; manager verb spans and per-model tick spans
+  live here.
+
+The default sink is :class:`NullTraceSink` with ``enabled = False``;
+every instrumentation site guards with ``if sink.enabled:`` so an
+untraced run pays one attribute read per *event site*, not per event —
+the zero-overhead requirement from the acceptance criteria.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List, Optional
+
+#: Chrome trace pids for the two time domains.
+TARGET_PID = 1
+HOST_PID = 2
+
+#: Trace format marker embedded in exported JSON.
+TRACE_SCHEMA = "repro.obs.trace/v1"
+
+
+class TraceSink:
+    """Interface + no-op base.  Timestamps: seconds (host), cycles (target)."""
+
+    enabled = False
+
+    # -- target-time track ---------------------------------------------
+
+    def target_span(self, name: str, cat: str, start_cycle: int,
+                    end_cycle: int, track: str = "target",
+                    args: Optional[Dict[str, Any]] = None) -> None:
+        """A complete event on the target-time track."""
+
+    def target_instant(self, name: str, cat: str, cycle: int,
+                       track: str = "target",
+                       args: Optional[Dict[str, Any]] = None) -> None:
+        """A point event on the target-time track."""
+
+    # -- host-time track -----------------------------------------------
+
+    def host_span(self, name: str, cat: str, start_s: float, end_s: float,
+                  track: str = "host",
+                  args: Optional[Dict[str, Any]] = None) -> None:
+        """A complete event on the host-time track."""
+
+    def host_instant(self, name: str, cat: str, at_s: float,
+                     track: str = "host",
+                     args: Optional[Dict[str, Any]] = None) -> None:
+        """A point event on the host-time track."""
+
+
+class NullTraceSink(TraceSink):
+    """The default: drops everything, costs one ``enabled`` check."""
+
+
+class ChromeTraceSink(TraceSink):
+    """Collects events and renders the Chrome trace JSON object form.
+
+    Args:
+        freq_hz: target clock used to convert cycles to microseconds on
+            the target-time track.
+        max_events: hard cap on retained events; beyond it new events
+            are counted in :attr:`dropped_events` but not stored, so a
+            pathological run cannot exhaust host memory.
+    """
+
+    enabled = True
+
+    def __init__(self, freq_hz: float = 3.2e9,
+                 max_events: int = 500_000) -> None:
+        if freq_hz <= 0:
+            raise ValueError("freq_hz must be positive")
+        if max_events < 1:
+            raise ValueError("max_events must be >= 1")
+        self.freq_hz = freq_hz
+        self.max_events = max_events
+        self.events: List[Dict[str, Any]] = []
+        self.dropped_events = 0
+        self._tids: Dict[tuple, int] = {}
+
+    # -- internals -------------------------------------------------------
+
+    def _tid(self, pid: int, track: str) -> int:
+        """Stable small tid per (pid, track name), with metadata emitted."""
+        key = (pid, track)
+        tid = self._tids.get(key)
+        if tid is None:
+            tid = len([k for k in self._tids if k[0] == pid]) + 1
+            self._tids[key] = tid
+            # Thread-name metadata events make tracks legible in the UI.
+            self.events.append({
+                "name": "thread_name", "ph": "M", "pid": pid, "tid": tid,
+                "args": {"name": track},
+            })
+        return tid
+
+    def _emit(self, event: Dict[str, Any]) -> None:
+        if len(self.events) >= self.max_events:
+            self.dropped_events += 1
+            return
+        self.events.append(event)
+
+    def _cycles_us(self, cycle: int) -> float:
+        return cycle / self.freq_hz * 1e6
+
+    # -- target-time track ---------------------------------------------
+
+    def target_span(self, name, cat, start_cycle, end_cycle,
+                    track="target", args=None):
+        start = self._cycles_us(start_cycle)
+        self._emit({
+            "name": name, "cat": cat, "ph": "X",
+            "ts": start, "dur": self._cycles_us(end_cycle) - start,
+            "pid": TARGET_PID, "tid": self._tid(TARGET_PID, track),
+            "args": dict(args or {}, start_cycle=start_cycle,
+                         end_cycle=end_cycle),
+        })
+
+    def target_instant(self, name, cat, cycle, track="target", args=None):
+        self._emit({
+            "name": name, "cat": cat, "ph": "i", "s": "t",
+            "ts": self._cycles_us(cycle),
+            "pid": TARGET_PID, "tid": self._tid(TARGET_PID, track),
+            "args": dict(args or {}, cycle=cycle),
+        })
+
+    # -- host-time track -----------------------------------------------
+
+    def host_span(self, name, cat, start_s, end_s, track="host", args=None):
+        self._emit({
+            "name": name, "cat": cat, "ph": "X",
+            "ts": start_s * 1e6, "dur": (end_s - start_s) * 1e6,
+            "pid": HOST_PID, "tid": self._tid(HOST_PID, track),
+            "args": dict(args or {}),
+        })
+
+    def host_instant(self, name, cat, at_s, track="host", args=None):
+        self._emit({
+            "name": name, "cat": cat, "ph": "i", "s": "t",
+            "ts": at_s * 1e6,
+            "pid": HOST_PID, "tid": self._tid(HOST_PID, track),
+            "args": dict(args or {}),
+        })
+
+    # -- export ----------------------------------------------------------
+
+    def to_document(self) -> Dict[str, Any]:
+        """The Chrome trace JSON Object form, plus process metadata."""
+        metadata = [
+            {"name": "process_name", "ph": "M", "pid": TARGET_PID, "tid": 0,
+             "args": {"name": "target-time"}},
+            {"name": "process_name", "ph": "M", "pid": HOST_PID, "tid": 0,
+             "args": {"name": "host-time"}},
+        ]
+        return {
+            "traceEvents": metadata + self.events,
+            "displayTimeUnit": "ms",
+            "otherData": {
+                "schema": TRACE_SCHEMA,
+                "freq_hz": self.freq_hz,
+                "dropped_events": self.dropped_events,
+            },
+        }
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_document(), indent=1)
+
+
+#: The process-wide sink every instrumentation site reads.
+_SINK: TraceSink = NullTraceSink()
+
+
+def get_trace_sink() -> TraceSink:
+    return _SINK
+
+
+def set_trace_sink(sink: Optional[TraceSink]) -> TraceSink:
+    """Install ``sink`` process-wide (None restores the no-op); returns it."""
+    global _SINK
+    _SINK = sink if sink is not None else NullTraceSink()
+    return _SINK

@@ -90,6 +90,23 @@ class ServerBlade(Fame1Model):
         """Measurements recorded by application threads."""
         return self.kernel.results
 
+    # -- telemetry ---------------------------------------------------------
+
+    def register_metrics(self, registry, prefix: Optional[str] = None) -> None:
+        """Register this blade's activity counters under ``blade.<name>.*``.
+
+        Covers the same counters Strober samples: per-core commit stats,
+        L1/L2 caches, DRAM, and the NIC.
+        """
+        prefix = prefix or f"blade.{self.name}"
+        for core_id, core in enumerate(self.soc.cores):
+            registry.register_source(f"{prefix}.core{core_id}", core.stats)
+        for core_id, l1d in enumerate(self.soc.l1ds):
+            registry.register_source(f"{prefix}.l1d{core_id}", l1d.stats)
+        registry.register_source(f"{prefix}.l2", self.soc.l2.stats)
+        registry.register_source(f"{prefix}.dram", self.soc.dram.stats)
+        self.nic.register_metrics(registry, f"{prefix}.nic")
+
     # -- FAME-1 ------------------------------------------------------------
 
     def _tick(

@@ -1,6 +1,8 @@
 """Manager CLI (repro.manager.cli)."""
 
 import io
+import json
+import os
 
 import pytest
 
@@ -78,3 +80,99 @@ class TestLifecycle:
 
         with pytest.raises(ManagerError):
             run_cli(["infrasetup", "--topology", "single_rack"])
+
+
+FULL_VERBS = ["buildafi", "launchrunfarm", "infrasetup", "runworkload"]
+FULL_OPTS = [
+    "--topology", "single_rack", "--servers-per-rack", "2",
+    "--duration-ms", "2", "--ping-count", "3",
+]
+FULL_SESSION = FULL_VERBS + FULL_OPTS
+
+
+class TestJsonMode:
+    def test_json_prints_single_object_keyed_by_verb(self):
+        code, text = run_cli(FULL_SESSION + ["--json"])
+        assert code == 0
+        document = json.loads(text)  # the whole output is one JSON object
+        verbs = document["verbs"]
+        assert verbs["buildafi"]["builds"][0]["config"] == "QuadCore"
+        assert verbs["launchrunfarm"]["instances"] == {"f1.16xlarge": 1}
+        assert verbs["infrasetup"] == {"nodes": 2, "switches": 1}
+        assert verbs["runworkload"]["ping"]["samples"] == 2
+        assert verbs["runworkload"]["ping"]["mean_rtt_us"] > 0
+
+    def test_human_format_remains_default(self):
+        code, text = run_cli(FULL_SESSION)
+        assert code == 0
+        with pytest.raises(ValueError):
+            json.loads(text)
+
+
+class TestStatusVerb:
+    def test_status_reports_measured_rate_and_shares(self):
+        code, text = run_cli(FULL_VERBS + ["status"] + FULL_OPTS)
+        assert code == 0
+        assert "measured rate:" in text
+        assert "% of host time" in text
+        assert "predicted rate:" in text
+        assert "prediction error:" in text
+
+    def test_status_json_summary(self):
+        code, text = run_cli(FULL_VERBS + ["status"] + FULL_OPTS + ["--json"])
+        status = json.loads(text)["verbs"]["status"]
+        assert status["rate"]["rate_mhz"] > 0
+        assert status["rate"]["rounds"] == 1000  # 2 ms / 6400-cycle quantum
+        assert status["predicted_rate_mhz"] > 0
+        assert sum(status["rate"]["host_time_shares"].values()) == (
+            pytest.approx(1.0)
+        )
+
+
+class TestTelemetryOut:
+    def test_dump_produces_valid_artifacts(self, tmp_path):
+        out_dir = str(tmp_path / "telemetry")
+        code, text = run_cli(
+            FULL_VERBS + ["terminaterunfarm"] + FULL_OPTS
+            + ["--telemetry-out", out_dir]
+        )
+        assert code == 0
+        assert "telemetry:" in text
+
+        with open(os.path.join(out_dir, "metrics.json")) as fh:
+            metrics_doc = json.load(fh)
+        metrics = metrics_doc["metrics"]
+        assert metrics["sim.rounds"] == 1000
+        assert metrics["sim.cycles"] == 6_400_000
+        assert metrics["sim.rate_mhz"] > 0
+        switch_keys = [k for k in metrics if k.startswith("switch.")]
+        assert any(k.endswith(".packets_dropped") for k in switch_keys)
+        assert any(k.endswith(".bytes_out") for k in switch_keys)
+        assert any(k.endswith(".bytes_in") for k in switch_keys)
+        # Manager verb spans were recorded on the host track.
+        assert metrics_doc["rate"]["rounds"] == 1000
+        assert metrics["manager.runworkload.seconds"] > 0
+
+        with open(os.path.join(out_dir, "trace.json")) as fh:
+            trace = json.load(fh)
+        events = trace["traceEvents"]
+        assert events, "trace must not be empty"
+        for event in events:
+            assert {"name", "ph", "pid", "tid"} <= set(event)
+        names = {e["name"] for e in events}
+        assert {"buildafi", "runworkload", "terminaterunfarm"} <= names
+
+        with open(os.path.join(out_dir, "metrics.csv")) as fh:
+            assert fh.readline().strip() == "name,value"
+
+    def test_telemetry_out_in_json_mode_lists_paths(self, tmp_path):
+        out_dir = str(tmp_path / "telemetry")
+        code, text = run_cli(
+            FULL_SESSION + ["--telemetry-out", out_dir, "--json"]
+        )
+        document = json.loads(text)
+        assert sorted(document["telemetry"]) == [
+            "metrics.csv", "metrics.json", "trace.json",
+        ]
+        for path in document["telemetry"].values():
+            assert os.path.exists(path)

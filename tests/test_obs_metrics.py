@@ -1,0 +1,144 @@
+"""Metrics registry (repro.obs.metrics)."""
+
+import json
+
+import pytest
+
+from repro.core.simulation import SimulationStats
+from repro.net.switch import SwitchStats
+from repro.obs.metrics import (
+    METRICS_SCHEMA,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+
+
+class TestInstruments:
+    def test_counter_increments(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("sim.rounds")
+        counter.inc()
+        counter.inc(4)
+        assert registry.snapshot()["sim.rounds"] == 5
+
+    def test_counter_rejects_decrease(self):
+        with pytest.raises(ValueError):
+            Counter("x").inc(-1)
+
+    def test_counter_lookup_is_idempotent(self):
+        registry = MetricsRegistry()
+        assert registry.counter("a.b") is registry.counter("a.b")
+
+    def test_gauge_set_and_callback(self):
+        registry = MetricsRegistry()
+        registry.gauge("live.value").set(3.5)
+        backing = {"v": 7.0}
+        registry.gauge("live.cb", lambda: backing["v"])
+        snap = registry.snapshot()
+        assert snap["live.value"] == 3.5
+        assert snap["live.cb"] == 7.0
+        backing["v"] = 9.0
+        assert registry.snapshot()["live.cb"] == 9.0
+
+    def test_callback_gauge_rejects_set(self):
+        gauge = Gauge("g", lambda: 1.0)
+        with pytest.raises(ValueError):
+            gauge.set(2.0)
+
+    def test_histogram_summary_and_percentiles(self):
+        histogram = Histogram("h")
+        for value in [5, 1, 3, 2, 4]:
+            histogram.observe(value)
+        summary = histogram.summary()
+        assert summary["count"] == 5
+        assert summary["min"] == 1
+        assert summary["max"] == 5
+        assert summary["mean"] == 3
+        assert histogram.percentile(50) == 3
+
+    def test_empty_histogram_summary_is_zeroes(self):
+        assert Histogram("h").summary()["count"] == 0
+        assert Histogram("h").percentile(99) == 0.0
+
+    def test_duplicate_name_across_kinds_rejected(self):
+        registry = MetricsRegistry()
+        registry.counter("x.y")
+        with pytest.raises(ValueError):
+            registry.gauge("x.y")
+
+    def test_bad_names_rejected(self):
+        registry = MetricsRegistry()
+        for bad in ("", ".a", "a.", "a..b"):
+            with pytest.raises(ValueError):
+                registry.counter(bad)
+
+
+class TestSources:
+    def test_dataclass_source_snapshots_fields_and_properties(self):
+        registry = MetricsRegistry()
+        stats = SimulationStats()
+        registry.register_source("sim", stats)
+        stats.rounds = 3
+        stats.tokens_moved = 10
+        stats.valid_tokens_moved = 4
+        snap = registry.snapshot()
+        assert snap["sim.rounds"] == 3
+        assert snap["sim.utilization"] == pytest.approx(0.4)
+
+    def test_switch_stats_source(self):
+        registry = MetricsRegistry()
+        stats = SwitchStats(packets_dropped=2, bytes_out=640, bytes_in=704)
+        registry.register_source("switch.tor", stats)
+        snap = registry.snapshot()
+        assert snap["switch.tor.packets_dropped"] == 2
+        assert snap["switch.tor.bytes_in"] == 704
+
+    def test_reregistration_is_noop(self):
+        registry = MetricsRegistry()
+        stats = SwitchStats()
+        registry.register_source("switch.tor", stats)
+        registry.register_source("switch.tor", stats)
+        assert len(registry.snapshot()) == len(
+            {k for k in registry.snapshot()}
+        )
+
+    def test_source_without_numbers_rejected(self):
+        class Empty:
+            pass
+
+        with pytest.raises(ValueError):
+            MetricsRegistry().register_source("x", Empty())
+
+
+class TestReadsAndExport:
+    def test_delta_subtracts_snapshots(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("sim.rounds")
+        counter.inc(5)
+        before = registry.snapshot()
+        counter.inc(7)
+        delta = MetricsRegistry.delta(before, registry.snapshot())
+        assert delta["sim.rounds"] == 7
+
+    def test_snapshot_is_sorted(self):
+        registry = MetricsRegistry()
+        registry.counter("z.last")
+        registry.counter("a.first")
+        assert list(registry.snapshot()) == ["a.first", "z.last"]
+
+    def test_json_export_schema(self):
+        registry = MetricsRegistry()
+        registry.counter("sim.rounds").inc(2)
+        document = json.loads(registry.to_json(extra={"note": "hi"}))
+        assert document["schema"] == METRICS_SCHEMA
+        assert document["metrics"]["sim.rounds"] == 2
+        assert document["note"] == "hi"
+
+    def test_csv_export(self):
+        registry = MetricsRegistry()
+        registry.counter("sim.rounds").inc(2)
+        lines = registry.to_csv().strip().splitlines()
+        assert lines[0] == "name,value"
+        assert "sim.rounds,2" in lines

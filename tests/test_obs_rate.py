@@ -1,0 +1,177 @@
+"""Rate monitor and telemetry session (repro.obs.rate / repro.obs.session)."""
+
+import json
+import os
+
+import pytest
+
+from repro.host.perfmodel import SimulationRateModel, SwitchPlacement
+from repro.manager.runfarm import RunFarmConfig, elaborate
+from repro.manager.topology import single_rack
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.rate import RateMonitor, RateReport
+from repro.obs.session import TelemetrySession
+from repro.obs.trace import ChromeTraceSink, get_trace_sink, set_trace_sink
+from repro.swmodel.apps.ping import make_ping_client
+
+
+def two_node_sim():
+    return elaborate(single_rack(2), RunFarmConfig())
+
+
+class TestRateMonitor:
+    def test_unobserved_simulation_has_no_observer(self):
+        sim = two_node_sim()
+        assert sim.simulation.observer is None
+
+    def test_attach_and_measure(self):
+        sim = two_node_sim()
+        monitor = RateMonitor().attach(sim.simulation)
+        assert sim.simulation.observer is monitor
+        sim.run_cycles(64_000)
+        report = monitor.report()
+        assert report.rounds == 10  # 6400-cycle quantum
+        assert report.cycles == 64_000
+        assert report.wall_seconds > 0.0
+        assert report.rate_mhz > 0.0
+        assert report.freq_hz == 3.2e9
+
+    def test_model_shares_cover_all_models(self):
+        sim = two_node_sim()
+        monitor = RateMonitor().attach(sim.simulation)
+        sim.run_cycles(32_000)
+        shares = monitor.report().host_time_shares
+        # Switch ids are globally allocated, so match by prefix.
+        assert {name.rstrip("0123456789") for name in shares} == {
+            "node", "switch",
+        }
+        assert len(shares) == 3
+        assert sum(shares.values()) == pytest.approx(1.0)
+        # Shares are sorted most-expensive first.
+        assert list(shares.values()) == sorted(shares.values(), reverse=True)
+
+    def test_observed_matches_unobserved_results(self):
+        """Observation must not perturb target-time behaviour."""
+
+        def rtts(observed):
+            sim = two_node_sim()
+            if observed:
+                RateMonitor().attach(sim.simulation)
+            target = sim.blade(1)
+            sim.blade(0).spawn(
+                "ping",
+                make_ping_client(target.mac, count=3,
+                                 interval_cycles=80_000),
+            )
+            sim.run_seconds(0.001)
+            return tuple(sim.blade(0).results["ping_rtt_cycles"])
+
+        assert rtts(True) == rtts(False)
+
+    def test_tick_spans_reach_trace_sink(self):
+        sim = two_node_sim()
+        sink = ChromeTraceSink()
+        RateMonitor(trace=sink).attach(sim.simulation)
+        sim.run_cycles(12_800)
+        ticks = [e for e in sink.events if e.get("cat") == "sim.tick"]
+        names = {e["name"] for e in ticks}
+        assert {"node0", "node1"} <= names
+        assert any(name.startswith("switch") for name in names)
+
+    def test_register_metrics_exports_live_gauges(self):
+        sim = two_node_sim()
+        monitor = RateMonitor().attach(sim.simulation)
+        registry = MetricsRegistry()
+        monitor.register_metrics(registry)
+        assert registry.snapshot()["sim.rate_mhz"] == 0.0
+        sim.run_cycles(6400)
+        assert registry.snapshot()["sim.rate_mhz"] > 0.0
+
+    def test_empty_report_is_safe(self):
+        report = RateMonitor().report()
+        assert report.rate_mhz == 0.0
+        assert report.slowdown_vs_target == float("inf")
+        assert report.host_time_shares == {}
+
+
+class TestPredictionComparison:
+    def test_compare_prediction_ratio(self):
+        estimate = SimulationRateModel().estimate(6400, [SwitchPlacement(2)])
+        report = RateReport(
+            wall_seconds=1.0, cycles=int(estimate.rate_hz), rounds=1,
+            freq_hz=3.2e9,
+        )
+        assert report.compare_prediction(estimate) == pytest.approx(1.0)
+        assert estimate.prediction_error(estimate.rate_hz) == pytest.approx(
+            0.0
+        )
+
+    def test_prediction_error_signs(self):
+        estimate = SimulationRateModel().estimate(6400, [SwitchPlacement(2)])
+        assert estimate.prediction_error(estimate.rate_hz / 2) > 0
+        assert estimate.prediction_error(estimate.rate_hz * 2) < 0
+        with pytest.raises(ValueError):
+            estimate.prediction_error(0.0)
+
+
+class TestTelemetrySession:
+    def test_install_uninstall_cycle(self):
+        session = TelemetrySession()
+        try:
+            session.install()
+            assert get_trace_sink() is session.sink
+        finally:
+            session.uninstall()
+        assert get_trace_sink().enabled is False
+
+    def test_untraced_session_has_null_global_sink(self):
+        session = TelemetrySession(trace=False)
+        try:
+            session.install()
+            assert get_trace_sink().enabled is False
+        finally:
+            session.uninstall()
+
+    def test_attach_running_registers_everything(self):
+        sim = two_node_sim()
+        session = TelemetrySession(trace=False)
+        session.attach_running(sim)
+        sim.run_cycles(6400)
+        snap = session.registry.snapshot()
+        assert snap["sim.rounds"] == 1
+        assert snap["sim.cycles"] == 6400
+        assert snap["sim.rate_mhz"] > 0.0
+        assert any(
+            name.startswith("switch.") and name.endswith(".packets_dropped")
+            for name in snap
+        )
+        assert "blade.node0.l2.misses" in snap
+        assert "blade.node1.nic.tx_bytes" in snap
+
+    def test_span_records_gauge_and_trace(self):
+        session = TelemetrySession()
+        with session.span("buildafi"):
+            pass
+        assert session.registry.snapshot()["manager.buildafi.seconds"] >= 0.0
+        names = [e["name"] for e in session.sink.events]
+        assert "buildafi" in names
+
+    def test_dump_writes_artifacts(self, tmp_path):
+        sim = two_node_sim()
+        session = TelemetrySession()
+        try:
+            session.install()
+            session.attach_running(sim)
+            sim.run_cycles(6400)
+            written = session.dump(str(tmp_path / "out"))
+        finally:
+            session.uninstall()
+        assert sorted(written) == [
+            "metrics.csv", "metrics.json", "trace.json",
+        ]
+        for path in written.values():
+            assert os.path.exists(path)
+        metrics = json.loads(open(written["metrics.json"]).read())
+        assert metrics["rate"]["rounds"] == 1
+        trace = json.loads(open(written["trace.json"]).read())
+        assert any(e["name"] == "node0" for e in trace["traceEvents"])

@@ -1,0 +1,107 @@
+"""Chrome trace-event sink (repro.obs.trace)."""
+
+import json
+
+import pytest
+
+from repro.obs.trace import (
+    HOST_PID,
+    TARGET_PID,
+    ChromeTraceSink,
+    NullTraceSink,
+    get_trace_sink,
+    set_trace_sink,
+)
+
+
+@pytest.fixture
+def sink():
+    """Install a Chrome sink process-wide; always restore the no-op."""
+    installed = set_trace_sink(ChromeTraceSink())
+    yield installed
+    set_trace_sink(None)
+
+
+class TestGlobalSink:
+    def test_default_is_disabled_noop(self):
+        assert isinstance(get_trace_sink(), NullTraceSink)
+        assert get_trace_sink().enabled is False
+
+    def test_install_and_restore(self, sink):
+        assert get_trace_sink() is sink
+        set_trace_sink(None)
+        assert get_trace_sink().enabled is False
+
+    def test_noop_sink_accepts_all_calls(self):
+        null = NullTraceSink()
+        null.target_span("a", "b", 0, 10)
+        null.target_instant("a", "b", 5)
+        null.host_span("a", "b", 0.0, 1.0)
+        null.host_instant("a", "b", 0.5)
+
+
+class TestChromeFormat:
+    def test_target_span_converts_cycles_to_target_us(self):
+        sink = ChromeTraceSink(freq_hz=1e6)  # 1 cycle == 1 us
+        sink.target_span("pkt", "net", 100, 180)
+        event = sink.events[-1]
+        assert event["ph"] == "X"
+        assert event["ts"] == pytest.approx(100.0)
+        assert event["dur"] == pytest.approx(80.0)
+        assert event["pid"] == TARGET_PID
+        assert event["args"]["start_cycle"] == 100
+
+    def test_host_span_in_microseconds(self):
+        sink = ChromeTraceSink()
+        sink.host_span("verb", "manager", 1.0, 1.5)
+        event = sink.events[-1]
+        assert event["ts"] == pytest.approx(1e6)
+        assert event["dur"] == pytest.approx(5e5)
+        assert event["pid"] == HOST_PID
+
+    def test_instants_carry_cycle_args(self):
+        sink = ChromeTraceSink()
+        sink.target_instant("drop", "switch", 42, args={"port": 1})
+        event = sink.events[-1]
+        assert event["ph"] == "i"
+        assert event["args"] == {"port": 1, "cycle": 42}
+
+    def test_tracks_get_stable_tids_and_metadata(self):
+        sink = ChromeTraceSink()
+        sink.target_instant("a", "x", 0, track="switch0")
+        sink.target_instant("b", "x", 1, track="switch0")
+        sink.target_instant("c", "x", 2, track="switch1")
+        named = [e for e in sink.events if e.get("ph") == "M"]
+        assert {e["args"]["name"] for e in named} == {"switch0", "switch1"}
+        tids = {e["tid"] for e in sink.events
+                if e.get("ph") == "i" and e["args"]["cycle"] < 2}
+        assert len(tids) == 1
+
+    def test_document_is_valid_chrome_trace(self):
+        sink = ChromeTraceSink()
+        sink.target_span("pkt", "net", 0, 10)
+        sink.host_instant("mark", "manager", 0.1)
+        document = json.loads(sink.to_json())
+        assert isinstance(document["traceEvents"], list)
+        for event in document["traceEvents"]:
+            assert {"name", "ph", "pid", "tid"} <= set(event)
+        process_names = [
+            e for e in document["traceEvents"]
+            if e.get("name") == "process_name"
+        ]
+        assert len(process_names) == 2
+
+    def test_max_events_cap_counts_drops(self):
+        sink = ChromeTraceSink(max_events=2)
+        for cycle in range(5):
+            sink.target_instant("e", "x", cycle)
+        assert sink.dropped_events > 0
+        assert json.loads(sink.to_json())["otherData"]["dropped_events"] == (
+            sink.dropped_events
+        )
+
+    def test_bad_config_rejected(self):
+        with pytest.raises(ValueError):
+            ChromeTraceSink(freq_hz=0)
+        with pytest.raises(ValueError):
+            ChromeTraceSink(max_events=0)

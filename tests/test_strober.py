@@ -91,6 +91,51 @@ class TestSampler:
         assert sample.nic_flits > 0
 
 
+class TestEdgeCases:
+    def test_sample_exactly_on_interval_boundary(self):
+        """cycle - last == interval is a full window: it must sample."""
+        sim, blade = _busy_blade_sim()
+        sampler = StroberSampler(blade, interval_cycles=500_000)
+        assert sampler.sample(499_999) is None
+        sample = sampler.sample(500_000)
+        assert sample is not None
+        assert sample.cycles == 500_000
+        assert sample.start_cycle == 0
+
+    def test_sample_twice_at_same_cycle_records_once(self):
+        sim, blade = _busy_blade_sim()
+        sampler = StroberSampler(blade, interval_cycles=100_000)
+        sim.run_cycles(200_000)
+        cycle = sim.simulation.current_cycle
+        first = sampler.sample(cycle)
+        second = sampler.sample(cycle)
+        assert first is not None
+        assert second is None  # zero-width window: nothing recorded
+        assert len(sampler.samples) == 1
+
+    def test_report_with_zero_samples(self):
+        sim, blade = _busy_blade_sim()
+        sampler = StroberSampler(blade, interval_cycles=1_000_000)
+        report = sampler.report()
+        assert report.samples == 0
+        assert report.total_energy_j == 0.0
+        assert report.average_power_w == 0.0
+
+    def test_register_metrics_tracks_live_estimate(self):
+        from repro.obs.metrics import MetricsRegistry
+
+        sim, blade = _busy_blade_sim()
+        sampler = StroberSampler(blade, interval_cycles=400_000)
+        registry = MetricsRegistry()
+        sampler.register_metrics(registry)
+        assert registry.snapshot()[f"strober.{blade.name}.samples"] == 0.0
+        sim.run_cycles(400_000)
+        sampler.sample(sim.simulation.current_cycle)
+        snap = registry.snapshot()
+        assert snap[f"strober.{blade.name}.samples"] == 1.0
+        assert snap[f"strober.{blade.name}.total_energy_j"] > 0.0
+
+
 class TestConvergence:
     def test_fine_sampling_matches_coarse_total_energy(self):
         """Strober's claim: sampling interval trades overhead, not

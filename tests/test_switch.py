@@ -157,7 +157,46 @@ class TestStats:
         tick(switch, 0, 200, {0: [(0, frame_to(mac, size=128))]})
         assert switch.stats.packets_in == 1
         assert switch.stats.packets_out == 1
+        assert switch.stats.bytes_in == 128
         assert switch.stats.bytes_out == 128
+
+    def test_bytes_in_counts_ingress_even_when_dropped(self):
+        """Ingress accounting is independent of egress fate, so ingress
+        utilization is computable from bytes_in alone."""
+        switch = make_switch()  # no MAC table, no default: all dropped
+        tick(switch, 0, 200, {0: [(0, frame_to(mac_address(5), size=256))]})
+        assert switch.stats.bytes_in == 256
+        assert switch.stats.bytes_out == 0
+
+    def test_byte_conservation_through_congestion(self):
+        """bytes_in == bytes_out + bytes_dropped + queued bytes, even
+        while the output port is saturated and dropping."""
+        mac = mac_address(1)
+        switch = make_switch(mac_table={mac: 1}, buffer_flits=16)
+        for window_index in range(6):
+            start = window_index * 64
+            injections = {
+                0: [(start + i * 8, frame_to(mac)) for i in range(8)],
+                2: [(start + i * 8, frame_to(mac)) for i in range(8)],
+            }
+            tick(switch, start, 64, injections)
+            stats = switch.stats
+            assert stats.bytes_in == (
+                stats.bytes_out + stats.bytes_dropped + switch.queued_bytes()
+            )
+        assert switch.stats.packets_dropped > 0
+        assert switch.stats.bytes_dropped == 64 * switch.stats.packets_dropped
+
+    def test_byte_conservation_after_drain(self):
+        """Once the queues drain with no drops, every ingress byte has
+        egressed exactly once."""
+        mac = mac_address(1)
+        switch = make_switch(mac_table={mac: 1})
+        tick(switch, 0, 64, {0: [(0, frame_to(mac, size=200))]})
+        tick(switch, 64, 200, {})
+        assert switch.queued_packets() == 0
+        assert switch.stats.bytes_in == switch.stats.bytes_out == 200
+        assert switch.stats.bytes_dropped == 0
 
     def test_bandwidth_probe_records_egress(self):
         mac = mac_address(1)

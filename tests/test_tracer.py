@@ -6,12 +6,13 @@ from repro.core.simulation import Simulation
 from repro.net.ethernet import mac_address
 from repro.net.switch import SwitchConfig, SwitchModel
 from repro.net.tracer import LatencyProbe, LinkTracer, splice_tracer
+from repro.obs.trace import ChromeTraceSink, set_trace_sink
 from repro.swmodel.apps.ping import RESULT_KEY, make_ping_client
 from repro.swmodel.server import ServerBlade
 
 
-def traced_pair(link_latency=6400):
-    sim = Simulation()
+def traced_pair(link_latency=6400, quantum_override=None):
+    sim = Simulation(quantum_override=quantum_override)
     a = sim.add_model(ServerBlade("node0", node_index=0))
     b = sim.add_model(ServerBlade("node1", node_index=1))
     switch = sim.add_model(
@@ -59,6 +60,27 @@ class TestSplicing:
         with pytest.raises(ValueError, match="odd"):
             splice_tracer(sim, a, "net", b, "net", 6401)
 
+    def test_timing_invariance_under_small_quantum(self):
+        """Splicing stays distortion-free when the round quantum is
+        overridden to far less than the (half-)link latency: batching
+        granularity must not change cycle arithmetic."""
+
+        def rtts(quantum_override):
+            sim, a, b, _, _ = traced_pair(
+                link_latency=6400, quantum_override=quantum_override
+            )
+            a.spawn(
+                "ping",
+                make_ping_client(b.mac, count=3, interval_cycles=80_000),
+            )
+            sim.run_seconds(0.001)
+            return tuple(a.results[RESULT_KEY])
+
+        full = rtts(None)  # natural quantum: the 3200-cycle half link
+        assert len(full) == 2  # count=3, first skipped (ARP)
+        assert full == rtts(400)
+        assert full == rtts(100)
+
 
 class TestRecords:
     def test_packets_recorded_with_direction(self):
@@ -73,6 +95,37 @@ class TestRecords:
             assert record.src == a.mac
             assert record.dst == b.mac
             assert record.last_flit_cycle >= record.first_flit_cycle
+
+    def test_packet_spans_land_in_trace_sink(self):
+        """With a Chrome sink installed, every recorded packet also
+        becomes a target-time span on the tracer's track."""
+        sink = set_trace_sink(ChromeTraceSink())
+        try:
+            sim, a, b, tracer_a, _ = traced_pair()
+            a.spawn(
+                "ping",
+                make_ping_client(b.mac, count=3, interval_cycles=80_000),
+            )
+            sim.run_seconds(0.001)
+        finally:
+            set_trace_sink(None)
+        spans = [
+            e for e in sink.events
+            if e.get("cat") == "net" and e["tid"] and e.get("ph") == "X"
+        ]
+        by_track = [
+            e for e in spans
+            if e["args"].get("bytes") is not None
+        ]
+        # 3 requests + 3 replies per tracer, two tracers.
+        assert len(by_track) == len(tracer_a.records) * 2 == 12
+        record = tracer_a.packets("a_to_b")[0]
+        match = [
+            e for e in spans
+            if e["name"] == "a_to_b"
+            and e["args"]["start_cycle"] == record.first_flit_cycle
+        ]
+        assert match, "tracer record missing from the trace sink"
 
     def test_latency_probe_measures_switch_crossing(self):
         sim, a, b, tracer_a, tracer_b = traced_pair(link_latency=6400)
