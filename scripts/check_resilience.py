@@ -1,0 +1,138 @@
+#!/usr/bin/env python
+"""Chaos smoke test: faulted sessions must recover cycle-exactly.
+
+Usage: PYTHONPATH=src python scripts/check_resilience.py
+
+Drives the manager CLI twice over the same 4-node ping session — once
+clean, once under a canned fault plan (failed build, failed instance
+launch, lost heartbeat, controller crash mid-run) with checkpointing
+enabled — and checks that:
+
+* both sessions exit zero;
+* the faulted run's ping RTTs and target time match the clean run
+  exactly (recovery is cycle-exact, not approximate);
+* the resilience summary reports the injected faults, at least one
+  retry, and exactly one checkpoint restore;
+* the fault log is byte-identical across two faulted runs (the plan's
+  seeded RNG makes chaos reproducible);
+* a session whose retry budget is exhausted exits non-zero with a
+  one-line error.
+
+Exits non-zero with a message on the first violation; prints a one-line
+summary on success.  Intended for CI smoke tests — stdlib + repro only.
+"""
+
+import io
+import json
+import os
+import sys
+import tempfile
+
+sys.path.insert(
+    0, os.path.join(os.path.dirname(os.path.dirname(__file__)), "src")
+)
+
+from repro.manager.cli import main  # noqa: E402
+
+PLAN = {
+    "seed": 7,
+    "faults": [
+        {"kind": "agfi-build", "point": "buildafi"},
+        {"kind": "instance-launch", "point": "launchrunfarm"},
+        {"kind": "heartbeat-loss", "point": "infrasetup"},
+        {"kind": "controller-crash", "point": "runworkload",
+         "at_cycle": 2_000_000},
+    ],
+}
+
+SESSION = [
+    "buildafi", "launchrunfarm", "infrasetup", "runworkload", "status",
+    "--topology", "single_rack", "--servers-per-rack", "4",
+    "--duration-ms", "2", "--ping-count", "4", "--json",
+]
+
+
+def fail(message):
+    print(f"check_resilience: FAIL: {message}", file=sys.stderr)
+    raise SystemExit(1)
+
+
+def run_cli(argv):
+    out, err = io.StringIO(), io.StringIO()
+    code = main(argv, out=out, err=err)
+    return code, out.getvalue(), err.getvalue()
+
+
+def run_session(extra=()):
+    code, out, err = run_cli(SESSION + list(extra))
+    if code != 0:
+        fail(f"session exited {code}: {err.strip()}")
+    return json.loads(out)["verbs"]
+
+
+def main_check():
+    with tempfile.TemporaryDirectory() as tmp:
+        plan_path = os.path.join(tmp, "plan.json")
+        with open(plan_path, "w") as fh:
+            json.dump(PLAN, fh)
+        chaos = ["--fault-plan", plan_path, "--checkpoint-interval", "0.5"]
+
+        clean = run_session()
+        faulted = run_session(chaos)
+        faulted_again = run_session(chaos)
+
+        # Cycle-exact recovery: identical results despite 4 faults.
+        if faulted["runworkload"]["ping"] != clean["runworkload"]["ping"]:
+            fail(
+                f"faulted ping {faulted['runworkload']['ping']} != "
+                f"clean {clean['runworkload']['ping']}"
+            )
+        if faulted["runworkload"]["target_ms"] != (
+            clean["runworkload"]["target_ms"]
+        ):
+            fail("faulted run stopped at a different target time")
+
+        resilience = faulted["status"]["resilience"]
+        if resilience["faults_injected"] != len(PLAN["faults"]):
+            fail(f"expected {len(PLAN['faults'])} faults injected, "
+                 f"got {resilience['faults_injected']}")
+        if resilience["retries"] < 1:
+            fail("no retries recorded")
+        if resilience["restores"] != 1:
+            fail(f"expected 1 checkpoint restore, "
+                 f"got {resilience['restores']}")
+        if resilience["giveups"] != 0:
+            fail(f"unexpected giveups: {resilience['giveups']}")
+
+        # Determinism: the seeded plan yields a byte-identical fault log.
+        if resilience["fault_log"] != (
+            faulted_again["status"]["resilience"]["fault_log"]
+        ):
+            fail("fault log differs between identical chaos runs")
+
+        # Exhausted retry budgets surface as a clean non-zero exit.
+        stubborn = os.path.join(tmp, "stubborn.json")
+        with open(stubborn, "w") as fh:
+            json.dump({"seed": 0, "faults": [
+                {"kind": "instance-launch", "point": "launchrunfarm",
+                 "times": 9},
+            ]}, fh)
+        code, _, err = run_cli(
+            ["launchrunfarm", "--topology", "single_rack",
+             "--fault-plan", stubborn, "--max-retries", "2"]
+        )
+        if code == 0:
+            fail("exhausted retry budget did not exit non-zero")
+        if "failed after 2 retries" not in err:
+            fail(f"unexpected giveup message: {err.strip()!r}")
+
+    print(
+        f"check_resilience: OK ({resilience['faults_injected']} faults, "
+        f"{resilience['retries']} retries, "
+        f"{resilience['restores']} restore, cycle-exact recovery)"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main_check())

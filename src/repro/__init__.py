@@ -29,10 +29,44 @@ the full system:
 * :mod:`repro.experiments` — one module per paper table/figure.
 """
 
+class ReproError(Exception):
+    """Base for every user-facing error raised by the reproduction.
+
+    Catching ``ReproError`` is enough to handle any failure the system
+    reports deliberately — configuration mistakes, lifecycle misuse,
+    injected faults, checkpoint mismatches.  Defined before the imports
+    below so submodules may ``from repro import ReproError`` while this
+    package is still initializing.
+    """
+
+
+class ConfigError(ReproError, ValueError):
+    """A user-supplied configuration is invalid.
+
+    Subclasses :class:`ValueError` so existing ``except ValueError``
+    callers keep working while new code can catch :class:`ReproError`.
+    """
+
+
 from repro.core.clock import DEFAULT_CLOCK, TargetClock
 from repro.core.fame import Fame1Model, Fame5Multiplexer
 from repro.core.simulation import Simulation
 from repro.core.token import Flit, TokenBatch, TokenWindow
+from repro.core.channel import TokenStarvationError
+from repro.faults.checkpoint import (
+    ReplayCheckpoint,
+    SimulationSnapshot,
+    state_digest,
+)
+from repro.faults.plan import (
+    FaultInjector,
+    FaultKind,
+    FaultPlan,
+    FaultSpec,
+    ResilienceStats,
+)
+from repro.faults.retry import CircuitBreaker, RetryPolicy
+from repro.faults.watchdog import TokenWatchdog
 from repro.host.costs import cost_report
 from repro.host.perfmodel import SimulationRateModel
 from repro.manager.manager import FireSimManager
@@ -54,16 +88,26 @@ from repro.tile.soc import NAMED_CONFIGS, RocketChipConfig, config_by_name
 __version__ = "1.0.0"
 
 __all__ = [
+    "CircuitBreaker",
+    "ConfigError",
     "DEFAULT_CLOCK",
     "EthernetFrame",
     "Fame1Model",
     "Fame5Multiplexer",
+    "FaultInjector",
+    "FaultKind",
+    "FaultPlan",
+    "FaultSpec",
     "FireSimManager",
     "Flit",
     "Job",
     "NAMED_CONFIGS",
     "NIC",
     "NICConfig",
+    "ReplayCheckpoint",
+    "ReproError",
+    "ResilienceStats",
+    "RetryPolicy",
     "RocketChipConfig",
     "RunFarmConfig",
     "RunningSimulation",
@@ -71,13 +115,17 @@ __all__ = [
     "ServerNode",
     "Simulation",
     "SimulationRateModel",
+    "SimulationSnapshot",
     "SwitchConfig",
     "SwitchModel",
     "SwitchNode",
     "TargetClock",
     "TokenBatch",
+    "TokenStarvationError",
+    "TokenWatchdog",
     "TokenWindow",
     "WorkloadSpec",
+    "state_digest",
     "config_by_name",
     "cost_report",
     "datacenter_tree",

@@ -23,29 +23,60 @@ from collections import deque
 from typing import Deque
 
 from repro.core.token import Flit, TokenBatch
+from repro import ReproError
+
+
+class TokenStarvationError(ReproError):
+    """A channel stopped advancing: an endpoint lacks input tokens.
+
+    In a healthy token-coordinated simulation this can never happen —
+    links are primed with one latency of empty tokens and every round
+    conserves the in-flight count.  It *does* happen when a transport
+    hop loses a batch (the fault model's lost-heartbeat / stalled-socket
+    scenario, injected via :meth:`Link.lose_in_flight`).  The message
+    names the stalled endpoint so the diagnosis is actionable.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        model_name: str = "",
+        port: str = "",
+        link_name: str = "",
+        cycle: int = 0,
+    ) -> None:
+        super().__init__(message)
+        self.model_name = model_name
+        self.port = port
+        self.link_name = link_name
+        self.cycle = cycle
 
 
 class LinkEndpoint:
     """One direction's consuming end of a link (a token queue)."""
 
-    __slots__ = ("_queue", "_consumed_until")
+    __slots__ = ("_queue", "_consumed_until", "_pushed_until", "_gap_at")
 
     def __init__(self) -> None:
         self._queue: Deque[TokenBatch] = deque()
         self._consumed_until = 0
+        # End cycle of the newest batch ever pushed.  Normally equals the
+        # queue tail's end; after a discard_tail it preserves the
+        # producer's cursor so pushes stay aligned across the gap.
+        self._pushed_until = 0
+        # Start cycle of a lost batch, if any: tokens at or beyond this
+        # cycle are unreachable and the consumer will starve there.
+        self._gap_at: "int | None" = None
 
     def push(self, batch: TokenBatch) -> None:
         """Enqueue a batch; batches must be contiguous in cycle order."""
-        if self._queue:
-            expected = self._queue[-1].end_cycle
-        else:
-            expected = self._consumed_until
-        if batch.start_cycle != expected:
+        if batch.start_cycle != self._pushed_until:
             raise ValueError(
-                f"non-contiguous batch: expected start {expected}, "
+                f"non-contiguous batch: expected start {self._pushed_until}, "
                 f"got {batch.start_cycle}"
             )
         self._queue.append(batch)
+        self._pushed_until = batch.end_cycle
 
     def pop(self, length: int) -> TokenBatch:
         """Consume exactly ``length`` tokens from the head of the queue.
@@ -79,9 +110,31 @@ class LinkEndpoint:
         self._consumed_until += length
         return out
 
+    def discard_tail(self) -> int:
+        """Drop the most recently enqueued batch; returns its length.
+
+        Models a transport hop losing one in-flight token batch (fault
+        injection only — a healthy link never discards).  The producer's
+        push cursor is left untouched, so later batches still enqueue
+        beyond the hole — but the consumer can never advance past it:
+        :attr:`available_tokens` stops at the gap, and the pop that
+        reaches it starves, which is exactly what the watchdog
+        diagnostics are for.
+        """
+        if not self._queue:
+            return 0
+        lost = self._queue.pop()
+        if self._gap_at is None or lost.start_cycle < self._gap_at:
+            self._gap_at = lost.start_cycle
+        return lost.length
+
     @property
     def available_tokens(self) -> int:
-        return sum(batch.length for batch in self._queue)
+        """Tokens consumable contiguously from the consumer's cursor."""
+        total = sum(batch.length for batch in self._queue)
+        if self._gap_at is not None:
+            return min(total, max(0, self._gap_at - self._consumed_until))
+        return total
 
     @property
     def consumed_until(self) -> int:
@@ -144,3 +197,15 @@ class Link:
         if direction == "b_to_a":
             return self.to_a.available_tokens
         raise ValueError(f"unknown direction {direction!r}")
+
+    def lose_in_flight(self, direction: str = "a_to_b") -> int:
+        """Lose the newest in-flight batch in one direction (fault hook).
+
+        Returns the number of tokens lost.  Used by the fault injector
+        to model a dropped transport batch; the receiving endpoint will
+        raise :class:`TokenStarvationError` when it reaches the gap.
+        """
+        endpoint = self.to_b if direction == "a_to_b" else self.to_a
+        if direction not in ("a_to_b", "b_to_a"):
+            raise ValueError(f"unknown direction {direction!r}")
+        return endpoint.discard_tail()

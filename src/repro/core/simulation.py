@@ -28,7 +28,7 @@ from math import gcd
 from time import perf_counter
 from typing import Any, Dict, List, Optional, Tuple
 
-from repro.core.channel import Link, LinkEndpoint
+from repro.core.channel import Link, LinkEndpoint, TokenStarvationError
 from repro.core.clock import DEFAULT_CLOCK, TargetClock
 from repro.core.fame import Fame1Model
 from repro.core.token import TokenBatch, TokenWindow
@@ -87,6 +87,13 @@ class Simulation:
         #: When None the round loop takes the unobserved fast path, so an
         #: untelemetered run pays one None check per round.
         self.observer: Optional[Any] = None
+        #: Optional fault hook (a :class:`repro.faults.plan.FaultInjector`
+        #: arms one).  Called as ``hook(cycle, model)`` at each round
+        #: start (``model=None``) and after each model's tick; it may
+        #: raise to model a simulation-controller crash, or mutate link
+        #: state to model transport loss.  None costs one check per
+        #: round plus one per tick — the same budget as ``observer``.
+        self.fault_hook: Optional[Any] = None
         self._started = False
         if quantum_override is not None and quantum_override < 1:
             raise ValueError("quantum override must be >= 1 cycle")
@@ -191,17 +198,25 @@ class Simulation:
         if self.observer is not None:
             self._run_round_observed(quantum)
             return
+        hook = self.fault_hook
+        if hook is not None:
+            hook(self.current_cycle, None)
         window = TokenWindow(self.current_cycle, self.current_cycle + quantum)
         for model in self.models:
-            inputs = {
-                port: self._attachments[(id(model), port)].receive(quantum)
-                for port in model.ports
-            }
+            try:
+                inputs = {
+                    port: self._attachments[(id(model), port)].receive(quantum)
+                    for port in model.ports
+                }
+            except LookupError as exc:
+                raise self._starvation_diagnostic(model, quantum) from exc
             outputs = model.tick(window, inputs)
             for port, batch in outputs.items():
                 self._attachments[(id(model), port)].transmit(batch)
                 self.stats.tokens_moved += batch.length
                 self.stats.valid_tokens_moved += batch.valid_count
+            if hook is not None:
+                hook(self.current_cycle, model)
         self.current_cycle = window.end
         self.stats.rounds += 1
         self.stats.cycles += quantum
@@ -215,13 +230,19 @@ class Simulation:
         carries no timing calls at all.
         """
         observer = self.observer
+        hook = self.fault_hook
+        if hook is not None:
+            hook(self.current_cycle, None)
         window = TokenWindow(self.current_cycle, self.current_cycle + quantum)
         round_start = perf_counter()
         for model in self.models:
-            inputs = {
-                port: self._attachments[(id(model), port)].receive(quantum)
-                for port in model.ports
-            }
+            try:
+                inputs = {
+                    port: self._attachments[(id(model), port)].receive(quantum)
+                    for port in model.ports
+                }
+            except LookupError as exc:
+                raise self._starvation_diagnostic(model, quantum) from exc
             tick_start = perf_counter()
             outputs = model.tick(window, inputs)
             tick_end = perf_counter()
@@ -232,10 +253,46 @@ class Simulation:
                 self._attachments[(id(model), port)].transmit(batch)
                 self.stats.tokens_moved += batch.length
                 self.stats.valid_tokens_moved += batch.valid_count
+            if hook is not None:
+                hook(self.current_cycle, model)
         self.current_cycle = window.end
         self.stats.rounds += 1
         self.stats.cycles += quantum
         observer.record_round(quantum, perf_counter() - round_start)
+
+    def _starvation_diagnostic(
+        self, model: Fame1Model, quantum: int
+    ) -> TokenStarvationError:
+        """Name the stalled endpoint(s) behind a failed token pop.
+
+        Runs only on the (exceptional) starvation path, so the hot loop
+        keeps its plain dict comprehension.
+        """
+        for port in model.ports:
+            attachment = self._attachments[(id(model), port)]
+            endpoint = (
+                attachment.link.to_a
+                if attachment.side == "a"
+                else attachment.link.to_b
+            )
+            if endpoint.available_tokens < quantum:
+                return TokenStarvationError(
+                    f"channel stalled: {model.name}.{port} on link "
+                    f"{attachment.link.name!r} holds "
+                    f"{endpoint.available_tokens} of {quantum} tokens at "
+                    f"cycle {self.current_cycle} — a transport hop lost a "
+                    "token batch or the peer stopped advancing",
+                    model_name=model.name,
+                    port=port,
+                    link_name=attachment.link.name,
+                    cycle=self.current_cycle,
+                )
+        return TokenStarvationError(
+            f"channel stalled feeding {model.name} at cycle "
+            f"{self.current_cycle}",
+            model_name=model.name,
+            cycle=self.current_cycle,
+        )
 
     def register_metrics(self, registry: Any, prefix: str = "sim") -> None:
         """Expose the aggregate counters through a metrics registry."""

@@ -1,0 +1,71 @@
+"""Deterministic fault injection and resilience for the reproduction.
+
+FireSim's manager runs over hundreds of spot instances, so host-level
+failure is routine: instance launches are rejected, AGFI builds fail,
+simulation controllers die mid-run, heartbeats go quiet.  This package
+models that failure surface *deterministically* — every fault is drawn
+from a seeded :class:`FaultPlan`, so a chaos run is as reproducible as a
+clean one — and proves that recovery is cycle-exact: a crashed-and-
+resumed workload reaches the same final target cycle with the same
+packet trace as a run that never crashed.
+
+Layout:
+
+* :mod:`repro.faults.plan` — fault taxonomy (:class:`FaultKind`,
+  :class:`FaultSpec`, :class:`FaultPlan`) and the seeded
+  :class:`FaultInjector` that fires them at manager lifecycle points
+  and quantum boundaries.
+* :mod:`repro.faults.retry` — :class:`RetryPolicy` (exponential backoff
+  with seeded jitter) and the per-host :class:`CircuitBreaker` that
+  quarantines repeatedly failing instances.
+* :mod:`repro.faults.checkpoint` — quantum-boundary
+  :class:`SimulationSnapshot` / :class:`ReplayCheckpoint` state capture
+  with :func:`state_digest` verification of cycle-exact restore.
+* :mod:`repro.faults.watchdog` — :class:`TokenWatchdog` scanning link
+  occupancy for silently stalled channels.
+"""
+
+from repro.faults.checkpoint import (
+    CheckpointError,
+    CheckpointUnsupported,
+    ReplayCheckpoint,
+    SimulationSnapshot,
+    state_digest,
+)
+from repro.faults.plan import (
+    AgfiBuildFault,
+    ControllerCrash,
+    FaultError,
+    FaultInjector,
+    FaultKind,
+    FaultPlan,
+    FaultSpec,
+    HeartbeatLost,
+    InstanceLaunchFault,
+    ResilienceStats,
+    TransientFault,
+)
+from repro.faults.retry import CircuitBreaker, RetryPolicy
+from repro.faults.watchdog import TokenWatchdog
+
+__all__ = [
+    "AgfiBuildFault",
+    "CheckpointError",
+    "CheckpointUnsupported",
+    "CircuitBreaker",
+    "ControllerCrash",
+    "FaultError",
+    "FaultInjector",
+    "FaultKind",
+    "FaultPlan",
+    "FaultSpec",
+    "HeartbeatLost",
+    "InstanceLaunchFault",
+    "ReplayCheckpoint",
+    "ResilienceStats",
+    "RetryPolicy",
+    "SimulationSnapshot",
+    "TokenWatchdog",
+    "TransientFault",
+    "state_digest",
+]

@@ -1,0 +1,232 @@
+"""Quantum-boundary checkpoint/restore with cycle-exact recovery.
+
+Two complementary mechanisms, both anchored on the determinism of the
+token-coordinated simulation (the robustness analogue of the paper's
+``2l + m + n`` token-exactness invariant — recovery must not perturb
+target-cycle timing by even one cycle):
+
+* :class:`SimulationSnapshot` — a *state* checkpoint: a deep copy of a
+  :class:`~repro.core.simulation.Simulation`'s models, links, and
+  counters taken at a quantum boundary.  Restoring rewinds the
+  simulation in place; re-running from the snapshot is cycle-identical
+  to never having crashed.  Models whose state the host cannot copy
+  (live generator threads in the software model) are detected and named
+  in a :class:`CheckpointUnsupported` diagnostic.
+
+* :class:`ReplayCheckpoint` — a *recipe* checkpoint for full server
+  blades: it records the checkpoint cycle plus a :func:`state_digest`
+  fingerprint, and restores by re-elaborating the target and replaying
+  to the checkpoint cycle.  Because every round is deterministic, the
+  replayed state is bit-identical — and the digest check *proves* it on
+  every restore rather than assuming it.  This is how the manager
+  resumes a workload after a mid-run controller crash.
+"""
+
+from __future__ import annotations
+
+import copy
+import hashlib
+from typing import Any, Callable, Dict, Tuple
+
+from repro import ReproError
+from repro.core.simulation import Simulation, _Attachment
+
+
+class CheckpointError(ReproError):
+    """A restore produced state that does not match the checkpoint."""
+
+
+class CheckpointUnsupported(ReproError):
+    """A model holds host state that cannot be snapshotted."""
+
+
+# -- state digest --------------------------------------------------------
+
+
+def state_digest(running: Any) -> str:
+    """Fingerprint of everything cycle-timing-visible in a running sim.
+
+    Accepts a :class:`~repro.manager.runfarm.RunningSimulation` (or any
+    object with ``simulation``/``switches``/``blades`` attributes) and
+    hashes the current cycle, orchestrator counters, per-switch stats
+    and queue occupancy, per-link flit counts, and per-blade results.
+    Two states with equal digests are indistinguishable to a workload.
+    Deliberately excludes host-side identifiers (object ids, global
+    sequence numbers) that differ across re-elaborations of the same
+    target without affecting timing.
+    """
+    simulation = running.simulation
+    parts = [
+        ("cycle", simulation.current_cycle),
+        ("rounds", simulation.stats.rounds),
+        ("tokens", simulation.stats.tokens_moved),
+        ("valid", simulation.stats.valid_tokens_moved),
+    ]
+    for index, link in enumerate(simulation.links):
+        parts.append(
+            (f"link{index}", link.flits_a_to_b, link.flits_b_to_a)
+        )
+    for switch_id in sorted(running.switches):
+        switch = running.switches[switch_id]
+        stats = switch.stats
+        parts.append((
+            switch.name, stats.packets_in, stats.packets_out,
+            stats.packets_dropped, stats.bytes_in, stats.bytes_out,
+            stats.bytes_dropped, stats.broadcasts,
+            switch.queued_packets(), switch.queued_bytes(),
+        ))
+    for node_index in sorted(running.blades):
+        blade = running.blades[node_index]
+        results = blade.results
+        parts.append((
+            blade.name,
+            tuple(sorted(
+                (key, tuple(values)) for key, values in results.items()
+            )),
+        ))
+    return hashlib.sha256(repr(parts).encode()).hexdigest()
+
+
+# -- state checkpoint ----------------------------------------------------
+
+
+class SimulationSnapshot:
+    """Deep-copied simulation state captured at a quantum boundary."""
+
+    def __init__(
+        self,
+        cycle: int,
+        started: bool,
+        models: list,
+        links: list,
+        stats: Any,
+        attach_map: Dict[Tuple[int, str], Tuple[int, str]],
+    ) -> None:
+        self.cycle = cycle
+        self._started = started
+        self._models = models
+        self._links = links
+        self._stats = stats
+        self._attach_map = attach_map
+
+    @classmethod
+    def capture(cls, simulation: Simulation) -> "SimulationSnapshot":
+        """Snapshot a simulation's full token-visible state.
+
+        One shared deepcopy memo keeps cross-references (a frame queued
+        in a switch *and* in flight on a link) consistent in the copy.
+        """
+        memo: Dict[int, Any] = {}
+        try:
+            models = copy.deepcopy(simulation.models, memo)
+            links = copy.deepcopy(simulation.links, memo)
+            stats = copy.deepcopy(simulation.stats, memo)
+        except TypeError as exc:
+            raise CheckpointUnsupported(
+                f"{cls._offender(simulation)} holds host state that cannot "
+                f"be copied ({exc}); software-model blades run live "
+                "generator threads — use ReplayCheckpoint for those"
+            ) from exc
+        model_index = {id(m): i for i, m in enumerate(simulation.models)}
+        link_index = {id(l): i for i, l in enumerate(simulation.links)}
+        attach_map = {
+            (model_index[model_id], port): (
+                link_index[id(attachment.link)], attachment.side
+            )
+            for (model_id, port), attachment
+            in simulation._attachments.items()
+        }
+        return cls(
+            cycle=simulation.current_cycle,
+            started=simulation._started,
+            models=models,
+            links=links,
+            stats=stats,
+            attach_map=attach_map,
+        )
+
+    @staticmethod
+    def _offender(simulation: Simulation) -> str:
+        """Name the first model that defeats deepcopy, for the diagnostic."""
+        for model in simulation.models:
+            try:
+                copy.deepcopy(model)
+            except TypeError:
+                return f"model {model.name!r}"
+        return "a link or counter"
+
+    def restore(self, simulation: Simulation) -> None:
+        """Rewind a simulation to this snapshot, in place.
+
+        The snapshot itself stays pristine (state is deep-copied out
+        again), so one checkpoint supports any number of restores.  The
+        observer and fault hook are left as-is — telemetry and injection
+        belong to the live run, not the saved state.
+        """
+        memo: Dict[int, Any] = {}
+        models = copy.deepcopy(self._models, memo)
+        links = copy.deepcopy(self._links, memo)
+        simulation.models = models
+        simulation.links = links
+        simulation.stats = copy.deepcopy(self._stats, memo)
+        simulation.current_cycle = self.cycle
+        simulation._started = self._started
+        simulation._attachments = {
+            (id(models[model_i]), port): _Attachment(links[link_i], side)
+            for (model_i, port), (link_i, side) in self._attach_map.items()
+        }
+
+
+# -- replay checkpoint ---------------------------------------------------
+
+
+class ReplayCheckpoint:
+    """A digest-verified deterministic-replay checkpoint.
+
+    ``rebuild`` must return a freshly elaborated, workload-deployed
+    running simulation at cycle 0; :meth:`restore` replays it to the
+    checkpoint cycle and verifies the :func:`state_digest` matches what
+    was captured — a failed match means determinism was violated and
+    recovery would *not* be cycle-exact, so it raises instead of
+    silently resuming wrong.
+    """
+
+    def __init__(self, rebuild: Callable[[], Any], cycle: int,
+                 digest: str) -> None:
+        self.rebuild = rebuild
+        self.cycle = cycle
+        self.digest = digest
+
+    @classmethod
+    def capture(cls, running: Any,
+                rebuild: Callable[[], Any]) -> "ReplayCheckpoint":
+        return cls(
+            rebuild=rebuild,
+            cycle=running.simulation.current_cycle,
+            digest=state_digest(running),
+        )
+
+    def restore(self) -> Any:
+        """Rebuild, replay to the checkpoint cycle, verify the digest."""
+        running = self.rebuild()
+        if running.simulation.current_cycle != 0:
+            raise CheckpointError(
+                "rebuild() must return a fresh simulation at cycle 0, got "
+                f"cycle {running.simulation.current_cycle}"
+            )
+        if self.cycle > 0:
+            running.simulation.run_until(self.cycle)
+        if running.simulation.current_cycle != self.cycle:
+            raise CheckpointError(
+                f"replay overshot the checkpoint: expected cycle "
+                f"{self.cycle}, reached {running.simulation.current_cycle} "
+                "(quantum changed between capture and restore?)"
+            )
+        replayed = state_digest(running)
+        if replayed != self.digest:
+            raise CheckpointError(
+                f"replayed state diverged from checkpoint at cycle "
+                f"{self.cycle}: digest {replayed[:16]} != "
+                f"{self.digest[:16]} — recovery would not be cycle-exact"
+            )
+        return running

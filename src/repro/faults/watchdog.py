@@ -1,0 +1,79 @@
+"""Token-transport watchdog.
+
+In a healthy token-coordinated simulation every link endpoint sits at a
+fixed point between rounds: the consumer has drained exactly up to the
+current cycle and exactly one link latency of tokens is in flight (the
+``2l`` half of the paper's token-exactness invariant).  A transport hop
+that loses a batch breaks that invariant *silently* — the run only dies
+many cycles later when the consumer reaches the gap.  The watchdog
+closes that window: scanned at quantum boundaries, it checks every
+endpoint's occupancy and raises a :class:`TokenStarvationError` naming
+the stalled endpoint the moment the invariant is violated, instead of
+letting the fleet drift toward a distant deadlock.
+"""
+
+from __future__ import annotations
+
+from repro.core.channel import Link, TokenStarvationError
+from repro.core.simulation import Simulation
+
+
+class TokenWatchdog:
+    """Detects stalled token channels at quantum boundaries.
+
+    Attach one per simulation and call :meth:`scan` between rounds (the
+    manager's resilient workload loop does this at every checkpoint
+    interval).  ``scans`` and ``stalls_detected`` count activity for the
+    ``status`` verb.
+    """
+
+    def __init__(self) -> None:
+        self.scans = 0
+        self.stalls_detected = 0
+
+    def scan(self, simulation: Simulation) -> None:
+        """Verify every endpoint holds a full latency of in-flight tokens.
+
+        Raises :class:`TokenStarvationError` naming the first stalled
+        endpoint found.  Only meaningful at a quantum boundary (between
+        rounds), where the in-flight count is invariant.
+        """
+        self.scans += 1
+        cycle = simulation.current_cycle
+        for link in simulation.links:
+            if not link.primed:
+                continue
+            for direction, endpoint in (
+                ("a_to_b", link.to_b), ("b_to_a", link.to_a)
+            ):
+                deficit = link.latency - endpoint.available_tokens
+                if deficit > 0:
+                    self.stalls_detected += 1
+                    consumer = self._consumer_of(simulation, link, direction)
+                    raise TokenStarvationError(
+                        f"watchdog: link {link.name!r} ({direction}) holds "
+                        f"{endpoint.available_tokens} of {link.latency} "
+                        f"in-flight tokens at cycle {cycle}; consumer "
+                        f"{consumer} will starve {deficit} token(s) short",
+                        model_name=consumer.split(".")[0],
+                        port=consumer.split(".")[-1] if "." in consumer else "",
+                        link_name=link.name,
+                        cycle=cycle,
+                    )
+
+    @staticmethod
+    def _consumer_of(
+        simulation: Simulation, link: Link, direction: str
+    ) -> str:
+        """Name the (model, port) that consumes one direction of a link."""
+        want_side = "b" if direction == "a_to_b" else "a"
+        for model in simulation.models:
+            for port in model.ports:
+                attachment = simulation._attachments.get((id(model), port))
+                if (
+                    attachment is not None
+                    and attachment.link is link
+                    and attachment.side == want_side
+                ):
+                    return f"{model.name}.{port}"
+        return "<unattached>"

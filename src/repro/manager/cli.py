@@ -34,7 +34,10 @@ import json
 import sys
 from typing import Any, Callable, Dict, List, Optional, Sequence
 
+from repro import ConfigError, ReproError
 from repro.experiments.common import cycles_to_us
+from repro.faults.plan import FaultPlan
+from repro.faults.retry import RetryPolicy
 from repro.manager.manager import FireSimManager
 from repro.manager.mapper import HostConfig, SUPERNODE_HOST
 from repro.manager.runfarm import RunFarmConfig
@@ -66,7 +69,7 @@ def build_topology(args: argparse.Namespace) -> SwitchNode:
         return two_tier(args.racks, args.servers_per_rack, args.server_type)
     if args.topology == "datacenter":
         return datacenter_tree(servers_per_rack=args.servers_per_rack)
-    raise ValueError(f"unknown topology {args.topology!r}")
+    raise ConfigError(f"unknown topology {args.topology!r}")
 
 
 def build_workload(args: argparse.Namespace, manager: FireSimManager) -> WorkloadSpec:
@@ -92,7 +95,7 @@ def build_workload(args: argparse.Namespace, manager: FireSimManager) -> Workloa
                 lambda blade: blade.spawn("init", make_linux_boot()),
             )
     else:
-        raise ValueError(f"unknown workload {args.workload!r}")
+        raise ConfigError(f"unknown workload {args.workload!r}")
     return workload
 
 
@@ -118,6 +121,16 @@ def make_parser() -> argparse.ArgumentParser:
                         help="print one JSON object instead of text")
     parser.add_argument("--telemetry-out", metavar="DIR", default=None,
                         help="dump metrics.json/metrics.csv/trace.json here")
+    parser.add_argument("--fault-plan", metavar="PLAN.json", default=None,
+                        help="inject the faults described in this seeded "
+                             "JSON plan (chaos testing)")
+    parser.add_argument("--max-retries", type=int, default=None,
+                        help="retry budget per lifecycle step and per "
+                             "mid-run recovery (default 3)")
+    parser.add_argument("--checkpoint-interval", type=float, default=None,
+                        metavar="MS",
+                        help="take a recovery checkpoint every MS "
+                             "milliseconds of target time")
     return parser
 
 
@@ -212,6 +225,21 @@ def _run_verb(
                 error = predicted.prediction_error(report.rate_hz)
                 lines.append(f"prediction error: {error * 100.0:+.0f}%")
                 summary["prediction_error"] = error
+        resilience = manager.resilience_summary()
+        lines.append(
+            f"resilience: {resilience['faults_injected']} faults injected, "
+            f"{resilience['retries']} retries, "
+            f"{resilience['recoveries']} recoveries, "
+            f"{resilience['restores']} checkpoint restores"
+        )
+        if resilience["quarantined_hosts"]:
+            lines.append(
+                "  quarantined: "
+                + ", ".join(resilience["quarantined_hosts"])
+            )
+        for entry in resilience.get("fault_log", []):
+            lines.append(f"  {entry}")
+        summary["resilience"] = resilience
         return lines, summary
 
     if verb == "terminaterunfarm":
@@ -221,15 +249,44 @@ def _run_verb(
     raise ValueError(f"unknown verb {verb!r}")
 
 
-def main(argv: Optional[Sequence[str]] = None, out=sys.stdout) -> int:
+def main(
+    argv: Optional[Sequence[str]] = None, out=sys.stdout, err=sys.stderr
+) -> int:
     args = make_parser().parse_args(argv)
+    try:
+        return _main(args, out)
+    except ReproError as exc:
+        # User-facing failures (bad configs, exhausted retries) print one
+        # actionable line and exit nonzero — no traceback.
+        print(f"firesim: error: {exc}", file=err)
+        return 1
+
+
+def _main(args: argparse.Namespace, out) -> int:
     topology = build_topology(args)
     run_config = RunFarmConfig(
         link_latency_cycles=max(1, round(args.link_latency_us * 3200))
     )
     host_config = SUPERNODE_HOST if args.supernode else HostConfig()
+    fault_plan = (
+        FaultPlan.from_file(args.fault_plan) if args.fault_plan else None
+    )
+    retry_policy = (
+        RetryPolicy(max_retries=args.max_retries)
+        if args.max_retries is not None else None
+    )
+    checkpoint_cycles = None
+    if args.checkpoint_interval is not None:
+        checkpoint_cycles = max(
+            1, round(args.checkpoint_interval / 1e3 * run_config.freq_hz)
+        )
     manager = FireSimManager(
-        topology, run_config=run_config, host_config=host_config
+        topology,
+        run_config=run_config,
+        host_config=host_config,
+        fault_plan=fault_plan,
+        retry_policy=retry_policy,
+        checkpoint_interval_cycles=checkpoint_cycles,
     )
     if args.telemetry_out or "status" in args.verbs:
         manager.enable_telemetry()

@@ -24,10 +24,24 @@ Example (the Figure 4 configuration)::
 
 from __future__ import annotations
 
+import random
 from contextlib import nullcontext
-from dataclasses import dataclass, field
-from typing import Any, ContextManager, Dict, List, Optional
+from time import perf_counter
+from typing import Any, Callable, ContextManager, Dict, List, Optional, Set
 
+from repro import ReproError
+from repro.core.channel import TokenStarvationError
+from repro.faults.checkpoint import ReplayCheckpoint
+from repro.faults.plan import (
+    FaultError,
+    FaultInjector,
+    FaultPlan,
+    HeartbeatLost,
+    ResilienceStats,
+    TransientFault,
+)
+from repro.faults.retry import CircuitBreaker, RetryPolicy
+from repro.faults.watchdog import TokenWatchdog
 from repro.host.costs import CostReport
 from repro.host.perfmodel import RateEstimate, SimulationRateModel
 from repro.manager.buildfarm import BuildFarm, BuildResult
@@ -35,12 +49,14 @@ from repro.manager.mapper import Deployment, HostConfig, map_topology
 from repro.manager.runfarm import RunFarmConfig, RunningSimulation, elaborate
 from repro.manager.topology import SwitchNode
 from repro.manager.workload import WorkloadResult, WorkloadSpec, run_workload
+from repro.net.transport import HeartbeatMonitor
 from repro.obs.rate import RateReport
 from repro.obs.session import TelemetrySession
+from repro.obs.trace import get_trace_sink
 
 
-class ManagerError(RuntimeError):
-    """Raised when lifecycle verbs run out of order."""
+class ManagerError(ReproError, RuntimeError):
+    """Lifecycle verbs ran out of order, or a step exhausted its retries."""
 
 
 class FireSimManager:
@@ -52,6 +68,9 @@ class FireSimManager:
         run_config: Optional[RunFarmConfig] = None,
         host_config: Optional[HostConfig] = None,
         build_farm: Optional[BuildFarm] = None,
+        fault_plan: Optional[FaultPlan] = None,
+        retry_policy: Optional[RetryPolicy] = None,
+        checkpoint_interval_cycles: Optional[int] = None,
     ) -> None:
         self.topology = topology
         self.run_config = run_config or RunFarmConfig()
@@ -62,6 +81,31 @@ class FireSimManager:
         self.deployment: Optional[Deployment] = None
         self.running: Optional[RunningSimulation] = None
         self.telemetry: Optional[TelemetrySession] = None
+        # -- resilience (Section III-B3: the manager babysits an elastic
+        # spot-market fleet, so host failure is the common case) --------
+        self.fault_stats = ResilienceStats()
+        self.fault_plan = fault_plan
+        self.injector = (
+            FaultInjector(fault_plan, self.fault_stats)
+            if fault_plan is not None else None
+        )
+        self.retry_policy = retry_policy or RetryPolicy()
+        self.breaker = CircuitBreaker()
+        self.heartbeats = HeartbeatMonitor()
+        self.watchdog = TokenWatchdog()
+        self.checkpoint_interval_cycles = checkpoint_interval_cycles
+        if checkpoint_interval_cycles is not None \
+                and checkpoint_interval_cycles < 1:
+            raise ManagerError(
+                "checkpoint interval must be >= 1 cycle, got "
+                f"{checkpoint_interval_cycles}"
+            )
+        #: Physical F1 instance ids the circuit breaker has quarantined.
+        self._quarantined: Set[int] = set()
+        # Backoff jitter draws come from a dedicated seeded stream so the
+        # retry schedule never perturbs the injector's probability draws.
+        seed = fault_plan.seed if fault_plan is not None else 0
+        self._retry_rng = random.Random(seed + 1)
 
     # -- telemetry ------------------------------------------------------
 
@@ -77,6 +121,9 @@ class FireSimManager:
             self.telemetry = TelemetrySession(
                 trace=trace, freq_hz=self.run_config.freq_hz
             ).install()
+            self.telemetry.registry.register_source(
+                "faults", self.fault_stats
+            )
             if self.running is not None:
                 self.telemetry.attach_running(self.running)
         return self.telemetry
@@ -107,6 +154,69 @@ class FireSimManager:
         }
         return self.telemetry.dump(out_dir, extra={"topology": topology_info})
 
+    # -- resilience machinery -------------------------------------------
+
+    def _trace_instant(self, name: str, **args: Any) -> None:
+        sink = get_trace_sink()
+        if sink.enabled:
+            sink.host_instant(
+                name, "faults", perf_counter(),
+                track="resilience", args=args,
+            )
+
+    def _quarantine_host(self, host: str) -> None:
+        """Exclude a tripped host's physical instance from future maps."""
+        self.fault_stats.hosts_quarantined += 1
+        if host.startswith("f1:"):
+            self._quarantined.add(int(host.split(":", 1)[1]))
+        # A quarantined host's blades move: recompute the mapping if the
+        # run farm was already launched.
+        if self.deployment is not None:
+            self.deployment = map_topology(
+                self.topology, self.host_config,
+                excluded_instances=self._quarantined,
+            )
+        self._trace_instant("quarantine", host=host)
+
+    def _with_retries(
+        self, step: str, attempt_fn: Callable[[], Any],
+    ) -> Any:
+        """Run one lifecycle step under the retry policy.
+
+        Transient faults are retried with recorded exponential backoff;
+        a host that keeps failing trips the circuit breaker, is
+        quarantined, and its blades are remapped before the next
+        attempt.  Exhausting the budget raises :class:`ManagerError`.
+        """
+        attempt = 0
+        while True:
+            try:
+                result = attempt_fn()
+            except TransientFault as fault:
+                victim = fault.target or step
+                if isinstance(fault, HeartbeatLost):
+                    self.fault_stats.heartbeats_missed += 1
+                    self.heartbeats.miss(victim)
+                if self.breaker.record_failure(victim):
+                    self._quarantine_host(victim)
+                attempt += 1
+                if attempt > self.retry_policy.max_retries:
+                    self.fault_stats.giveups += 1
+                    raise ManagerError(
+                        f"{step} failed after {attempt - 1} retries: {fault}"
+                    ) from fault
+                delay = self.retry_policy.delay_for(attempt, self._retry_rng)
+                self.fault_stats.retries += 1
+                self.fault_stats.backoff_seconds += delay
+                self._trace_instant(
+                    "retry", step=step, attempt=attempt, victim=victim,
+                    backoff_s=round(delay, 6),
+                )
+            else:
+                if attempt > 0:
+                    self.fault_stats.recoveries += 1
+                return result
+
     # -- lifecycle ------------------------------------------------------
 
     def buildafi(self) -> List[BuildResult]:
@@ -115,15 +225,33 @@ class FireSimManager:
             config_names = sorted(
                 {s.server_type for s in self.topology.iter_servers()}
             )
+
+            def attempt() -> tuple:
+                if self.injector is not None:
+                    for name in config_names:
+                        self.injector.fire("buildafi", name)
+                return self.build_farm.build_all(config_names)
+
             self.build_results, self.build_makespan_hours = (
-                self.build_farm.build_all(config_names)
+                self._with_retries("buildafi", attempt)
             )
             return self.build_results
 
     def launchrunfarm(self) -> Deployment:
         """Map the topology onto instances (the run farm)."""
         with self._span("launchrunfarm"):
-            self.deployment = map_topology(self.topology, self.host_config)
+
+            def attempt() -> Deployment:
+                deployment = map_topology(
+                    self.topology, self.host_config,
+                    excluded_instances=self._quarantined,
+                )
+                if self.injector is not None:
+                    for host in deployment.f1_hosts():
+                        self.injector.fire("launchrunfarm", host)
+                return deployment
+
+            self.deployment = self._with_retries("launchrunfarm", attempt)
             return self.deployment
 
     def infrasetup(self) -> RunningSimulation:
@@ -133,17 +261,113 @@ class FireSimManager:
         if self.build_results is None:
             raise ManagerError("buildafi must run before infrasetup")
         with self._span("infrasetup"):
-            self.running = elaborate(self.topology, self.run_config)
+
+            def attempt() -> RunningSimulation:
+                if self.injector is not None:
+                    assert self.deployment is not None
+                    for host in self.deployment.f1_hosts():
+                        self.injector.fire("infrasetup", host)
+                        self.heartbeats.beat(host)
+                return elaborate(self.topology, self.run_config)
+
+            self.running = self._with_retries("infrasetup", attempt)
             if self.telemetry is not None:
                 self.telemetry.attach_running(self.running)
             return self.running
 
     def runworkload(self, workload: WorkloadSpec) -> WorkloadResult:
-        """Deploy a workload onto the running simulation and collect."""
+        """Deploy a workload onto the running simulation and collect.
+
+        Without a fault plan or checkpoint interval this is exactly the
+        plain single-shot path.  With either, the run is segmented at
+        checkpoint intervals; an injected controller crash or detected
+        token stall restores the last quantum-boundary checkpoint and
+        resumes, cycle-identically to a run that never crashed.
+        """
         if self.running is None:
             raise ManagerError("infrasetup must run before runworkload")
         with self._span("runworkload"):
-            return run_workload(self.running, workload)
+            if self.injector is not None:
+                self._with_retries(
+                    "runworkload",
+                    lambda: self.injector.fire("runworkload"),
+                )
+            resilient = self.checkpoint_interval_cycles is not None or (
+                self.injector is not None
+                and bool(self.injector.pending("runworkload"))
+            )
+            if not resilient:
+                return run_workload(self.running, workload)
+            return self._run_workload_resilient(workload)
+
+    def _run_workload_resilient(
+        self, workload: WorkloadSpec
+    ) -> WorkloadResult:
+        """Segmented run with checkpoint/restore recovery."""
+        sim = self.running
+        assert sim is not None
+        if sim.simulation.current_cycle != 0:
+            raise ManagerError(
+                "resilient runworkload needs a fresh simulation at cycle 0 "
+                f"(at cycle {sim.simulation.current_cycle}); rerun "
+                "infrasetup first"
+            )
+        workload.validate_against(sim)
+        for job in workload.jobs:
+            job.setup(sim.blade(job.node_index))
+        total_cycles = sim.simulation.clock.cycles(workload.duration_seconds)
+        interval = self.checkpoint_interval_cycles or total_cycles
+
+        def rebuild() -> RunningSimulation:
+            # Deterministic re-execution: elaboration and job setup are
+            # both seeded, so the replayed run is bit-identical.
+            fresh = elaborate(self.topology, self.run_config)
+            for job in workload.jobs:
+                job.setup(fresh.blade(job.node_index))
+            return fresh
+
+        checkpoint = ReplayCheckpoint.capture(sim, rebuild)
+        self.fault_stats.checkpoints_taken += 1
+        if self.injector is not None:
+            self.injector.arm(sim.simulation)
+        restores = 0
+        while sim.simulation.current_cycle < total_cycles:
+            target = min(sim.simulation.current_cycle + interval, total_cycles)
+            try:
+                sim.simulation.run_until(target)
+                self.watchdog.scan(sim.simulation)
+                self.fault_stats.watchdog_scans += 1
+            except (FaultError, TokenStarvationError) as fault:
+                restores += 1
+                if restores > self.retry_policy.max_retries:
+                    self.fault_stats.giveups += 1
+                    raise ManagerError(
+                        f"runworkload failed after {restores - 1} "
+                        f"recoveries: {fault}"
+                    ) from fault
+                self._trace_instant(
+                    "restore", checkpoint_cycle=checkpoint.cycle,
+                    fault=str(fault),
+                )
+                sim = checkpoint.restore()
+                self.running = sim
+                self.fault_stats.restores += 1
+                self.fault_stats.replay_cycles += checkpoint.cycle
+                self.fault_stats.recoveries += 1
+                if self.telemetry is not None:
+                    self.telemetry.attach_running(sim)
+                if self.injector is not None:
+                    self.injector.arm(sim.simulation)
+                continue
+            if sim.simulation.current_cycle < total_cycles:
+                checkpoint = ReplayCheckpoint.capture(sim, rebuild)
+                self.fault_stats.checkpoints_taken += 1
+        sim.simulation.fault_hook = None
+        return WorkloadResult(
+            workload_name=workload.name,
+            target_seconds=sim.simulation.current_time_s,
+            node_results=sim.collect_results(),
+        )
 
     def terminaterunfarm(self) -> None:
         """Release the run farm (instances stop accruing cost).
@@ -172,3 +396,24 @@ class FireSimManager:
         return self.deployment.rate_estimate(
             self.run_config.link_latency_cycles, model
         )
+
+    def resilience_summary(self) -> Dict[str, Any]:
+        """Fault/retry/recovery counters for the ``status`` verb."""
+        stats = self.fault_stats
+        summary: Dict[str, Any] = {
+            "faults_injected": stats.faults_injected,
+            "retries": stats.retries,
+            "recoveries": stats.recoveries,
+            "giveups": stats.giveups,
+            "checkpoints_taken": stats.checkpoints_taken,
+            "restores": stats.restores,
+            "replay_cycles": stats.replay_cycles,
+            "backoff_seconds": round(stats.backoff_seconds, 6),
+            "heartbeats_missed": stats.heartbeats_missed,
+            "stalls_detected": stats.stalls_detected,
+            "watchdog_scans": stats.watchdog_scans,
+            "quarantined_hosts": sorted(self.breaker.quarantined),
+        }
+        if self.injector is not None:
+            summary["fault_log"] = list(self.injector.log)
+        return summary

@@ -16,8 +16,9 @@ mapper decides:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, Iterable, List, Optional, Set, Tuple
 
+from repro import ConfigError
 from repro.host.fpga import FPGAConfig, STANDARD_FPGA, SUPERNODE_FPGA
 from repro.host.costs import CostReport, cost_report
 from repro.host.perfmodel import RateEstimate, SimulationRateModel, SwitchPlacement
@@ -34,7 +35,9 @@ class HostConfig:
 
     def __post_init__(self) -> None:
         if self.fpgas_per_instance not in (1, 8):
-            raise ValueError("F1 offers 1 (f1.2xlarge) or 8 (f1.16xlarge) FPGAs")
+            raise ConfigError(
+                "F1 offers 1 (f1.2xlarge) or 8 (f1.16xlarge) FPGAs"
+            )
 
     @property
     def f1_instance_name(self) -> str:
@@ -86,6 +89,18 @@ class Deployment:
     switch_placements: List[SwitchModelPlacement]
     num_f1_instances: int
     num_m4_instances: int
+    #: Physical ids of the F1 instances in use.  Normally ``0..n-1``;
+    #: when hosts were quarantined and the topology remapped, the ids
+    #: skip the excluded instances (``[0, 2, 3]`` after losing ``1``).
+    f1_instance_ids: List[int] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if not self.f1_instance_ids:
+            self.f1_instance_ids = list(range(self.num_f1_instances))
+
+    def f1_hosts(self) -> List[str]:
+        """Host strings ("f1:<id>") for every F1 instance in use."""
+        return [f"f1:{iid}" for iid in self.f1_instance_ids]
 
     @property
     def instance_counts(self) -> Dict[str, int]:
@@ -120,21 +135,49 @@ class Deployment:
         )
 
 
-def map_topology(root: SwitchNode, host_config: Optional[HostConfig] = None) -> Deployment:
-    """Assign every server and switch in the topology to host instances."""
+def _physical_f1_ids(count: int, excluded: Set[int]) -> List[int]:
+    """The first ``count`` physical instance ids not quarantined."""
+    ids: List[int] = []
+    candidate = 0
+    while len(ids) < count:
+        if candidate not in excluded:
+            ids.append(candidate)
+        candidate += 1
+    return ids
+
+
+def map_topology(
+    root: SwitchNode,
+    host_config: Optional[HostConfig] = None,
+    excluded_instances: Optional[Iterable[int]] = None,
+) -> Deployment:
+    """Assign every server and switch in the topology to host instances.
+
+    ``excluded_instances`` names physical F1 instance ids the mapper must
+    skip — the manager passes its circuit breaker's quarantine set here
+    to remap blades off hosts that failed repeatedly.
+    """
     host_config = host_config or HostConfig()
     host_config.fpga_config.validate_fits()
     validate_topology(root)
+    excluded = set(excluded_instances or ())
+    if any(iid < 0 for iid in excluded):
+        raise ConfigError(
+            f"excluded instance ids must be >= 0, got {sorted(excluded)}"
+        )
 
     blades_per_fpga = host_config.fpga_config.blades_per_fpga
     per_instance = host_config.blades_per_instance
 
     # Servers pack rack-by-rack so a ToR's servers share instances.
+    servers = list(root.iter_servers())
+    num_f1 = (len(servers) + per_instance - 1) // per_instance
+    f1_ids = _physical_f1_ids(num_f1, excluded)
     server_placements: List[ServerPlacement] = []
     instance_of_server: Dict[int, int] = {}
     slot = 0
-    for server in root.iter_servers():
-        instance_index = slot // per_instance
+    for server in servers:
+        instance_index = f1_ids[slot // per_instance]
         within = slot % per_instance
         placement = ServerPlacement(
             server=server,
@@ -145,7 +188,6 @@ def map_topology(root: SwitchNode, host_config: Optional[HostConfig] = None) -> 
         server_placements.append(placement)
         instance_of_server[id(server)] = instance_index
         slot += 1
-    num_f1 = (slot + per_instance - 1) // per_instance
 
     # Switches: ToRs co-locate with their servers when possible; switches
     # with switch children run on m4 hosts.
@@ -210,4 +252,5 @@ def map_topology(root: SwitchNode, host_config: Optional[HostConfig] = None) -> 
         switch_placements=switch_placements,
         num_f1_instances=num_f1,
         num_m4_instances=num_m4,
+        f1_instance_ids=f1_ids,
     )

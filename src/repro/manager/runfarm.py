@@ -21,6 +21,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
+from repro import ConfigError
 from repro.core.clock import TargetClock
 from repro.core.fame import Fame5Multiplexer
 from repro.core.simulation import Simulation
@@ -55,9 +56,9 @@ class RunFarmConfig:
 
     def __post_init__(self) -> None:
         if self.link_latency_cycles < 1:
-            raise ValueError("link latency must be >= 1 cycle")
+            raise ConfigError("link latency must be >= 1 cycle")
         if self.fame5_blades_per_pipeline < 1:
-            raise ValueError("FAME-5 multiplexing factor must be >= 1")
+            raise ConfigError("FAME-5 multiplexing factor must be >= 1")
 
 
 class RunningSimulation:

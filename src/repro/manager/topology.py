@@ -19,6 +19,7 @@ from __future__ import annotations
 import itertools
 from typing import Iterator, List, Optional, Sequence, Union
 
+from repro import ConfigError
 from repro.tile.soc import config_by_name
 
 TopologyNode = Union["SwitchNode", "ServerNode"]
@@ -59,9 +60,9 @@ class SwitchNode:
         """Attach children (servers or switches) below this switch."""
         for child in children:
             if child.uplink is not None:
-                raise ValueError(f"{child!r} already has an uplink")
+                raise ConfigError(f"{child!r} already has an uplink")
             if child is self:
-                raise ValueError("a switch cannot downlink to itself")
+                raise ConfigError("a switch cannot downlink to itself")
             child.uplink = self
             self.downlinks.append(child)
 
@@ -105,15 +106,15 @@ def validate_topology(root: SwitchNode) -> None:
     seen_switches: set[int] = set()
     for switch in root.iter_switches():
         if id(switch) in seen_switches:
-            raise ValueError("topology contains a switch cycle")
+            raise ConfigError("topology contains a switch cycle")
         seen_switches.add(id(switch))
         if not switch.downlinks:
-            raise ValueError(f"{switch!r} has no downlinks")
+            raise ConfigError(f"{switch!r} has no downlinks")
     servers = list(root.iter_servers())
     if not servers:
-        raise ValueError("topology contains no servers")
+        raise ConfigError("topology contains no servers")
     if len({id(s) for s in servers}) != len(servers):
-        raise ValueError("a server appears twice in the topology")
+        raise ConfigError("a server appears twice in the topology")
 
 
 # -- canned topologies used throughout the paper ---------------------------

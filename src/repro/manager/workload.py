@@ -17,6 +17,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional
 
+from repro import ConfigError
 from repro.manager.runfarm import RunningSimulation
 from repro.swmodel.server import ServerBlade
 
@@ -55,7 +56,7 @@ class WorkloadSpec:
     def validate_against(self, sim: RunningSimulation) -> None:
         for job in self.jobs:
             if job.node_index not in sim.blades:
-                raise ValueError(
+                raise ConfigError(
                     f"workload {self.name!r}: job {job.name!r} targets "
                     f"nonexistent node {job.node_index}"
                 )

@@ -191,7 +191,23 @@ class SwitchModel(Fame1Model):
         sink = get_trace_sink()
         while pending:
             timestamp, ingress_port, frame = heapq.heappop(pending)
-            for out_port in self.route(frame, ingress_port):
+            out_ports = self.route(frame, ingress_port)
+            if not out_ports and frame.dst != BROADCAST_MAC:
+                # Unroutable unicast: no table entry and no default port
+                # (e.g. the destination host was quarantined and remapped).
+                # Count it as a drop so byte conservation
+                # (bytes_in == bytes_out + bytes_dropped + queued) holds.
+                self.stats.packets_dropped += 1
+                self.stats.bytes_dropped += frame.size_bytes
+                if sink.enabled:
+                    sink.target_instant(
+                        "drop", "switch", timestamp, track=self.name,
+                        args={"frame": frame.frame_id,
+                              "in_port": ingress_port,
+                              "reason": "unroutable"},
+                    )
+                continue
+            for out_port in out_ports:
                 heapq.heappush(
                     self._out_queues[out_port],
                     _QueuedPacket(timestamp, next(self._seq), frame),

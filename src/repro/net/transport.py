@@ -20,9 +20,11 @@ Figures 8 and 9, and by the manager when it maps links onto hosts.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from enum import Enum
+from typing import Dict, List
 
+from repro import ConfigError
 from repro.core import units
 
 
@@ -83,6 +85,75 @@ LOOPBACK = TransportSpec(
     one_way_latency_s=0.0,
     bandwidth_bytes_per_s=float("inf"),
 )
+
+
+@dataclass
+class HeartbeatMonitor:
+    """Liveness tracking for socket-transport peers.
+
+    Simulation controllers on different hosts exchange token batches
+    over TCP; a host that stops answering is indistinguishable from one
+    that is merely slow until enough heartbeat intervals pass.  The
+    monitor counts consecutive misses per host and declares a host dead
+    after ``misses_to_dead`` of them, at which point the manager
+    quarantines it and remaps its blades.
+
+    Attributes:
+        spec: the transport the heartbeats travel over (sets the floor
+            on detection latency).
+        interval_s: heartbeat period.
+        misses_to_dead: consecutive missed beats before a host is
+            declared dead.
+    """
+
+    spec: TransportSpec = TCP_SOCKET
+    interval_s: float = 1.0
+    misses_to_dead: int = 3
+    _misses: Dict[str, int] = field(default_factory=dict, repr=False)
+    dead: List[str] = field(default_factory=list, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.interval_s <= 0:
+            raise ConfigError(
+                f"heartbeat interval must be > 0, got {self.interval_s}"
+            )
+        if self.misses_to_dead < 1:
+            raise ConfigError(
+                f"misses_to_dead must be >= 1, got {self.misses_to_dead}"
+            )
+
+    def beat(self, host: str) -> None:
+        """A heartbeat arrived; the host's consecutive-miss count resets."""
+        self._misses.pop(host, None)
+
+    def miss(self, host: str) -> bool:
+        """One heartbeat interval passed silently; True if host now dead."""
+        if host in self.dead:
+            return True
+        count = self._misses.get(host, 0) + 1
+        self._misses[host] = count
+        if count >= self.misses_to_dead:
+            self.dead.append(host)
+            return True
+        return False
+
+    def misses(self, host: str) -> int:
+        return self._misses.get(host, 0)
+
+    def is_dead(self, host: str) -> bool:
+        return host in self.dead
+
+    @property
+    def detection_latency_s(self) -> float:
+        """Worst-case time from silent death to declared-dead.
+
+        A host can die right after a beat, so detection takes the full
+        ``misses_to_dead`` intervals plus one heartbeat's transport time.
+        """
+        return (
+            self.misses_to_dead * self.interval_s
+            + self.spec.one_way_latency_s
+        )
 
 
 def tokens_to_bytes(token_count: int, flit_bytes: int = units.FLIT_BYTES) -> int:

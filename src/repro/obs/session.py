@@ -37,6 +37,7 @@ class TelemetrySession:
         )
         self.rate = RateMonitor(trace=self.sink)
         self._installed = False
+        self._rate_metrics_registered = False
 
     # -- lifecycle -------------------------------------------------------
 
@@ -56,10 +57,17 @@ class TelemetrySession:
     # -- wiring ----------------------------------------------------------
 
     def attach_running(self, running: Any) -> None:
-        """Wire an elaborated simulation (a ``RunningSimulation``) in."""
+        """Wire an elaborated simulation (a ``RunningSimulation``) in.
+
+        Safe to call again after a checkpoint restore replaces the
+        running simulation: the rate gauges are claimed once, and
+        re-registered stats sources shadow their predecessors.
+        """
         simulation = running.simulation
         self.rate.attach(simulation)
-        self.rate.register_metrics(self.registry)
+        if not self._rate_metrics_registered:
+            self.rate.register_metrics(self.registry)
+            self._rate_metrics_registered = True
         simulation.register_metrics(self.registry)
         for switch in running.switches.values():
             switch.register_metrics(self.registry)

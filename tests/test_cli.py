@@ -15,6 +15,12 @@ def run_cli(argv):
     return code, out.getvalue()
 
 
+def run_cli_err(argv):
+    out, err = io.StringIO(), io.StringIO()
+    code = main(argv, out=out, err=err)
+    return code, out.getvalue(), err.getvalue()
+
+
 class TestParser:
     def test_verbs_required(self):
         with pytest.raises(SystemExit):
@@ -75,11 +81,30 @@ class TestLifecycle:
         assert "'f1.16xlarge': 2" in standard
         assert "'f1.16xlarge': 1" in supernode
 
-    def test_out_of_order_verbs_fail_loudly(self):
-        from repro.manager.manager import ManagerError
+    def test_out_of_order_verbs_exit_nonzero_without_traceback(self):
+        code, out, err = run_cli_err(
+            ["infrasetup", "--topology", "single_rack"]
+        )
+        assert code == 1
+        assert err.startswith("firesim: error: ")
+        assert "launchrunfarm must run before infrasetup" in err
+        assert "Traceback" not in err
+        assert err.count("\n") == 1  # exactly one line
 
-        with pytest.raises(ManagerError):
-            run_cli(["infrasetup", "--topology", "single_rack"])
+    def test_invalid_config_exits_nonzero(self):
+        code, _, err = run_cli_err(
+            ["launchrunfarm", "--topology", "single_rack",
+             "--servers-per-rack", "0"]
+        )
+        assert code == 1
+        assert err.startswith("firesim: error: ")
+
+    def test_missing_fault_plan_file_exits_nonzero(self):
+        code, _, err = run_cli_err(
+            ["launchrunfarm", "--fault-plan", "/nonexistent/plan.json"]
+        )
+        assert code == 1
+        assert "cannot read fault plan" in err
 
 
 FULL_VERBS = ["buildafi", "launchrunfarm", "infrasetup", "runworkload"]
@@ -127,6 +152,70 @@ class TestStatusVerb:
         assert sum(status["rate"]["host_time_shares"].values()) == (
             pytest.approx(1.0)
         )
+
+
+class TestFaultedSession:
+    PLAN = {
+        "seed": 11,
+        "faults": [
+            {"kind": "instance-launch", "point": "launchrunfarm"},
+            {"kind": "controller-crash", "point": "runworkload",
+             "at_cycle": 1_000_000},
+        ],
+    }
+
+    def _write_plan(self, tmp_path):
+        plan_path = tmp_path / "plan.json"
+        plan_path.write_text(json.dumps(self.PLAN))
+        return str(plan_path)
+
+    def test_faulted_session_matches_fault_free(self, tmp_path):
+        argv = FULL_VERBS + ["status"] + FULL_OPTS + ["--json"]
+        code, clean = run_cli(argv)
+        assert code == 0
+        chaos_argv = argv + [
+            "--fault-plan", self._write_plan(tmp_path),
+            "--checkpoint-interval", "0.25",
+        ]
+        code, faulted = run_cli(chaos_argv)
+        assert code == 0
+        clean_doc, faulted_doc = json.loads(clean), json.loads(faulted)
+        # Recovery is cycle-exact: same target time, same RTT samples.
+        assert (faulted_doc["verbs"]["runworkload"]["ping"]
+                == clean_doc["verbs"]["runworkload"]["ping"])
+        assert (faulted_doc["verbs"]["runworkload"]["target_ms"]
+                == clean_doc["verbs"]["runworkload"]["target_ms"])
+        resilience = faulted_doc["verbs"]["status"]["resilience"]
+        assert resilience["faults_injected"] == 2
+        assert resilience["retries"] >= 1
+        assert resilience["restores"] == 1
+        assert resilience["recoveries"] >= 2
+        assert resilience["giveups"] == 0
+
+    def test_status_text_surfaces_recovery_counts(self, tmp_path):
+        code, text = run_cli(
+            FULL_VERBS + ["status"] + FULL_OPTS + [
+                "--fault-plan", self._write_plan(tmp_path),
+            ]
+        )
+        assert code == 0
+        assert "resilience: 2 faults injected" in text
+        assert "1 checkpoint restores" in text
+        assert "inject controller-crash at runworkload" in text
+
+    def test_retry_budget_exhaustion_exits_nonzero(self, tmp_path):
+        plan_path = tmp_path / "plan.json"
+        plan_path.write_text(json.dumps({
+            "seed": 0,
+            "faults": [{"kind": "instance-launch",
+                        "point": "launchrunfarm", "times": 9}],
+        }))
+        code, _, err = run_cli_err(
+            ["launchrunfarm", "--topology", "single_rack",
+             "--fault-plan", str(plan_path), "--max-retries", "2"]
+        )
+        assert code == 1
+        assert "failed after 2 retries" in err
 
 
 class TestTelemetryOut:

@@ -179,3 +179,46 @@ class TestDeterminism:
             sim.run_cycles(600)
             results.append(tuple(receiver.last_flit_cycles))
         assert results[0] == results[1]
+
+
+class TestSnapshotResume:
+    """Quantum-boundary checkpoint/restore keeps the run cycle-exact."""
+
+    def test_resumed_run_matches_uninterrupted_cycle_for_cycle(self):
+        from repro.faults.checkpoint import SimulationSnapshot
+
+        # Uninterrupted reference run.
+        sim, _, receiver = _switched_pair(64, 10, 7, frame_bytes=256)
+        sim.run_cycles(600)
+        reference = list(receiver.last_flit_cycles)
+        reference_stats = (
+            sim.stats.rounds, sim.stats.tokens_moved,
+            sim.stats.valid_tokens_moved,
+        )
+
+        # Crash after 128 cycles, restore, and resume.
+        sim, _, _ = _switched_pair(64, 10, 7, frame_bytes=256)
+        sim.run_cycles(128)
+        snapshot = SimulationSnapshot.capture(sim)
+        sim.run_cycles(256)  # "lost" progress past the checkpoint
+        snapshot.restore(sim)
+        assert sim.current_cycle == 128
+        sim.run_cycles(600 - 128)
+        resumed_receiver = next(m for m in sim.models if m.name == "B")
+        assert resumed_receiver.last_flit_cycles == reference
+        assert (
+            sim.stats.rounds, sim.stats.tokens_moved,
+            sim.stats.valid_tokens_moved,
+        ) == reference_stats
+
+    def test_fault_hook_sees_round_starts_and_model_ticks(self):
+        sim, _, _ = _switched_pair(64, 10, 7)
+        calls = []
+        sim.fault_hook = lambda cycle, model: calls.append(
+            (cycle, None if model is None else model.name)
+        )
+        sim.run_cycles(128)  # two 64-cycle rounds
+        assert calls[0] == (0, None)  # round start
+        assert [name for _, name in calls[:4]] == [None, "A", "B", "tor"]
+        assert calls[4] == (64, None)
+        assert len(calls) == 8
