@@ -1,0 +1,163 @@
+#!/usr/bin/env python
+"""Benchmark serial vs distributed achieved simulation rate.
+
+Usage: python scripts/bench_dist.py [--cycles N] [--workers 2,4,8]
+                                    [--out BENCH_dist.json] [--quick]
+
+Runs the Figure-8 sim-rate configuration (the paper's 2 us / 6400-cycle
+link latency, a two-tier 8-node cluster scaled to what one container
+can elaborate) through the serial engine and through ``repro.dist`` at
+each requested worker count, and emits ``BENCH_dist.json``.
+
+Two rate families are reported, clearly labeled:
+
+* ``measured_mhz`` — wall-clock achieved MHz on THIS host.  CI
+  containers typically pin all workers to one core, so measured
+  distributed rates mostly show transport overhead, not scaling.
+* ``modeled_mhz`` — the critical-path model: each worker's measured
+  per-model tick seconds plus one WORKER_PIPE hop per boundary link per
+  round, assuming one core per worker.  This is the same
+  model-what-you-cannot-measure technique :mod:`repro.host.perfmodel`
+  uses for the paper's F1 fleet, and it is where the speedup claim
+  lives (``speedup.modeled``).
+
+Exits non-zero if the distributed runs diverge from serial cycle
+counts — the benchmark doubles as an equivalence check.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+
+sys.path.insert(
+    0, os.path.join(os.path.dirname(os.path.abspath(__file__)), "..", "src")
+)
+
+from repro.dist import plan_partitions, run_distributed  # noqa: E402
+from repro.manager.mapper import HostConfig, map_topology  # noqa: E402
+from repro.manager.runfarm import RunFarmConfig, elaborate  # noqa: E402
+from repro.manager.topology import two_tier  # noqa: E402
+from repro.obs.rate import RateMonitor  # noqa: E402
+
+RACKS = 4
+SERVERS_PER_RACK = 2
+LINK_LATENCY_CYCLES = 6400  # the 2 us network used throughout the paper
+#: One FPGA per instance: every blade is its own shard, so up to
+#: 8 blades + switch hosts partition cleanly across 8 workers.
+HOSTS = HostConfig(fpgas_per_instance=1)
+
+
+def build(link_latency_cycles):
+    root = two_tier(num_racks=RACKS, servers_per_rack=SERVERS_PER_RACK)
+    running = elaborate(
+        root, RunFarmConfig(link_latency_cycles=link_latency_cycles)
+    )
+    return running, root
+
+
+def bench_serial(cycles):
+    running, _ = build(LINK_LATENCY_CYCLES)
+    monitor = RateMonitor().attach(running.simulation)
+    running.simulation.run_until(cycles)
+    report = monitor.report()
+    return {
+        "measured_mhz": report.rate_mhz,
+        "wall_seconds": report.wall_seconds,
+        "rounds": report.rounds,
+        "cycles": report.cycles,
+    }, running.simulation.current_cycle
+
+
+def bench_distributed(cycles, workers):
+    running, root = build(LINK_LATENCY_CYCLES)
+    deployment = map_topology(root, HOSTS)
+    plan = plan_partitions(running, deployment, workers)
+    result = run_distributed(running.simulation, plan, cycles, measure=True)
+    summary = result.to_dict()
+    summary["measured_mhz"] = summary.pop("measured_rate_mhz")
+    summary["modeled_mhz"] = summary.pop("modeled_rate_mhz", None)
+    return summary, running.simulation.current_cycle
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--cycles", type=int, default=2_000_000)
+    parser.add_argument("--workers", default="2,4,8",
+                        help="comma-separated worker counts")
+    parser.add_argument("--out", default="BENCH_dist.json")
+    parser.add_argument("--quick", action="store_true",
+                        help="shrink the run for CI smoke")
+    args = parser.parse_args(argv)
+    cycles = 400_000 if args.quick else args.cycles
+    worker_counts = [int(part) for part in args.workers.split(",")]
+
+    serial, serial_end = bench_serial(cycles)
+    print(
+        f"serial: {serial['measured_mhz']:.3f} MHz measured "
+        f"({serial['rounds']} rounds)"
+    )
+
+    distributed = {}
+    speedup_modeled = {}
+    speedup_measured = {}
+    for workers in worker_counts:
+        summary, dist_end = bench_distributed(cycles, workers)
+        if dist_end != serial_end:
+            print(
+                f"bench_dist: FAIL: {workers}-worker run ended at cycle "
+                f"{dist_end}, serial at {serial_end}",
+                file=sys.stderr,
+            )
+            return 1
+        distributed[str(workers)] = summary
+        if summary.get("modeled_mhz") and summary.get("modeled_serial_rate_mhz"):
+            speedup_modeled[str(workers)] = summary["modeled_speedup"]
+        if serial["measured_mhz"] > 0:
+            speedup_measured[str(workers)] = (
+                summary["measured_mhz"] / serial["measured_mhz"]
+            )
+        modeled = summary.get("modeled_mhz")
+        modeled_text = f"{modeled:.3f}" if modeled else "n/a"
+        print(
+            f"workers={workers}: {summary['measured_mhz']:.3f} MHz measured, "
+            f"{modeled_text} MHz modeled "
+            f"({summary['boundary_links']} boundary links)"
+        )
+
+    document = {
+        "schema": "repro.bench.dist/v1",
+        "topology": {
+            "kind": "two_tier",
+            "racks": RACKS,
+            "servers_per_rack": SERVERS_PER_RACK,
+            "nodes": RACKS * SERVERS_PER_RACK,
+        },
+        "link_latency_cycles": LINK_LATENCY_CYCLES,
+        "cycles": cycles,
+        "host_cpu_count": os.cpu_count(),
+        "serial": serial,
+        "distributed": distributed,
+        "speedup": {
+            "modeled": speedup_modeled,
+            "measured": speedup_measured,
+        },
+        "note": (
+            "measured rates share this host's cores; modeled rates are "
+            "the one-core-per-worker critical path (worker tick seconds "
+            "+ WORKER_PIPE hops), the same technique repro.host.perfmodel "
+            "uses where wall-clock cannot be measured"
+        ),
+    }
+    with open(args.out, "w") as fh:
+        json.dump(document, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    best = max(speedup_modeled.values()) if speedup_modeled else 0.0
+    print(f"best modeled speedup: {best:.2f}x -> {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

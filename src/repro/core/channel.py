@@ -140,6 +140,15 @@ class LinkEndpoint:
     def consumed_until(self) -> int:
         return self._consumed_until
 
+    @property
+    def pushed_until(self) -> int:
+        """End cycle of the newest batch ever pushed (the producer cursor).
+
+        A remote transport hop uses this to assert that batches arriving
+        from another worker process are still contiguous in cycle order.
+        """
+        return self._pushed_until
+
 
 class Link:
     """A bidirectional target link of fixed latency between sides A and B.
@@ -174,11 +183,21 @@ class Link:
     def primed(self) -> bool:
         return self._primed
 
-    def _shift(self, batch: TokenBatch) -> TokenBatch:
+    def shift_for_transport(self, batch: TokenBatch) -> TokenBatch:
+        """Relabel a batch by ``+latency`` without enqueueing it.
+
+        This is the cycle arithmetic of :meth:`send_from_a` alone — a
+        remote link endpoint applies it before handing the batch to a
+        host transport (pipe/socket) instead of a local queue, so
+        cross-process links keep the exact ``M -> M + l`` timing of
+        in-process ones.
+        """
         shifted = TokenBatch(batch.start_cycle + self.latency, batch.length)
         for cycle, flit in batch.flits.items():
             shifted.flits[cycle + self.latency] = flit
         return shifted
+
+    _shift = shift_for_transport
 
     def send_from_a(self, batch: TokenBatch) -> None:
         """Side A transmits a window; side B will consume it ``l`` later."""

@@ -172,6 +172,16 @@ class Simulation:
             link.prime()
         self._started = True
 
+    def start(self) -> None:
+        """Validate connectivity and prime every link (idempotent).
+
+        ``run_until`` calls this lazily; distributed execution calls it
+        explicitly so the primed state exists *before* the model/link
+        graph is sharded across worker processes.
+        """
+        if not self._started:
+            self._start()
+
     def run_cycles(self, cycles: int) -> None:
         """Advance the whole target by at least ``cycles`` target cycles.
 
@@ -297,6 +307,67 @@ class Simulation:
     def register_metrics(self, registry: Any, prefix: str = "sim") -> None:
         """Expose the aggregate counters through a metrics registry."""
         registry.register_source(prefix, self.stats)
+
+    # -- partitioning ------------------------------------------------------
+
+    def partition_key(self, model: Fame1Model) -> str:
+        """Stable, seed-independent identity of a model for partitioning.
+
+        The key is the model's name: elaboration derives names from the
+        topology (``node3``, ``switch1``), never from RNG draws or host
+        object identity, so the same target always yields the same keys
+        in the same order.  Requires names to be unique across the
+        simulation — partitioning is meaningless otherwise.
+        """
+        self._check_unique_names()
+        if not any(existing is model for existing in self.models):
+            raise ValueError(f"model {model.name!r} is not part of this simulation")
+        return model.name
+
+    def partition_keys(self) -> List[str]:
+        """Every model's :meth:`partition_key`, in registration order.
+
+        Registration order is the topology traversal order, so it is
+        identical across re-elaborations of the same target regardless
+        of seeds — the property distributed partitioning relies on.
+        """
+        self._check_unique_names()
+        return [model.name for model in self.models]
+
+    def _check_unique_names(self) -> None:
+        names = [model.name for model in self.models]
+        if len(set(names)) != len(names):
+            dupes = sorted({n for n in names if names.count(n) > 1})
+            raise ValueError(
+                f"model names are not unique ({dupes}); partitioning "
+                "needs one stable key per model"
+            )
+
+    def link_attachments(
+        self,
+    ) -> List[Tuple[Link, Tuple[Fame1Model, str], Tuple[Fame1Model, str]]]:
+        """The link graph: ``(link, (model_a, port_a), (model_b, port_b))``.
+
+        Links appear in creation order; within each entry the "a" side is
+        first.  This is the read-only view partitioning uses to find
+        links crossing shard boundaries.
+        """
+        sides: Dict[int, Dict[str, Tuple[Fame1Model, str]]] = {}
+        by_id: Dict[int, Fame1Model] = {id(m): m for m in self.models}
+        for (model_id, port), attachment in self._attachments.items():
+            sides.setdefault(id(attachment.link), {})[attachment.side] = (
+                by_id[model_id],
+                port,
+            )
+        out = []
+        for link in self.links:
+            pair = sides.get(id(link), {})
+            if "a" not in pair or "b" not in pair:
+                raise RuntimeError(
+                    f"link {link.name!r} is missing an attachment"
+                )
+            out.append((link, pair["a"], pair["b"]))
+        return out
 
     # -- inspection --------------------------------------------------------
 

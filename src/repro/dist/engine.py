@@ -1,0 +1,353 @@
+"""The distributed run driver: fork workers, exchange tokens, merge.
+
+:func:`run_distributed` is the multi-process twin of
+:meth:`repro.core.simulation.Simulation.run_until`.  The parent process
+elaborates and primes the simulation once, forks one worker per
+partition (each inherits the full memory image, so nothing is pickled
+on the way in), and then only *watches*: workers synchronize purely by
+token exchange over per-pair queues, exactly as FireSim's distributed
+simulation needs no global barrier (paper Section III-B2).  When every
+worker reports its :class:`~repro.dist.worker.WorkerResult`, the parent
+merges shard-local counters — switch statistics, blade result stores,
+tracer records, link flit counts, aggregate token counts — back onto
+its own model objects, so downstream consumers (workload summaries,
+``status`` output, telemetry) see the same objects they would after a
+serial run.
+
+A worker that dies — injected controller crash, starvation after a
+lost batch, or a genuine defect — is detected by the parent's poll
+loop (an ``("error", ...)`` report or a bare nonzero exit), surviving
+workers are torn down, and the failure is raised as a
+:class:`~repro.faults.plan.WorkerCrash` *host fault* so the manager's
+resilience layer can checkpoint-restore onto fewer workers.
+
+Caveat, stated loudly: after a distributed run the parent's model
+*internals* (switch queues, blade kernels, link queues) are stale —
+only the merged counters above are authoritative.  Checkpoints of a
+distributed run must therefore be taken at the pre-fork cycle, which is
+what :class:`repro.manager.manager.FireSimManager` does.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+from dataclasses import dataclass, field
+from queue import Empty
+from time import perf_counter
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.core.simulation import Simulation
+from repro.dist.partition import PartitionPlan
+from repro.dist.worker import ShardContext, WorkerResult, shard_entry
+from repro.faults.plan import WorkerCrash
+from repro.net.transport import WORKER_PIPE
+
+#: Pickled wire cost of one boundary batch's sparse header (measured
+#: ~95 bytes for an empty 6400-token batch, rounded up) and of one
+#: valid token (Flit plus its frame reference).  Unlike FireSim's
+#: FPGA-side transport, which ships every token uncompressed, the
+#: worker pipe moves the sparse in-memory representation — payload
+#: scales with *valid* tokens, not the quantum.
+_BATCH_WIRE_BYTES = 128
+_VALID_TOKEN_WIRE_BYTES = 64
+
+#: How long the parent waits between liveness sweeps of the workers.
+_POLL_INTERVAL_S = 0.2
+#: Grace period for a finished worker's process to exit after its
+#: result arrived.
+_JOIN_TIMEOUT_S = 10.0
+
+
+@dataclass
+class DistributedRunResult:
+    """What a distributed run produced, plus its performance envelope."""
+
+    plan: PartitionPlan
+    quantum: int
+    start_cycle: int
+    end_cycle: int
+    rounds: int
+    #: Parent-observed wall time from first fork to last merge.
+    wall_seconds: float
+    workers: List[WorkerResult] = field(default_factory=list)
+    boundary_link_count: int = 0
+
+    @property
+    def cycles(self) -> int:
+        return self.end_cycle - self.start_cycle
+
+    @property
+    def num_workers(self) -> int:
+        return self.plan.num_workers
+
+    def measured_rate_mhz(self) -> float:
+        """Achieved simulation rate as actually observed on this host."""
+        if self.wall_seconds <= 0.0:
+            return 0.0
+        return self.cycles / self.wall_seconds / 1e6
+
+    def per_worker_rate_mhz(self) -> Dict[int, float]:
+        return {w.worker_id: w.rate_mhz() for w in self.workers}
+
+    # -- critical-path model ---------------------------------------------
+    #
+    # On a host with one core per worker, a round takes as long as its
+    # slowest worker: that worker's model-tick time plus its WORKER_PIPE
+    # transport cost.  The latency is charged ONCE per round, not per
+    # peer: every mp.Queue owns its own feeder thread, so a worker's
+    # sends to different peers pickle and fly in parallel, and the
+    # receiver only ever blocks on the slowest in-flight hop.  The
+    # bandwidth term uses the *actual* wire payload — batches ship in
+    # their sparse representation, so bytes scale with valid tokens
+    # carried, not with the quantum (see _BATCH_WIRE_BYTES above).  The
+    # serial engine's round is the *sum* of all tick times with no
+    # transport.  Both sides are derived from the same measured
+    # per-model host seconds, so the modeled speedup isolates the
+    # partitioning benefit from this container's core count — the same
+    # technique repro.host.perfmodel uses for the Figure 8 curves.
+
+    def _measured_tick_seconds(self) -> Optional[Dict[int, float]]:
+        if not self.workers or self.rounds == 0:
+            return None
+        if not any(w.model_host_seconds for w in self.workers):
+            return None  # run was not measured
+        return {
+            w.worker_id: sum(w.model_host_seconds.values())
+            for w in self.workers
+        }
+
+    def _pipe_seconds_per_round(self, worker: WorkerResult) -> float:
+        if worker.peer_count == 0 or self.rounds == 0:
+            return 0.0
+        valid_per_round = worker.boundary_valid_tokens / self.rounds
+        wire_bytes = (
+            worker.boundary_link_count * _BATCH_WIRE_BYTES
+            + valid_per_round * _VALID_TOKEN_WIRE_BYTES
+        )
+        return (
+            WORKER_PIPE.one_way_latency_s
+            + wire_bytes / WORKER_PIPE.bandwidth_bytes_per_s
+        )
+
+    def modeled_round_seconds(self) -> Optional[Dict[int, float]]:
+        """Per-worker modeled seconds per round; None unless measured."""
+        ticks = self._measured_tick_seconds()
+        if ticks is None:
+            return None
+        return {
+            w.worker_id: ticks[w.worker_id] / self.rounds
+            + self._pipe_seconds_per_round(w)
+            for w in self.workers
+        }
+
+    def modeled_rate_mhz(self) -> Optional[float]:
+        """Modeled distributed rate: quantum over the slowest worker's round."""
+        per_round = self.modeled_round_seconds()
+        if not per_round:
+            return None
+        critical = max(per_round.values())
+        if critical <= 0.0:
+            return None
+        return self.quantum / critical / 1e6
+
+    def modeled_serial_rate_mhz(self) -> Optional[float]:
+        """Modeled serial rate from the same tick measurements."""
+        ticks = self._measured_tick_seconds()
+        if ticks is None or self.rounds == 0:
+            return None
+        total_round = sum(ticks.values()) / self.rounds
+        if total_round <= 0.0:
+            return None
+        return self.quantum / total_round / 1e6
+
+    def modeled_speedup(self) -> Optional[float]:
+        distributed = self.modeled_rate_mhz()
+        serial = self.modeled_serial_rate_mhz()
+        if distributed is None or serial is None or serial == 0.0:
+            return None
+        return distributed / serial
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-friendly summary for ``status`` output and benchmarks."""
+        out: Dict[str, Any] = {
+            "num_workers": self.num_workers,
+            "quantum": self.quantum,
+            "cycles": self.cycles,
+            "rounds": self.rounds,
+            "boundary_links": self.boundary_link_count,
+            "wall_seconds": self.wall_seconds,
+            "measured_rate_mhz": self.measured_rate_mhz(),
+            "per_worker_rate_mhz": {
+                str(worker): rate
+                for worker, rate in sorted(self.per_worker_rate_mhz().items())
+            },
+        }
+        modeled = self.modeled_rate_mhz()
+        if modeled is not None:
+            out["modeled_rate_mhz"] = modeled
+            out["modeled_serial_rate_mhz"] = self.modeled_serial_rate_mhz()
+            out["modeled_speedup"] = self.modeled_speedup()
+        return out
+
+
+def _directed_pairs(
+    plan: PartitionPlan, simulation: Simulation
+) -> List[Tuple[int, int]]:
+    pairs = set()
+    for boundary in plan.boundaries(simulation):
+        pairs.add((boundary.worker_a, boundary.worker_b))
+        pairs.add((boundary.worker_b, boundary.worker_a))
+    return sorted(pairs)
+
+
+def _merge_results(
+    simulation: Simulation,
+    plan: PartitionPlan,
+    results: Dict[int, WorkerResult],
+) -> None:
+    """Fold every worker's shard-local counters back onto parent objects."""
+    by_key = {
+        simulation.partition_key(model): model for model in simulation.models
+    }
+    links = simulation.links
+    for worker_id in sorted(results):
+        result = results[worker_id]
+        for name, stats in result.switch_stats.items():
+            by_key[name].stats = stats
+        for name, stores in result.blade_results.items():
+            kernel_results = by_key[name].kernel.results
+            kernel_results.clear()
+            kernel_results.update(stores)
+        for name, records in result.tracer_records.items():
+            tracer = by_key[name]
+            tracer.records[:] = records
+        for index, (a_to_b, b_to_a) in result.link_flits.items():
+            if a_to_b is not None:
+                links[index].flits_a_to_b = a_to_b
+            if b_to_a is not None:
+                links[index].flits_b_to_a = b_to_a
+
+
+def run_distributed(
+    simulation: Simulation,
+    plan: PartitionPlan,
+    target_cycle: int,
+    *,
+    measure: bool = False,
+) -> DistributedRunResult:
+    """Advance ``simulation`` to ``target_cycle`` across forked workers.
+
+    Bit-identical to ``simulation.run_until(target_cycle)`` in cycle
+    timestamps, switch counters, and blade results (see
+    ``tests/test_dist.py`` for the enforced equivalence).  Fault hooks
+    armed on the simulation before the call are inherited by every
+    worker; a hook that fires in a worker kills that worker and
+    surfaces here as :class:`~repro.faults.plan.WorkerCrash`.
+
+    Requires a platform with the ``fork`` start method (Linux): workers
+    must inherit the elaborated simulation by memory image, because
+    model closures (workload jobs) are not picklable.
+    """
+    plan.validate_against(simulation)
+    simulation.start()
+    start_cycle = simulation.current_cycle
+    if target_cycle <= start_cycle:
+        return DistributedRunResult(
+            plan=plan,
+            quantum=simulation.quantum,
+            start_cycle=start_cycle,
+            end_cycle=start_cycle,
+            rounds=0,
+            wall_seconds=0.0,
+            boundary_link_count=len(plan.boundaries(simulation)),
+        )
+
+    context = multiprocessing.get_context("fork")
+    queues = {pair: context.Queue() for pair in _directed_pairs(plan, simulation)}
+    result_queue = context.Queue()
+    shard_context = ShardContext(
+        simulation=simulation,
+        plan=plan,
+        target_cycle=target_cycle,
+        quantum=simulation.quantum,
+        measure=measure,
+        queues=queues,
+        result_queue=result_queue,
+    )
+
+    wall_start = perf_counter()
+    processes: Dict[int, Any] = {}
+    for worker_id in range(plan.num_workers):
+        process = context.Process(
+            target=shard_entry,
+            args=(shard_context, worker_id),
+            name=f"repro-dist-w{worker_id}",
+        )
+        process.start()
+        processes[worker_id] = process
+
+    results: Dict[int, WorkerResult] = {}
+    failure: Optional[Tuple[int, Optional[int], str]] = None
+    try:
+        while len(results) < plan.num_workers and failure is None:
+            try:
+                message = result_queue.get(timeout=_POLL_INTERVAL_S)
+            except Empty:
+                for worker_id, process in processes.items():
+                    if (
+                        worker_id not in results
+                        and not process.is_alive()
+                        and process.exitcode not in (0, None)
+                    ):
+                        failure = (
+                            worker_id,
+                            None,
+                            f"worker process exited with code "
+                            f"{process.exitcode} before reporting",
+                        )
+                        break
+                continue
+            if message[0] == "ok":
+                _, worker_id, result = message
+                results[worker_id] = result
+            else:
+                _, worker_id, at_cycle, detail = message
+                failure = (worker_id, at_cycle, detail)
+    finally:
+        if failure is not None:
+            for process in processes.values():
+                if process.is_alive():
+                    process.terminate()
+        for process in processes.values():
+            process.join(timeout=_JOIN_TIMEOUT_S)
+
+    if failure is not None:
+        worker_id, at_cycle, detail = failure
+        raise WorkerCrash(
+            f"distributed worker {worker_id} died: {detail}",
+            worker_index=worker_id,
+            at_cycle=at_cycle,
+        )
+
+    wall_seconds = perf_counter() - wall_start
+    _merge_results(simulation, plan, results)
+    ordered = [results[worker_id] for worker_id in sorted(results)]
+    rounds = ordered[0].rounds
+    end_cycle = ordered[0].end_cycle
+    simulation.current_cycle = end_cycle
+    simulation.stats.rounds += rounds
+    simulation.stats.cycles += end_cycle - start_cycle
+    simulation.stats.tokens_moved += sum(w.tokens_moved for w in ordered)
+    simulation.stats.valid_tokens_moved += sum(
+        w.valid_tokens_moved for w in ordered
+    )
+    return DistributedRunResult(
+        plan=plan,
+        quantum=shard_context.quantum,
+        start_cycle=start_cycle,
+        end_cycle=end_cycle,
+        rounds=rounds,
+        wall_seconds=wall_seconds,
+        workers=ordered,
+        boundary_link_count=len(plan.boundaries(simulation)),
+    )

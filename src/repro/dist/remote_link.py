@@ -1,0 +1,96 @@
+"""Remote link endpoints: boundary ports of a partitioned simulation.
+
+A link whose two models live in different worker processes is split into
+two halves.  Each half keeps using the worker's local copy of the
+:class:`~repro.core.channel.Link` object for its *consuming* queue (the
+side that was primed with one latency of empty tokens), while the
+*producing* direction bypasses the local queue: the outgoing batch is
+relabelled ``+latency`` exactly as ``send_from_a``/``send_from_b`` would
+(:meth:`~repro.core.channel.Link.shift_for_transport`) and handed to the
+transport outbox instead.  The peer worker pushes the received batch
+into its local copy of the same endpoint.
+
+Because relabelling, priming, and the contiguity check in
+:meth:`~repro.core.channel.LinkEndpoint.push` are all unchanged, a
+token's producer-cycle-``M`` → consumer-cycle-``M + l`` timing is
+bit-identical to the in-process link — the distributed engine differs
+from the serial one only in *which host process* holds each queue,
+which is precisely the paper's host-decoupling claim (Section III-B2).
+Gap semantics survive too: a batch lost in transit (fault injection)
+leaves the consumer starving at the hole, raising the same
+:class:`~repro.core.channel.TokenStarvationError` diagnostics.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.core.channel import Link, LinkEndpoint
+from repro.core.token import TokenBatch
+
+#: One wire message entry: (link index, relabelled batch).
+WireEntry = Tuple[int, TokenBatch]
+
+
+class RemoteAttachment:
+    """A boundary port's attachment: local consume, remote transmit.
+
+    Duck-types the orchestrator's ``_Attachment`` (``receive`` /
+    ``transmit`` plus ``link``/``side`` for starvation diagnostics), so
+    the worker round loop treats boundary and interior ports uniformly.
+    """
+
+    __slots__ = (
+        "link", "side", "link_index", "sent_valid", "_inbound", "_outbox",
+    )
+
+    def __init__(
+        self,
+        link: Link,
+        side: str,
+        link_index: int,
+        outbox: List[WireEntry],
+    ) -> None:
+        if side not in ("a", "b"):
+            raise ValueError(f"side must be 'a' or 'b', got {side!r}")
+        self.link = link
+        self.side = side
+        self.link_index = link_index
+        #: Valid tokens actually shipped over the transport; batches are
+        #: pickled sparse, so this — not the quantum — is what sizes the
+        #: wire payload in the engine's performance model.
+        self.sent_valid = 0
+        # Side "a" consumes tokens travelling b->a and vice versa.
+        self._inbound: LinkEndpoint = link.to_a if side == "a" else link.to_b
+        self._outbox = outbox
+
+    def receive(self, length: int) -> TokenBatch:
+        return self._inbound.pop(length)
+
+    def transmit(self, batch: TokenBatch) -> None:
+        # Keep the per-direction flit counters the local Link would have
+        # maintained, so merged statistics match the serial engine.
+        if self.side == "a":
+            self.link.flits_a_to_b += batch.valid_count
+        else:
+            self.link.flits_b_to_a += batch.valid_count
+        self.sent_valid += batch.valid_count
+        self._outbox.append(
+            (self.link_index, self.link.shift_for_transport(batch))
+        )
+
+    @property
+    def available_tokens(self) -> int:
+        return self._inbound.available_tokens
+
+
+def deliver(link: Link, consumer_side: str, batch: TokenBatch) -> None:
+    """Push a batch received from the peer into the local consuming queue.
+
+    The batch was already relabelled by the sender; the endpoint's own
+    contiguity check rejects any reordered or dropped-and-resumed
+    delivery, so transport bugs surface as loud errors rather than
+    silent timing skew.
+    """
+    endpoint = link.to_a if consumer_side == "a" else link.to_b
+    endpoint.push(batch)

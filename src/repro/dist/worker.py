@@ -1,0 +1,362 @@
+"""One shard's execution loop inside a worker process.
+
+Each worker owns a contiguous shard of the model graph and executes the
+*same* round structure as the serial orchestrator
+(:meth:`repro.core.simulation.Simulation._run_round`): pop one
+quantum-sized window per input port, tick every shard model in global
+registration order, push one window per output port.  The only
+difference is where boundary tokens go — interior links use the local
+queues, boundary links hand relabelled batches to per-peer outboxes
+that are flushed once per round.
+
+Synchronization is pure token exchange, exactly the paper's argument
+(Section III-B2): a worker entering round ``r > 0`` first drains one
+message per peer (the peer's round ``r - 1`` boundary output).  Link
+priming guarantees round 0 needs nothing, and from then on each
+received message extends every boundary queue by one quantum, so no
+worker can ever run ahead of a peer by more than the in-flight token
+window — lockstep without any clock, barrier, or coordinator.
+
+Workers are forked, so they inherit the fully elaborated simulation
+(models, primed links, armed fault hooks) by memory image; nothing is
+pickled on the way in.  Only token batches and the final
+:class:`WorkerResult` cross process boundaries.
+"""
+
+from __future__ import annotations
+
+import sys
+from dataclasses import dataclass, field
+from time import perf_counter
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.core.channel import TokenStarvationError
+from repro.core.simulation import Simulation, _Attachment
+from repro.core.token import TokenWindow
+from repro.dist.partition import PartitionPlan
+from repro.dist.remote_link import RemoteAttachment, deliver
+from repro.net.switch import SwitchModel
+from repro.net.tracer import LinkTracer
+from repro.obs.trace import set_trace_sink
+from repro.swmodel.server import ServerBlade
+
+
+@dataclass
+class WorkerResult:
+    """Everything a worker ships back after finishing its shard."""
+
+    worker_id: int
+    start_cycle: int
+    end_cycle: int
+    rounds: int
+    tokens_moved: int
+    valid_tokens_moved: int
+    wall_seconds: float
+    #: Workers this shard exchanged tokens with (one message per peer
+    #: per round), the boundary links it transmitted on, and the valid
+    #: tokens those links actually carried — the inputs to the engine's
+    #: per-round transport cost model (batches ship sparse, so payload
+    #: scales with valid tokens, not the quantum).
+    peer_count: int = 0
+    boundary_link_count: int = 0
+    boundary_valid_tokens: int = 0
+    model_names: List[str] = field(default_factory=list)
+    #: Host seconds per model tick (populated when measuring).
+    model_host_seconds: Dict[str, float] = field(default_factory=dict)
+    #: Final counters per switch owned by this shard.
+    switch_stats: Dict[str, Any] = field(default_factory=dict)
+    switch_queued: Dict[str, Tuple[int, int]] = field(default_factory=dict)
+    #: Final result stores per blade owned by this shard.
+    blade_results: Dict[str, Dict[str, list]] = field(default_factory=dict)
+    #: Packet records per tracer owned by this shard.
+    tracer_records: Dict[str, list] = field(default_factory=dict)
+    #: Per-direction flit counters for links whose producer side is
+    #: local: ``link_index -> (flits_a_to_b | None, flits_b_to_a | None)``.
+    link_flits: Dict[int, Tuple[Optional[int], Optional[int]]] = field(
+        default_factory=dict
+    )
+
+    @property
+    def cycles(self) -> int:
+        return self.end_cycle - self.start_cycle
+
+    def rate_mhz(self) -> float:
+        if self.wall_seconds <= 0.0:
+            return 0.0
+        return self.cycles / self.wall_seconds / 1e6
+
+
+@dataclass
+class ShardContext:
+    """Everything a forked worker needs, inherited by memory image."""
+
+    simulation: Simulation
+    plan: PartitionPlan
+    target_cycle: int
+    quantum: int
+    measure: bool
+    #: queues[(src, dst)] carries src's boundary output toward dst.
+    queues: Dict[Tuple[int, int], Any]
+    result_queue: Any
+
+
+def _build_attachments(
+    simulation: Simulation, plan: PartitionPlan, worker_id: int
+) -> Tuple[Dict[Tuple[int, str], Any], Dict[int, List], Dict[int, str]]:
+    """Attachment table for one shard.
+
+    Returns ``(attachments, outboxes, inbound_side)`` where
+    ``attachments`` maps ``(id(model), port)`` to an attachment object,
+    ``outboxes`` maps peer worker -> outgoing wire-entry list, and
+    ``inbound_side`` maps boundary link index -> the side ("a"/"b")
+    whose consuming queue lives in this worker.
+    """
+    attachments: Dict[Tuple[int, str], Any] = {}
+    outboxes: Dict[int, List] = {}
+    inbound_side: Dict[int, str] = {}
+    for index, (link, (model_a, port_a), (model_b, port_b)) in enumerate(
+        simulation.link_attachments()
+    ):
+        worker_of_a = plan.partition_of(simulation.partition_key(model_a))
+        worker_of_b = plan.partition_of(simulation.partition_key(model_b))
+        if worker_of_a == worker_of_b:
+            if worker_of_a == worker_id:
+                attachments[(id(model_a), port_a)] = _Attachment(link, "a")
+                attachments[(id(model_b), port_b)] = _Attachment(link, "b")
+            continue
+        if worker_of_a == worker_id:
+            outbox = outboxes.setdefault(worker_of_b, [])
+            attachments[(id(model_a), port_a)] = RemoteAttachment(
+                link, "a", index, outbox
+            )
+            inbound_side[index] = "a"
+            outboxes.setdefault(worker_of_b, outbox)
+        elif worker_of_b == worker_id:
+            outbox = outboxes.setdefault(worker_of_a, [])
+            attachments[(id(model_b), port_b)] = RemoteAttachment(
+                link, "b", index, outbox
+            )
+            inbound_side[index] = "b"
+    return attachments, outboxes, inbound_side
+
+
+def _starvation_diagnostic(
+    model: Any,
+    attachments: Dict[Tuple[int, str], Any],
+    quantum: int,
+    cycle: int,
+    worker_id: int,
+) -> TokenStarvationError:
+    """Name the stalled boundary endpoint, like the serial orchestrator."""
+    for port in model.ports:
+        attachment = attachments[(id(model), port)]
+        endpoint = (
+            attachment.link.to_a
+            if attachment.side == "a"
+            else attachment.link.to_b
+        )
+        if endpoint.available_tokens < quantum:
+            return TokenStarvationError(
+                f"worker {worker_id}: channel stalled: {model.name}.{port} "
+                f"on link {attachment.link.name!r} holds "
+                f"{endpoint.available_tokens} of {quantum} tokens at cycle "
+                f"{cycle} — a transport hop lost a batch or the peer "
+                "worker stopped advancing",
+                model_name=model.name,
+                port=port,
+                link_name=attachment.link.name,
+                cycle=cycle,
+            )
+    return TokenStarvationError(
+        f"worker {worker_id}: channel stalled feeding {model.name} at "
+        f"cycle {cycle}",
+        model_name=model.name,
+        cycle=cycle,
+    )
+
+
+def _collect_result(
+    context: ShardContext,
+    worker_id: int,
+    shard: List[Any],
+    inbound_side: Dict[int, str],
+    peer_count: int,
+    boundary_valid_tokens: int,
+    start_cycle: int,
+    end_cycle: int,
+    rounds: int,
+    tokens_moved: int,
+    valid_tokens_moved: int,
+    wall_seconds: float,
+    model_host_seconds: Dict[str, float],
+) -> WorkerResult:
+    simulation = context.simulation
+    plan = context.plan
+    result = WorkerResult(
+        worker_id=worker_id,
+        start_cycle=start_cycle,
+        end_cycle=end_cycle,
+        rounds=rounds,
+        tokens_moved=tokens_moved,
+        valid_tokens_moved=valid_tokens_moved,
+        wall_seconds=wall_seconds,
+        peer_count=peer_count,
+        boundary_link_count=len(inbound_side),
+        boundary_valid_tokens=boundary_valid_tokens,
+        model_names=[model.name for model in shard],
+        model_host_seconds=model_host_seconds,
+    )
+    for model in shard:
+        if isinstance(model, SwitchModel):
+            result.switch_stats[model.name] = model.stats
+            result.switch_queued[model.name] = (
+                model.queued_packets(),
+                model.queued_bytes(),
+            )
+        elif isinstance(model, LinkTracer):
+            result.tracer_records[model.name] = list(model.records)
+        elif isinstance(model, ServerBlade):
+            result.blade_results[model.name] = {
+                key: list(values) for key, values in model.results.items()
+            }
+    # Flit counters: a worker is authoritative for the directions it
+    # produced.  Interior links: both directions.  Boundary links: only
+    # the direction leaving the locally owned side.
+    for index, (link, (model_a, _), (model_b, _)) in enumerate(
+        simulation.link_attachments()
+    ):
+        worker_of_a = plan.partition_of(simulation.partition_key(model_a))
+        worker_of_b = plan.partition_of(simulation.partition_key(model_b))
+        if worker_of_a == worker_of_b == worker_id:
+            result.link_flits[index] = (link.flits_a_to_b, link.flits_b_to_a)
+        elif worker_of_a == worker_id and worker_of_b != worker_id:
+            result.link_flits[index] = (link.flits_a_to_b, None)
+        elif worker_of_b == worker_id and worker_of_a != worker_id:
+            result.link_flits[index] = (None, link.flits_b_to_a)
+    return result
+
+
+def run_shard(context: ShardContext, worker_id: int) -> WorkerResult:
+    """Execute one worker's shard to the target cycle; returns its result."""
+    simulation = context.simulation
+    plan = context.plan
+    quantum = context.quantum
+    measure = context.measure
+    shard = plan.models_for(simulation, worker_id)
+    attachments, outboxes, inbound_side = _build_attachments(
+        simulation, plan, worker_id
+    )
+    peers = sorted(outboxes)
+    recv_queues = {
+        peer: context.queues[(peer, worker_id)] for peer in peers
+    }
+    send_queues = {
+        peer: context.queues[(worker_id, peer)] for peer in peers
+    }
+    hook = simulation.fault_hook
+    links = simulation.links
+
+    start_cycle = simulation.current_cycle
+    cycle = start_cycle
+    rounds = 0
+    tokens_moved = 0
+    valid_tokens_moved = 0
+    model_host_seconds: Dict[str, float] = {}
+    wall_start = perf_counter()
+    while cycle < context.target_cycle:
+        if rounds > 0:
+            for peer in peers:
+                round_tag, entries = recv_queues[peer].get()
+                if round_tag != rounds - 1:
+                    raise TokenStarvationError(
+                        f"worker {worker_id}: out-of-order token message "
+                        f"from worker {peer}: round {round_tag}, expected "
+                        f"{rounds - 1}"
+                    )
+                for link_index, batch in entries:
+                    deliver(links[link_index], inbound_side[link_index], batch)
+        if hook is not None:
+            hook(cycle, None)
+        window = TokenWindow(cycle, cycle + quantum)
+        for model in shard:
+            try:
+                inputs = {
+                    port: attachments[(id(model), port)].receive(quantum)
+                    for port in model.ports
+                }
+            except LookupError as exc:
+                raise _starvation_diagnostic(
+                    model, attachments, quantum, cycle, worker_id
+                ) from exc
+            if measure:
+                tick_start = perf_counter()
+                outputs = model.tick(window, inputs)
+                model_host_seconds[model.name] = (
+                    model_host_seconds.get(model.name, 0.0)
+                    + perf_counter()
+                    - tick_start
+                )
+            else:
+                outputs = model.tick(window, inputs)
+            for port, batch in outputs.items():
+                attachments[(id(model), port)].transmit(batch)
+                tokens_moved += batch.length
+                valid_tokens_moved += batch.valid_count
+            if hook is not None:
+                hook(cycle, model)
+        for peer in peers:
+            outbox = outboxes[peer]
+            # Ship a copy: mp.Queue pickles asynchronously, so the live
+            # outbox list must not be cleared under the feeder thread.
+            send_queues[peer].put((rounds, list(outbox)))
+            outbox.clear()
+        cycle += quantum
+        rounds += 1
+    wall_seconds = perf_counter() - wall_start
+    boundary_valid_tokens = sum(
+        attachment.sent_valid
+        for attachment in attachments.values()
+        if isinstance(attachment, RemoteAttachment)
+    )
+    return _collect_result(
+        context,
+        worker_id,
+        shard,
+        inbound_side,
+        len(peers),
+        boundary_valid_tokens,
+        start_cycle,
+        cycle,
+        rounds,
+        tokens_moved,
+        valid_tokens_moved,
+        wall_seconds,
+        model_host_seconds,
+    )
+
+
+def shard_entry(context: ShardContext, worker_id: int) -> None:
+    """Process entry point: run the shard, ship the result, exit.
+
+    Any failure — an injected :class:`~repro.faults.plan.ControllerCrash`,
+    token starvation after transport loss, or a genuine bug — is reported
+    on the result queue and turned into a nonzero exit code, which the
+    engine surfaces as a :class:`~repro.faults.plan.WorkerCrash` host
+    fault.
+    """
+    # Worker-local trace events cannot be aggregated into the parent's
+    # session; silence the inherited sink rather than buffer them.
+    set_trace_sink(None)
+    try:
+        result = run_shard(context, worker_id)
+    except BaseException as exc:  # noqa: BLE001 - report, then die loudly
+        context.result_queue.put(
+            (
+                "error",
+                worker_id,
+                context.simulation.current_cycle,
+                f"{type(exc).__name__}: {exc}",
+            )
+        )
+        sys.exit(1)
+    context.result_queue.put(("ok", worker_id, result))

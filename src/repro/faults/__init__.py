@@ -44,6 +44,7 @@ from repro.faults.plan import (
     InstanceLaunchFault,
     ResilienceStats,
     TransientFault,
+    WorkerCrash,
 )
 from repro.faults.retry import CircuitBreaker, RetryPolicy
 from repro.faults.watchdog import TokenWatchdog
@@ -67,5 +68,6 @@ __all__ = [
     "SimulationSnapshot",
     "TokenWatchdog",
     "TransientFault",
+    "WorkerCrash",
     "state_digest",
 ]

@@ -96,6 +96,27 @@ class ControllerCrash(FaultError):
     """A simulation controller died mid-run; recover from checkpoint."""
 
 
+class WorkerCrash(FaultError):
+    """A :mod:`repro.dist` worker process died mid-run.
+
+    Distributed execution treats a lost worker exactly like a lost host
+    in the paper's spot-market fleet: the manager restores the last
+    checkpoint and resumes the workload partitioned across the
+    *surviving* workers.  ``target`` carries ``"worker:<index>"`` so the
+    circuit breaker and quarantine bookkeeping see a host-shaped victim.
+    """
+
+    def __init__(self, message: str, worker_index: int = -1,
+                 at_cycle: Optional[int] = None) -> None:
+        super().__init__(
+            message,
+            kind=FaultKind.CONTROLLER_CRASH,
+            target=f"worker:{worker_index}",
+            at_cycle=at_cycle,
+        )
+        self.worker_index = worker_index
+
+
 _EXCEPTION_FOR_KIND = {
     FaultKind.INSTANCE_LAUNCH: InstanceLaunchFault,
     FaultKind.AGFI_BUILD: AgfiBuildFault,
@@ -396,6 +417,26 @@ class FaultInjector:
                 target=spec.target,
                 at_cycle=cycle,
             )
+
+    def consume_next_mid_run(self) -> Optional[FaultSpec]:
+        """Mark the next pending mid-run fault as fired elsewhere.
+
+        Distributed execution forks workers that inherit *copies* of
+        this injector; a mid-run fault fires inside a worker process and
+        never decrements the parent's counters.  After the resulting
+        :class:`WorkerCrash`, the manager calls this so the resumed run
+        does not re-inject the same fault forever.  Specs are consumed
+        in plan order, matching the hook's firing order.
+        """
+        for entry in self._armed_specs:
+            if entry.remaining > 0 and entry.spec.kind in MID_RUN_KINDS:
+                entry.remaining -= 1
+                self._record(
+                    "runworkload", entry.spec, entry.spec.target,
+                    cycle=entry.spec.at_cycle, note="fired in worker",
+                )
+                return entry.spec
+        return None
 
     def _stall_link(self, cycle: int, spec: FaultSpec) -> None:
         """Lose an in-flight batch on the target link (transport loss)."""

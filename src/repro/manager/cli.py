@@ -114,6 +114,16 @@ def make_parser() -> argparse.ArgumentParser:
     parser.add_argument("--link-latency-us", type=float, default=2.0)
     parser.add_argument("--supernode", action="store_true",
                         help="pack four simulated nodes per FPGA")
+    parser.add_argument("--fpgas-per-instance", type=int, default=None,
+                        metavar="N",
+                        help="FPGAs per F1 instance (default 8, the "
+                             "f1.16xlarge); fewer instances spread blades "
+                             "over more hosts, and hosts are what "
+                             "--workers partitions over")
+    parser.add_argument("--workers", type=int, default=1, metavar="N",
+                        help="partition runworkload across N worker "
+                             "processes (1 = serial engine); partitions "
+                             "follow the deployment's instance mapping")
     parser.add_argument("--workload", default="ping", choices=("ping", "boot"))
     parser.add_argument("--duration-ms", type=float, default=4.0)
     parser.add_argument("--ping-count", type=int, default=10)
@@ -205,6 +215,19 @@ def _run_verb(
                 "samples": len(rtts),
                 "mean_rtt_us": cycles_to_us(mean),
             }
+        distributed = manager.distributed_summary()
+        if distributed is not None:
+            lines.append(
+                f"distributed: {distributed['num_workers']} workers, "
+                f"{distributed['boundary_links']} boundary links, "
+                f"{distributed['measured_rate_mhz']:.3f} MHz achieved"
+            )
+            for worker, rate in sorted(
+                distributed["per_worker_rate_mhz"].items(),
+                key=lambda item: int(item[0]),
+            ):
+                lines.append(f"  partition {worker}: {rate:.3f} MHz")
+            summary["distributed"] = distributed
         return lines, summary
 
     if verb == "status":
@@ -225,6 +248,19 @@ def _run_verb(
                 error = predicted.prediction_error(report.rate_hz)
                 lines.append(f"prediction error: {error * 100.0:+.0f}%")
                 summary["prediction_error"] = error
+        distributed = manager.distributed_summary()
+        if distributed is not None:
+            lines.append(
+                f"distributed: {distributed['num_workers']} workers over "
+                f"{distributed['boundary_links']} boundary links "
+                f"({distributed['rounds']} lockstep rounds)"
+            )
+            for worker, rate in sorted(
+                distributed["per_worker_rate_mhz"].items(),
+                key=lambda item: int(item[0]),
+            ):
+                lines.append(f"  partition {worker}: {rate:.3f} MHz")
+            summary["distributed"] = distributed
         resilience = manager.resilience_summary()
         lines.append(
             f"resilience: {resilience['faults_injected']} faults injected, "
@@ -268,6 +304,11 @@ def _main(args: argparse.Namespace, out) -> int:
         link_latency_cycles=max(1, round(args.link_latency_us * 3200))
     )
     host_config = SUPERNODE_HOST if args.supernode else HostConfig()
+    if args.fpgas_per_instance is not None:
+        host_config = HostConfig(
+            fpga_config=host_config.fpga_config,
+            fpgas_per_instance=args.fpgas_per_instance,
+        )
     fault_plan = (
         FaultPlan.from_file(args.fault_plan) if args.fault_plan else None
     )
@@ -287,6 +328,7 @@ def _main(args: argparse.Namespace, out) -> int:
         fault_plan=fault_plan,
         retry_policy=retry_policy,
         checkpoint_interval_cycles=checkpoint_cycles,
+        workers=args.workers,
     )
     if args.telemetry_out or "status" in args.verbs:
         manager.enable_telemetry()

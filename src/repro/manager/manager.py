@@ -31,6 +31,8 @@ from typing import Any, Callable, ContextManager, Dict, List, Optional, Set
 
 from repro import ReproError
 from repro.core.channel import TokenStarvationError
+from repro.dist.engine import DistributedRunResult, run_distributed
+from repro.dist.partition import PartitionPlan, plan_partitions
 from repro.faults.checkpoint import ReplayCheckpoint
 from repro.faults.plan import (
     FaultError,
@@ -39,6 +41,7 @@ from repro.faults.plan import (
     HeartbeatLost,
     ResilienceStats,
     TransientFault,
+    WorkerCrash,
 )
 from repro.faults.retry import CircuitBreaker, RetryPolicy
 from repro.faults.watchdog import TokenWatchdog
@@ -71,7 +74,14 @@ class FireSimManager:
         fault_plan: Optional[FaultPlan] = None,
         retry_policy: Optional[RetryPolicy] = None,
         checkpoint_interval_cycles: Optional[int] = None,
+        workers: int = 1,
     ) -> None:
+        if workers < 1:
+            raise ManagerError(f"workers must be >= 1, got {workers}")
+        #: Worker processes for ``runworkload``; 1 = the serial engine.
+        self.workers = workers
+        #: The last distributed run's merged result (``status`` reads it).
+        self.last_distributed: Optional[DistributedRunResult] = None
         self.topology = topology
         self.run_config = run_config or RunFarmConfig()
         self.host_config = host_config or HostConfig()
@@ -292,6 +302,8 @@ class FireSimManager:
                     "runworkload",
                     lambda: self.injector.fire("runworkload"),
                 )
+            if self.workers > 1:
+                return self._run_workload_distributed(workload)
             resilient = self.checkpoint_interval_cycles is not None or (
                 self.injector is not None
                 and bool(self.injector.pending("runworkload"))
@@ -369,6 +381,103 @@ class FireSimManager:
             node_results=sim.collect_results(),
         )
 
+    def _run_workload_distributed(
+        self, workload: WorkloadSpec
+    ) -> WorkloadResult:
+        """Run a workload partitioned across ``self.workers`` processes.
+
+        Shards mirror the deployment's instance mapping (the same
+        placement ``launchrunfarm`` produced), so the process boundary
+        falls exactly where the paper's host boundary would.  A worker
+        that dies mid-run is a *host fault*: the manager restores the
+        pre-fork checkpoint, drops to the surviving worker count, and
+        reruns — deterministic elaboration makes the rerun
+        cycle-identical, so the recovery is invisible in the results.
+        """
+        sim = self.running
+        assert sim is not None
+        if self.deployment is None:
+            raise ManagerError(
+                "launchrunfarm must run before a distributed runworkload "
+                "(partitions follow the deployment's instance mapping)"
+            )
+        if sim.simulation.current_cycle != 0:
+            raise ManagerError(
+                "distributed runworkload needs a fresh simulation at cycle 0 "
+                f"(at cycle {sim.simulation.current_cycle}); rerun "
+                "infrasetup first"
+            )
+        workload.validate_against(sim)
+        for job in workload.jobs:
+            job.setup(sim.blade(job.node_index))
+        total_cycles = sim.simulation.clock.cycles(workload.duration_seconds)
+
+        def rebuild() -> RunningSimulation:
+            fresh = elaborate(self.topology, self.run_config)
+            for job in workload.jobs:
+                job.setup(fresh.blade(job.node_index))
+            return fresh
+
+        # Distributed checkpoints are only sound at the pre-fork cycle:
+        # after the run, worker-side model internals never came back to
+        # the parent, so mid-run capture would snapshot stale state.
+        checkpoint = ReplayCheckpoint.capture(sim, rebuild)
+        self.fault_stats.checkpoints_taken += 1
+        workers = self.workers
+        restores = 0
+        while True:
+            plan = self._partition_plan(sim, workers)
+            if self.injector is not None:
+                self.injector.arm(sim.simulation)
+            try:
+                result = run_distributed(
+                    sim.simulation,
+                    plan,
+                    total_cycles,
+                    measure=self.telemetry is not None,
+                )
+                break
+            except WorkerCrash as fault:
+                restores += 1
+                if restores > self.retry_policy.max_retries:
+                    self.fault_stats.giveups += 1
+                    raise ManagerError(
+                        f"runworkload failed after {restores - 1} "
+                        f"recoveries: {fault}"
+                    ) from fault
+                if self.injector is not None:
+                    # The fault fired in a forked worker's copy of this
+                    # injector; consume it here or the rerun re-injects.
+                    self.injector.consume_next_mid_run()
+                self._trace_instant(
+                    "restore", checkpoint_cycle=checkpoint.cycle,
+                    fault=str(fault),
+                )
+                sim = checkpoint.restore()
+                self.running = sim
+                self.fault_stats.restores += 1
+                self.fault_stats.replay_cycles += checkpoint.cycle
+                self.fault_stats.recoveries += 1
+                # One worker is gone; resume on the survivors.
+                workers = max(1, workers - 1)
+                if self.telemetry is not None:
+                    self.telemetry.attach_running(sim)
+        sim.simulation.fault_hook = None
+        self.last_distributed = result
+        if self.telemetry is not None:
+            self.telemetry.absorb_distributed(result)
+        return WorkloadResult(
+            workload_name=workload.name,
+            target_seconds=sim.simulation.current_time_s,
+            node_results=sim.collect_results(),
+        )
+
+    def _partition_plan(
+        self, sim: RunningSimulation, workers: int
+    ) -> PartitionPlan:
+        assert self.deployment is not None
+        return plan_partitions(sim, self.deployment, workers)
+
     def terminaterunfarm(self) -> None:
         """Release the run farm (instances stop accruing cost).
 
@@ -416,4 +525,13 @@ class FireSimManager:
         }
         if self.injector is not None:
             summary["fault_log"] = list(self.injector.log)
+        return summary
+
+    def distributed_summary(self) -> Optional[Dict[str, Any]]:
+        """Per-partition rates and plan shape of the last distributed
+        run, for the ``status`` verb; None if no distributed run yet."""
+        if self.last_distributed is None:
+            return None
+        summary = self.last_distributed.to_dict()
+        summary["plan"] = self.last_distributed.plan.describe()
         return summary

@@ -102,6 +102,17 @@ class Deployment:
         """Host strings ("f1:<id>") for every F1 instance in use."""
         return [f"f1:{iid}" for iid in self.f1_instance_ids]
 
+    def partition_hosts(self) -> List[str]:
+        """Every host in deterministic partition order.
+
+        F1 instances first (physical-id order), then M4 switch hosts.
+        This is the shard ordering :mod:`repro.dist` chunks across
+        workers, so it must stay stable for a given deployment.
+        """
+        return self.f1_hosts() + [
+            f"m4:{index}" for index in range(self.num_m4_instances)
+        ]
+
     @property
     def instance_counts(self) -> Dict[str, int]:
         counts: Dict[str, int] = {}

@@ -141,6 +141,40 @@ class RateMonitor:
         if round_wall_s > self._max_round_s:
             self._max_round_s = round_wall_s
 
+    # -- distributed aggregation ----------------------------------------
+
+    def absorb(
+        self,
+        cycles: int,
+        rounds: int,
+        wall_seconds: float,
+        model_host_seconds: Optional[Dict[str, float]] = None,
+    ) -> None:
+        """Fold a remote run's measurements into this monitor.
+
+        The distributed engine's workers advance without the parent's
+        observer seeing a single round; the merged
+        :class:`~repro.dist.engine.DistributedRunResult` lands here so
+        ``status`` and telemetry dumps report one coherent session.
+        ``wall_seconds`` is the parent-observed wall time (cycles are
+        simulated once no matter how many workers ticked them), and the
+        mean round time feeds the min/max envelope.
+        """
+        if rounds <= 0:
+            return
+        self.rounds += rounds
+        self.cycles += cycles
+        self.wall_seconds += wall_seconds
+        for name, seconds in (model_host_seconds or {}).items():
+            self.model_host_seconds[name] = (
+                self.model_host_seconds.get(name, 0.0) + seconds
+            )
+        mean_round_s = wall_seconds / rounds
+        if mean_round_s < self._min_round_s:
+            self._min_round_s = mean_round_s
+        if mean_round_s > self._max_round_s:
+            self._max_round_s = mean_round_s
+
     # -- reads ----------------------------------------------------------
 
     def report(self) -> RateReport:

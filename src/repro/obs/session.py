@@ -74,6 +74,33 @@ class TelemetrySession:
         for blade in running.blades.values():
             blade.register_metrics(self.registry)
 
+    def absorb_distributed(self, result: Any) -> None:
+        """Fold a distributed run's per-worker measurements into the
+        session.
+
+        ``result`` duck-types
+        :class:`~repro.dist.engine.DistributedRunResult`.  The merged
+        tick profile feeds the shared :class:`RateMonitor` (so
+        ``rate_report`` covers distributed cycles too) and each worker's
+        achieved rate lands as a ``dist.worker<N>.rate_mhz`` gauge for
+        per-partition ``status`` output.
+        """
+        merged_ticks: Dict[str, float] = {}
+        for worker in result.workers:
+            for name, seconds in worker.model_host_seconds.items():
+                merged_ticks[name] = merged_ticks.get(name, 0.0) + seconds
+        self.rate.absorb(
+            result.cycles, result.rounds, result.wall_seconds, merged_ticks
+        )
+        self.registry.gauge("dist.num_workers").set(float(result.num_workers))
+        self.registry.gauge("dist.boundary_links").set(
+            float(result.boundary_link_count)
+        )
+        for worker in result.workers:
+            self.registry.gauge(
+                f"dist.worker{worker.worker_id}.rate_mhz"
+            ).set(worker.rate_mhz())
+
     @contextmanager
     def span(self, name: str, cat: str = "manager") -> Iterator[None]:
         """Host-time span around a verb; duration lands as a gauge too."""
