@@ -15,7 +15,7 @@ Run:  python examples/telemetry.py
 
 from repro import Simulation, SwitchConfig, SwitchModel, mac_address
 from repro.host.strober import StroberSampler
-from repro.net.tracer import LinkTracer, splice_tracer
+from repro.net.tracer import splice_tracer
 from repro.swmodel.apps.boot import make_linux_boot
 from repro.swmodel.apps.iperf import make_iperf_client, make_iperf_server
 from repro.swmodel.server import ServerBlade

@@ -1,0 +1,193 @@
+#!/usr/bin/env python
+"""Benchmark the scalar round loop against the batched token engine.
+
+Usage: python scripts/bench_core.py [--cycles N] [--repeat N]
+                                    [--out BENCH_core.json] [--quick]
+
+Runs the Figure-8 sim-rate configuration (the paper's 2 us / 6400-cycle
+link latency on a two-tier 8-node cluster) through both engines of
+``repro.core.simulation`` — ``scalar`` (the reference oracle) and
+``batched`` (:mod:`repro.perf`) — and emits ``BENCH_core.json``.
+
+Each engine is run ``--repeat`` times after one warm-up run and the
+best (highest-MHz) repeat is reported: the first iteration of a fresh
+interpreter is dominated by allocator and bytecode warm-up, and CI
+compares *ratios*, so best-of-N is the stable statistic.
+
+The benchmark doubles as an equivalence check: every repeat's full
+observable fingerprint (cycle, simulation stats, switch counters,
+blade results, per-link flit counts) must be bit-identical across the
+two engines, or the script exits non-zero without writing output.
+
+Absolute MHz is host-dependent; the regression gate
+(``scripts/check_bench_regression.py``) compares only the
+``speedup.batched_over_scalar`` ratio, which is not.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+
+sys.path.insert(
+    0, os.path.join(os.path.dirname(os.path.abspath(__file__)), "..", "src")
+)
+
+from repro.manager.runfarm import RunFarmConfig, elaborate  # noqa: E402
+from repro.manager.topology import two_tier  # noqa: E402
+from repro.obs.rate import RateMonitor  # noqa: E402
+from repro.swmodel.apps.ping import make_ping_client  # noqa: E402
+
+RACKS = 4
+SERVERS_PER_RACK = 2
+LINK_LATENCY_CYCLES = 6400  # the 2 us network used throughout the paper
+
+
+def build(engine):
+    root = two_tier(num_racks=RACKS, servers_per_rack=SERVERS_PER_RACK)
+    running = elaborate(
+        root,
+        RunFarmConfig(
+            link_latency_cycles=LINK_LATENCY_CYCLES, engine=engine
+        ),
+    )
+    blades = running.blades
+    last = max(blades)
+    blades[0].spawn(
+        "ping",
+        make_ping_client(blades[last].mac, count=4, interval_cycles=50_000),
+    )
+    return running
+
+
+def fingerprint(running):
+    """Every externally observable artifact of a run, for equality."""
+    sim = running.simulation
+    return {
+        "cycle": sim.current_cycle,
+        "stats": (
+            sim.stats.rounds,
+            sim.stats.cycles,
+            sim.stats.tokens_moved,
+            sim.stats.valid_tokens_moved,
+        ),
+        "switches": [
+            repr(sw.stats) for _, sw in sorted(running.switches.items())
+        ],
+        "blades": {
+            index: {key: tuple(vals) for key, vals in blade.results.items()}
+            for index, blade in running.blades.items()
+        },
+        "links": [
+            (link.flits_a_to_b, link.flits_b_to_a) for link in sim.links
+        ],
+    }
+
+
+def run_once(engine, cycles):
+    running = build(engine)
+    monitor = RateMonitor().attach(running.simulation)
+    running.simulation.run_until(cycles)
+    report = monitor.report()
+    return {
+        "measured_mhz": report.rate_mhz,
+        "wall_seconds": report.wall_seconds,
+        "rounds": report.rounds,
+        "cycles": report.cycles,
+    }, fingerprint(running)
+
+
+def bench_engine(engine, cycles, repeat):
+    """Warm up once, then return the best of ``repeat`` timed runs.
+
+    Every repeat's fingerprint must be identical (same engine, same
+    seeds — anything else is nondeterminism worth failing on).
+    """
+    _, reference = run_once(engine, cycles)  # warm-up, untimed
+    best = None
+    for index in range(repeat):
+        sample, print_ = run_once(engine, cycles)
+        if print_ != reference:
+            print(
+                f"bench_core: FAIL: {engine} repeat {index} fingerprint "
+                "differs from its own warm-up run (nondeterminism)",
+                file=sys.stderr,
+            )
+            raise SystemExit(1)
+        if best is None or sample["measured_mhz"] > best["measured_mhz"]:
+            best = sample
+    return best, reference
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--cycles", type=int, default=2_000_000)
+    parser.add_argument("--repeat", type=int, default=3,
+                        help="timed repeats per engine (best is kept)")
+    parser.add_argument("--out", default="BENCH_core.json")
+    parser.add_argument("--quick", action="store_true",
+                        help="shrink the run for CI smoke")
+    args = parser.parse_args(argv)
+    cycles = 400_000 if args.quick else args.cycles
+
+    scalar, scalar_print = bench_engine("scalar", cycles, args.repeat)
+    print(
+        f"scalar:  {scalar['measured_mhz']:.3f} MHz "
+        f"({scalar['rounds']} rounds, best of {args.repeat})"
+    )
+    batched, batched_print = bench_engine("batched", cycles, args.repeat)
+    print(
+        f"batched: {batched['measured_mhz']:.3f} MHz "
+        f"({batched['rounds']} rounds, best of {args.repeat})"
+    )
+
+    if batched_print != scalar_print:
+        for key in scalar_print:
+            if scalar_print[key] != batched_print[key]:
+                print(
+                    f"bench_core: FAIL: engines diverge on {key!r}:\n"
+                    f"  scalar:  {scalar_print[key]!r}\n"
+                    f"  batched: {batched_print[key]!r}",
+                    file=sys.stderr,
+                )
+        return 1
+
+    speedup = (
+        batched["measured_mhz"] / scalar["measured_mhz"]
+        if scalar["measured_mhz"] > 0
+        else 0.0
+    )
+    document = {
+        "schema": "repro.bench.core/v1",
+        "topology": {
+            "kind": "two_tier",
+            "racks": RACKS,
+            "servers_per_rack": SERVERS_PER_RACK,
+            "nodes": RACKS * SERVERS_PER_RACK,
+        },
+        "link_latency_cycles": LINK_LATENCY_CYCLES,
+        "cycles": cycles,
+        "repeat": args.repeat,
+        "host_cpu_count": os.cpu_count(),
+        "scalar": scalar,
+        "batched": batched,
+        "speedup": {"batched_over_scalar": speedup},
+        "note": (
+            "measured rates are host-dependent; the regression gate "
+            "compares only speedup.batched_over_scalar, the "
+            "host-independent ratio.  Both engines produced bit-identical "
+            "fingerprints (cycle, stats, switch counters, blade results, "
+            "link flit counts) or this file would not exist."
+        ),
+    }
+    with open(args.out, "w") as fh:
+        json.dump(document, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    print(f"speedup: {speedup:.2f}x batched over scalar -> {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

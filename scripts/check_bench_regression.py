@@ -1,0 +1,199 @@
+#!/usr/bin/env python
+"""Gate CI on benchmark speedup ratios staying within tolerance.
+
+Usage: python scripts/check_bench_regression.py BASELINE CURRENT
+                                                [--tolerance 0.20]
+       python scripts/check_bench_regression.py --self-test BASELINE
+
+Compares a freshly measured benchmark document (``CURRENT``, written by
+``bench_core.py`` or ``bench_dist.py``) against the committed baseline
+of the same schema, and exits non-zero if any speedup ratio regressed
+below ``baseline * (1 - tolerance)``.
+
+Only *host-independent ratios* are compared — never absolute MHz, which
+varies with the CI machine:
+
+* ``repro.bench.core/v1`` — ``speedup.batched_over_scalar`` (batched
+  engine over the scalar oracle on the same host);
+* ``repro.bench.dist/v1`` — ``speedup.modeled`` per worker count (the
+  one-core-per-worker critical-path model).  Worker counts present in
+  only one document are ignored; measured dist speedups are skipped
+  entirely because a shared-core container measures transport overhead,
+  not scaling.
+
+Ratios *above* ``baseline * (1 + tolerance)`` print a warning asking
+for a baseline refresh but do not fail the build.
+
+``--self-test`` proves the gate actually gates: it loads BASELINE,
+synthesizes a degraded copy just below the tolerance band plus a
+within-band copy, and exits non-zero unless the first is flagged and
+the second passes.  CI runs this so a silently-vacuous checker cannot
+go green.  Stdlib only.
+"""
+
+from __future__ import annotations
+
+import argparse
+import copy
+import json
+import sys
+
+DEFAULT_TOLERANCE = 0.20
+
+KNOWN_SCHEMAS = ("repro.bench.core/v1", "repro.bench.dist/v1")
+
+
+def fail(message):
+    print(f"check_bench_regression: FAIL: {message}", file=sys.stderr)
+    raise SystemExit(1)
+
+
+def load(path):
+    try:
+        with open(path) as fh:
+            document = json.load(fh)
+    except (OSError, ValueError) as exc:
+        fail(f"cannot read {path}: {exc}")
+    if document.get("schema") not in KNOWN_SCHEMAS:
+        fail(
+            f"{path}: unknown schema {document.get('schema')!r}; "
+            f"expected one of {KNOWN_SCHEMAS}"
+        )
+    return document
+
+
+def extract_ratios(document):
+    """Host-independent speedup ratios keyed by a stable metric name."""
+    schema = document["schema"]
+    speedup = document.get("speedup", {})
+    if schema == "repro.bench.core/v1":
+        ratio = speedup.get("batched_over_scalar")
+        if not isinstance(ratio, (int, float)):
+            return {}
+        return {"speedup.batched_over_scalar": float(ratio)}
+    # repro.bench.dist/v1: one modeled ratio per worker count.
+    return {
+        f"speedup.modeled[{workers}]": float(ratio)
+        for workers, ratio in sorted(speedup.get("modeled", {}).items())
+        if isinstance(ratio, (int, float))
+    }
+
+
+def compare(baseline, current, tolerance):
+    """Return (failures, warnings) message lists for a document pair."""
+    if baseline["schema"] != current["schema"]:
+        return (
+            [
+                f"schema mismatch: baseline {baseline['schema']!r} vs "
+                f"current {current['schema']!r}"
+            ],
+            [],
+        )
+    base_ratios = extract_ratios(baseline)
+    cur_ratios = extract_ratios(current)
+    if not base_ratios:
+        return (["baseline contains no comparable speedup ratios"], [])
+    shared = sorted(set(base_ratios) & set(cur_ratios))
+    if not shared:
+        return (
+            [
+                "no shared metrics: baseline has "
+                f"{sorted(base_ratios)}, current has {sorted(cur_ratios)}"
+            ],
+            [],
+        )
+    failures, warnings = [], []
+    for metric in shared:
+        base, cur = base_ratios[metric], cur_ratios[metric]
+        floor = base * (1.0 - tolerance)
+        ceiling = base * (1.0 + tolerance)
+        if cur < floor:
+            failures.append(
+                f"{metric}: {cur:.3f} is below {floor:.3f} "
+                f"(baseline {base:.3f} - {tolerance:.0%})"
+            )
+        elif cur > ceiling:
+            warnings.append(
+                f"{metric}: {cur:.3f} beats baseline {base:.3f} by more "
+                f"than {tolerance:.0%} — consider refreshing the baseline"
+            )
+        else:
+            print(
+                f"check_bench_regression: OK: {metric}: {cur:.3f} within "
+                f"{tolerance:.0%} of baseline {base:.3f}"
+            )
+    return failures, warnings
+
+
+def scale_ratios(document, factor):
+    """A copy of ``document`` with every comparable ratio scaled."""
+    scaled = copy.deepcopy(document)
+    speedup = scaled.setdefault("speedup", {})
+    if scaled["schema"] == "repro.bench.core/v1":
+        speedup["batched_over_scalar"] = (
+            speedup.get("batched_over_scalar", 0.0) * factor
+        )
+    else:
+        speedup["modeled"] = {
+            workers: ratio * factor
+            for workers, ratio in speedup.get("modeled", {}).items()
+        }
+    return scaled
+
+
+def self_test(baseline, tolerance):
+    """The gate must flag a synthetic regression and pass a no-op."""
+    degraded = scale_ratios(baseline, 1.0 - tolerance - 0.1)
+    failures, _ = compare(baseline, degraded, tolerance)
+    if not failures:
+        fail(
+            "self-test: synthetic regression "
+            f"(ratios scaled by {1.0 - tolerance - 0.1:.2f}) "
+            "was NOT flagged — the gate is vacuous"
+        )
+    unchanged = scale_ratios(baseline, 1.0)
+    failures, warnings = compare(baseline, unchanged, tolerance)
+    if failures or warnings:
+        fail(f"self-test: identical ratios flagged: {failures + warnings}")
+    print(
+        "check_bench_regression: self-test OK "
+        f"(synthetic {1.0 - tolerance - 0.1:.2f}x slowdown flagged, "
+        "identical ratios pass)"
+    )
+    return 0
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("baseline", help="committed BENCH_*.json")
+    parser.add_argument("current", nargs="?",
+                        help="freshly measured BENCH_*.json")
+    parser.add_argument("--tolerance", type=float,
+                        default=DEFAULT_TOLERANCE,
+                        help="allowed fractional drop (default 0.20)")
+    parser.add_argument("--self-test", action="store_true",
+                        help="verify the gate flags a synthetic slowdown")
+    args = parser.parse_args(argv)
+    if not 0.0 < args.tolerance < 1.0:
+        fail(f"tolerance must be in (0, 1), got {args.tolerance}")
+
+    baseline = load(args.baseline)
+    if args.self_test:
+        return self_test(baseline, args.tolerance)
+    if args.current is None:
+        parser.error("CURRENT is required unless --self-test is given")
+    current = load(args.current)
+
+    failures, warnings = compare(baseline, current, args.tolerance)
+    for warning in warnings:
+        print(f"check_bench_regression: WARN: {warning}")
+    if failures:
+        for failure in failures:
+            print(f"check_bench_regression: FAIL: {failure}",
+                  file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -15,6 +15,9 @@ enabled — and checks that:
   retry, and exactly one checkpoint restore;
 * the fault log is byte-identical across two faulted runs (the plan's
   seeded RNG makes chaos reproducible);
+* the faulted run still exports telemetry artifacts — an exit status
+  of 0 with an empty --telemetry-out directory is a silent failure,
+  not a pass;
 * a session whose retry budget is exhausted exits non-zero with a
   one-line error.
 
@@ -76,10 +79,25 @@ def main_check():
         with open(plan_path, "w") as fh:
             json.dump(PLAN, fh)
         chaos = ["--fault-plan", plan_path, "--checkpoint-interval", "0.5"]
+        telemetry_dir = os.path.join(tmp, "telemetry")
 
         clean = run_session()
-        faulted = run_session(chaos)
+        faulted = run_session(chaos + ["--telemetry-out", telemetry_dir])
         faulted_again = run_session(chaos)
+
+        # A zero exit with no artifacts on disk is a silent failure:
+        # the faulted session must still export real telemetry.
+        if not os.path.isdir(telemetry_dir):
+            fail(f"telemetry directory was not created: {telemetry_dir}")
+        written = sorted(os.listdir(telemetry_dir))
+        if not written:
+            fail(f"telemetry directory is empty: {telemetry_dir}")
+        for artifact in ("metrics.csv", "metrics.json", "trace.json"):
+            path = os.path.join(telemetry_dir, artifact)
+            if artifact not in written:
+                fail(f"faulted run wrote no {artifact} (got {written})")
+            if os.path.getsize(path) == 0:
+                fail(f"faulted run wrote an empty {artifact}")
 
         # Cycle-exact recovery: identical results despite 4 faults.
         if faulted["runworkload"]["ping"] != clean["runworkload"]["ping"]:

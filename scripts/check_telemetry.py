@@ -91,11 +91,27 @@ def check_trace(out_dir):
     return len(events)
 
 
+def check_out_dir(out_dir):
+    """The export directory itself must exist and hold artifacts.
+
+    A session that exits 0 without writing anything would otherwise
+    surface as three confusing per-file failures (or, if this script
+    were ever pointed at the wrong path, as none at all) — name the
+    real problem first.
+    """
+    if not os.path.isdir(out_dir):
+        fail(f"output directory does not exist: {out_dir}")
+    if not os.listdir(out_dir):
+        fail(f"output directory is empty: {out_dir} "
+             "(the session wrote no telemetry artifacts)")
+
+
 def main(argv):
     if len(argv) != 2:
         print(__doc__, file=sys.stderr)
         return 2
     out_dir = argv[1]
+    check_out_dir(out_dir)
     metrics = check_metrics(out_dir)
     rows = check_csv(out_dir)
     events = check_trace(out_dir)

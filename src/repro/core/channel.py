@@ -20,9 +20,9 @@ slower on the host.
 from __future__ import annotations
 
 from collections import deque
-from typing import Deque
+from typing import Any, Deque
 
-from repro.core.token import Flit, TokenBatch
+from repro.core.token import TokenBatch
 from repro import ReproError
 
 
@@ -53,12 +53,25 @@ class TokenStarvationError(ReproError):
 
 
 class LinkEndpoint:
-    """One direction's consuming end of a link (a token queue)."""
+    """One direction's consuming end of a link (a token queue).
+
+    Queue entries are :class:`~repro.core.token.TokenBatch` objects or
+    anything duck-typing their window shape (``start_cycle`` /
+    ``length`` / ``end_cycle`` / ``flits``) — in practice the batched
+    engine's :class:`~repro.perf.stream.TokenStream`.  Every method
+    here works on the mix, so the two engines can interleave on one
+    simulation (e.g. a scalar replay over queues a batched run filled).
+
+    The batched engine inlines the aligned fast case of :meth:`push`
+    and :meth:`pop` (whole-window append/popleft); any change to the
+    contiguity or gap semantics here must be mirrored in
+    :mod:`repro.perf.engine`.
+    """
 
     __slots__ = ("_queue", "_consumed_until", "_pushed_until", "_gap_at")
 
     def __init__(self) -> None:
-        self._queue: Deque[TokenBatch] = deque()
+        self._queue: Deque[Any] = deque()
         self._consumed_until = 0
         # End cycle of the newest batch ever pushed.  Normally equals the
         # queue tail's end; after a discard_tail it preserves the
@@ -68,8 +81,8 @@ class LinkEndpoint:
         # cycle are unreachable and the consumer will starve there.
         self._gap_at: "int | None" = None
 
-    def push(self, batch: TokenBatch) -> None:
-        """Enqueue a batch; batches must be contiguous in cycle order."""
+    def push(self, batch: Any) -> None:
+        """Enqueue a batch/stream; windows must be contiguous in cycle order."""
         if batch.start_cycle != self._pushed_until:
             raise ValueError(
                 f"non-contiguous batch: expected start {self._pushed_until}, "
@@ -83,6 +96,8 @@ class LinkEndpoint:
 
         Gathers across queued batches and splits the final one if needed,
         so any quantum not exceeding the buffered token count works.
+        Stream entries are consumed through their lazy ``flits`` view and
+        come back as plain batches; split tails are always batches.
         """
         if self.available_tokens < length:
             raise LookupError(

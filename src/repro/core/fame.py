@@ -27,7 +27,7 @@ separately — while the host performance model charges for the sharing.
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
-from typing import Dict, List, Sequence
+from typing import Dict, List, Optional, Sequence
 
 from repro.core.token import TokenBatch, TokenWindow
 
@@ -57,6 +57,23 @@ class Fame1Model(ABC):
         self, window: TokenWindow, inputs: Dict[str, TokenBatch]
     ) -> Dict[str, TokenBatch]:
         """Advance target time across ``window`` and return output batches."""
+
+    def idle_outputs(
+        self, window: TokenWindow
+    ) -> "Optional[Dict[str, TokenBatch]]":
+        """Outputs for an all-idle input window, or None to force a tick.
+
+        The batched engine (:mod:`repro.perf.engine`) calls this instead
+        of :meth:`_tick` when every input batch in the window carries
+        zero valid tokens — *only* on subclasses that override it.  An
+        override must return exactly what :meth:`_tick` would for
+        all-empty inputs while leaving all model state untouched, or
+        return None when that cannot be guaranteed (e.g. a switch with
+        queued packets still draining).  Models that do work even on
+        quiet windows — server blades run their event queues and
+        generate traffic — must not override this.
+        """
+        return None
 
     # -- framework ---------------------------------------------------------
 
@@ -146,4 +163,12 @@ class NullModel(Fame1Model):
     def _tick(
         self, window: TokenWindow, inputs: Dict[str, TokenBatch]
     ) -> Dict[str, TokenBatch]:
+        return {port: window.new_batch() for port in self.ports}
+
+    def idle_outputs(
+        self, window: TokenWindow
+    ) -> Optional[Dict[str, TokenBatch]]:
+        """A null sink is stateless: an idle window needs no tick."""
+        if type(self)._tick is not NullModel._tick:
+            return None
         return {port: window.new_batch() for port in self.ports}

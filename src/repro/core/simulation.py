@@ -24,7 +24,6 @@ inside models) is reproducible too.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from math import gcd
 from time import perf_counter
 from typing import Any, Dict, List, Optional, Tuple
 
@@ -69,6 +68,13 @@ class SimulationStats:
         return self.valid_tokens_moved / self.tokens_moved
 
 
+#: Execution engines ``run_until`` can dispatch to.  "scalar" is the
+#: reference round loop below; "batched" is the vectorized hot path in
+#: :mod:`repro.perf.engine`, bit-identical in every observable (cycle
+#: timestamps, counters, tracer records) but faster on the host.
+ENGINES = ("scalar", "batched")
+
+
 class Simulation:
     """A cycle-exact, token-coordinated simulation of a target cluster."""
 
@@ -76,7 +82,16 @@ class Simulation:
         self,
         clock: TargetClock = DEFAULT_CLOCK,
         quantum_override: Optional[int] = None,
+        engine: str = "scalar",
     ) -> None:
+        if engine not in ENGINES:
+            raise ValueError(
+                f"unknown engine {engine!r}; expected one of {ENGINES}"
+            )
+        #: Which round-loop implementation ``run_until`` uses.  May be
+        #: reassigned between runs; both engines leave identical state,
+        #: so switching mid-simulation is safe.
+        self.engine = engine
         self.clock = clock
         self.models: List[Fame1Model] = []
         self.links: List[Link] = []
@@ -196,6 +211,16 @@ class Simulation:
         """Advance until ``current_cycle >= target_cycle``."""
         if not self._started:
             self._start()
+        if self.engine == "batched":
+            # Imported lazily: repro.perf depends on this module.
+            from repro.perf.engine import run_batched
+
+            run_batched(self, target_cycle)
+            return
+        if self.engine != "scalar":
+            raise ValueError(
+                f"unknown engine {self.engine!r}; expected one of {ENGINES}"
+            )
         quantum = self.quantum
         while self.current_cycle < target_cycle:
             self._run_round(quantum)

@@ -23,13 +23,19 @@ leaves the consumer starving at the hole, raising the same
 
 from __future__ import annotations
 
-from typing import List, Tuple
+from typing import Any, List, Tuple
 
 from repro.core.channel import Link, LinkEndpoint
 from repro.core.token import TokenBatch
 
-#: One wire message entry: (link index, relabelled batch).
-WireEntry = Tuple[int, TokenBatch]
+#: One wire message entry: (link index, relabelled window).  The window
+#: ships in whatever representation the producing engine holds — a
+#: sparse ``TokenBatch`` (scalar engine, or an idle window under the
+#: batched engine) or a :class:`~repro.perf.stream.TokenStream` (a busy
+#: window under the batched engine).  The consuming endpoint's ``push``
+#: is duck-typed over both, so there is no convert/deconvert hop on
+#: either side of the wire.
+WireEntry = Tuple[int, Any]
 
 
 class RemoteAttachment:
@@ -79,18 +85,36 @@ class RemoteAttachment:
             (self.link_index, self.link.shift_for_transport(batch))
         )
 
+    def ship(self, shifted: Any, valid_count: int) -> None:
+        """Outbox an *already relabelled* window (batched-engine path).
+
+        The batched engine applies the ``+latency`` shift in the
+        producer's own representation — in place for idle batches, one
+        vectorized cycle-add for streams — so this method only does the
+        counter bookkeeping :meth:`transmit` would and appends the
+        object as-is; the wire carries exactly what a local queue
+        would have held.
+        """
+        if self.side == "a":
+            self.link.flits_a_to_b += valid_count
+        else:
+            self.link.flits_b_to_a += valid_count
+        self.sent_valid += valid_count
+        self._outbox.append((self.link_index, shifted))
+
     @property
     def available_tokens(self) -> int:
         return self._inbound.available_tokens
 
 
-def deliver(link: Link, consumer_side: str, batch: TokenBatch) -> None:
-    """Push a batch received from the peer into the local consuming queue.
+def deliver(link: Link, consumer_side: str, batch: Any) -> None:
+    """Push a window received from the peer into the local consuming queue.
 
-    The batch was already relabelled by the sender; the endpoint's own
-    contiguity check rejects any reordered or dropped-and-resumed
-    delivery, so transport bugs surface as loud errors rather than
-    silent timing skew.
+    The window was already relabelled by the sender and may be a batch
+    or a stream (see :data:`WireEntry`); the endpoint's own contiguity
+    check rejects any reordered or dropped-and-resumed delivery, so
+    transport bugs surface as loud errors rather than silent timing
+    skew.
     """
     endpoint = link.to_a if consumer_side == "a" else link.to_b
     endpoint.push(batch)

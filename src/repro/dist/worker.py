@@ -253,6 +253,11 @@ def run_shard(context: ShardContext, worker_id: int) -> WorkerResult:
     send_queues = {
         peer: context.queues[(worker_id, peer)] for peer in peers
     }
+    if simulation.engine == "batched":
+        return _run_shard_batched(
+            context, worker_id, shard, attachments, outboxes,
+            inbound_side, peers, recv_queues, send_queues,
+        )
     hook = simulation.fault_hook
     links = simulation.links
 
@@ -332,6 +337,101 @@ def run_shard(context: ShardContext, worker_id: int) -> WorkerResult:
         valid_tokens_moved,
         wall_seconds,
         model_host_seconds,
+    )
+
+
+def _run_shard_batched(
+    context: ShardContext,
+    worker_id: int,
+    shard: List[Any],
+    attachments: Dict[Tuple[int, str], Any],
+    outboxes: Dict[int, List],
+    inbound_side: Dict[int, str],
+    peers: List[int],
+    recv_queues: Dict[int, Any],
+    send_queues: Dict[int, Any],
+) -> WorkerResult:
+    """The batched-engine twin of the scalar loop in :func:`run_shard`.
+
+    Same lockstep structure, expressed as the engine's round hooks:
+    ``pre_round`` drains one peer message per peer for rounds > 0 and
+    ``post_round`` flushes the boundary outboxes.  Boundary windows are
+    shipped in the producer's representation (streams for busy windows,
+    in-place-shifted empty batches for idle ones) via
+    :meth:`~repro.dist.remote_link.RemoteAttachment.ship` — the peer's
+    ``deliver`` pushes them unchanged.
+    """
+    from repro.perf.engine import RoundProgress, compile_slots, run_rounds
+
+    simulation = context.simulation
+    quantum = context.quantum
+    links = simulation.links
+
+    def pre_round(cycle: int, rounds: int) -> None:
+        if rounds == 0:
+            return
+        for peer in peers:
+            round_tag, entries = recv_queues[peer].get()
+            if round_tag != rounds - 1:
+                raise TokenStarvationError(
+                    f"worker {worker_id}: out-of-order token message "
+                    f"from worker {peer}: round {round_tag}, expected "
+                    f"{rounds - 1}"
+                )
+            for link_index, batch in entries:
+                deliver(links[link_index], inbound_side[link_index], batch)
+
+    def post_round(cycle: int, rounds: int) -> None:
+        for peer in peers:
+            outbox = outboxes[peer]
+            # Ship a copy: mp.Queue pickles asynchronously, so the live
+            # outbox list must not be cleared under the feeder thread.
+            send_queues[peer].put((rounds - 1, list(outbox)))
+            outbox.clear()
+
+    def diagnose(model: Any, cycle: int) -> TokenStarvationError:
+        return _starvation_diagnostic(
+            model, attachments, quantum, cycle, worker_id
+        )
+
+    slots = compile_slots(
+        shard, lambda model, port: attachments[(id(model), port)]
+    )
+    start_cycle = simulation.current_cycle
+    progress = RoundProgress(start_cycle)
+    wall_start = perf_counter()
+    run_rounds(
+        slots,
+        quantum,
+        start_cycle,
+        context.target_cycle,
+        progress,
+        hook=simulation.fault_hook,
+        measure=context.measure,
+        pre_round=pre_round,
+        post_round=post_round,
+        diagnose=diagnose,
+    )
+    wall_seconds = perf_counter() - wall_start
+    boundary_valid_tokens = sum(
+        attachment.sent_valid
+        for attachment in attachments.values()
+        if isinstance(attachment, RemoteAttachment)
+    )
+    return _collect_result(
+        context,
+        worker_id,
+        shard,
+        inbound_side,
+        len(peers),
+        boundary_valid_tokens,
+        start_cycle,
+        progress.cycle,
+        progress.rounds,
+        progress.tokens_moved,
+        progress.valid_tokens_moved,
+        wall_seconds,
+        progress.model_host_seconds,
     )
 
 

@@ -11,7 +11,7 @@ structure (documented per experiment in EXPERIMENTS.md).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Iterable, List, Sequence, Tuple
+from typing import List, Sequence, Tuple
 
 from repro.core.clock import DEFAULT_CLOCK
 

@@ -20,7 +20,7 @@ from dataclasses import dataclass
 from typing import Callable, Iterable, List, Optional, Sequence, Tuple
 
 from repro.experiments.common import Table
-from repro.pfa.pfa import FaultCosts, PageFaultAccelerator, SoftwarePaging
+from repro.pfa.pfa import PageFaultAccelerator, SoftwarePaging
 from repro.pfa.remote import AnalyticRemoteMemory, RemoteMemoryParams
 from repro.pfa.runtime import PagedExecutor, RunResult, run_trace_all_local
 from repro.pfa.workloads import (

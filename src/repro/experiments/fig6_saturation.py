@@ -16,7 +16,7 @@ two.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Sequence, Tuple
+from typing import List, Sequence, Tuple
 
 from repro.experiments.common import Table, us_to_cycles
 from repro.manager.runfarm import RunFarmConfig, elaborate

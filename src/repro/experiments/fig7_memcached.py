@@ -108,7 +108,6 @@ def run_point(
 
     sim.run_seconds(warmup_seconds + measure_seconds + 0.002)
 
-    warmup_cycles = int(warmup_seconds * 3.2e9)
     latencies: List[int] = []
     for client_index in range(NUM_CLIENTS):
         samples = sim.blade(1 + client_index).results.get(RESULT_LATENCY, [])

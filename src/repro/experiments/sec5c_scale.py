@@ -20,7 +20,6 @@ from dataclasses import dataclass
 
 from repro.experiments.common import Table
 from repro.host.fpga import STANDARD_FPGA, SUPERNODE_FPGA
-from repro.host.perfmodel import SimulationRateModel
 from repro.manager.manager import FireSimManager
 from repro.manager.mapper import SUPERNODE_HOST
 from repro.manager.topology import datacenter_tree

@@ -98,7 +98,6 @@ def run(
 
     workload = WorkloadSpec("specint17", duration_seconds=0.0)
     for node_index, benchmark in enumerate(benchmarks):
-        blade = sim.blade(node_index)
         workload.add_job(
             node_index,
             benchmark.name,

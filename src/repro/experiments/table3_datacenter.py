@@ -25,7 +25,7 @@ switch tiers as the paper's.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import List, Optional, Sequence, Tuple
 
 from repro.experiments.common import Table, cycles_to_us, percentile
 from repro.manager.runfarm import RunFarmConfig, RunningSimulation, elaborate

@@ -10,7 +10,7 @@ the FPGAs being harnessed.  For the 1024-node datacenter simulation
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Mapping
+from typing import Mapping
 
 from repro.host.instances import FPGA_RETAIL_PRICE, InstanceType, instance_type
 

@@ -124,6 +124,11 @@ def make_parser() -> argparse.ArgumentParser:
                         help="partition runworkload across N worker "
                              "processes (1 = serial engine); partitions "
                              "follow the deployment's instance mapping")
+    parser.add_argument("--engine", default="scalar",
+                        choices=("scalar", "batched"),
+                        help="round-loop implementation: the scalar "
+                             "reference engine or the vectorized batched "
+                             "engine (bit-identical results, faster)")
     parser.add_argument("--workload", default="ping", choices=("ping", "boot"))
     parser.add_argument("--duration-ms", type=float, default=4.0)
     parser.add_argument("--ping-count", type=int, default=10)
@@ -186,11 +191,13 @@ def _run_verb(
         sim = manager.infrasetup()
         lines = [
             f"simulation elaborated: {sim.num_nodes} nodes, "
-            f"{len(sim.switches)} switches"
+            f"{len(sim.switches)} switches "
+            f"({sim.simulation.engine} engine)"
         ]
         return lines, {
             "nodes": sim.num_nodes,
             "switches": len(sim.switches),
+            "engine": sim.simulation.engine,
         }
 
     if verb == "runworkload":
@@ -301,7 +308,8 @@ def main(
 def _main(args: argparse.Namespace, out) -> int:
     topology = build_topology(args)
     run_config = RunFarmConfig(
-        link_latency_cycles=max(1, round(args.link_latency_us * 3200))
+        link_latency_cycles=max(1, round(args.link_latency_us * 3200)),
+        engine=args.engine,
     )
     host_config = SUPERNODE_HOST if args.supernode else HostConfig()
     if args.fpgas_per_instance is not None:

@@ -53,12 +53,22 @@ class RunFarmConfig:
     #: outputs are cycle-identical to 1 — while modeling the supernode/
     #: FAME-5 capacity option.
     fame5_blades_per_pipeline: int = 1
+    #: Round-loop implementation: "scalar" (the reference oracle) or
+    #: "batched" (:mod:`repro.perf` — bit-identical, faster on the
+    #: host).  Living here means checkpoint-restore re-elaborations
+    #: resume with the same engine automatically.
+    engine: str = "scalar"
 
     def __post_init__(self) -> None:
         if self.link_latency_cycles < 1:
             raise ConfigError("link latency must be >= 1 cycle")
         if self.fame5_blades_per_pipeline < 1:
             raise ConfigError("FAME-5 multiplexing factor must be >= 1")
+        if self.engine not in ("scalar", "batched"):
+            raise ConfigError(
+                f"unknown engine {self.engine!r}; expected 'scalar' or "
+                "'batched'"
+            )
 
 
 class RunningSimulation:
@@ -119,7 +129,7 @@ def elaborate(
     config = config or RunFarmConfig()
     validate_topology(root)
     clock = TargetClock(config.freq_hz)
-    simulation = Simulation(clock=clock)
+    simulation = Simulation(clock=clock, engine=config.engine)
 
     # Assign node indices / MACs / IPs deterministically.
     servers = list(root.iter_servers())

@@ -25,7 +25,7 @@ from typing import Dict, Optional
 
 from repro.core.fame import Fame1Model
 from repro.core.simulation import Simulation
-from repro.core.token import Flit, TokenWindow
+from repro.core.token import TokenWindow
 from repro.manager.runfarm import RunFarmConfig, RunningSimulation
 from repro.manager.topology import SwitchNode, validate_topology
 from repro.net.ethernet import BROADCAST_MAC, EthernetFrame, mac_address

@@ -101,6 +101,54 @@ class SwitchStats:
     broadcasts: int = 0
 
 
+class _RouteTable(dict):
+    """MAC -> port dict that version-stamps every mutation.
+
+    Routing decisions are memoized per flow (src, dst, ingress port);
+    the memo snapshots this version and any table edit — rare, e.g. a
+    topology remap after host quarantine — invalidates every cached
+    flow.  The hot path pays one integer compare per switching step.
+    """
+
+    __slots__ = ("version",)
+
+    def __init__(self, *args, **kwargs) -> None:
+        super().__init__(*args, **kwargs)
+        self.version = 0
+
+    def __setitem__(self, key, value) -> None:
+        super().__setitem__(key, value)
+        self.version += 1
+
+    def __delitem__(self, key) -> None:
+        super().__delitem__(key)
+        self.version += 1
+
+    def clear(self) -> None:
+        super().clear()
+        self.version += 1
+
+    def pop(self, *args):
+        result = super().pop(*args)
+        self.version += 1
+        return result
+
+    def popitem(self):
+        result = super().popitem()
+        self.version += 1
+        return result
+
+    def setdefault(self, key, default=None):
+        if key in self:
+            return self[key]
+        self[key] = default
+        return default
+
+    def update(self, *args, **kwargs) -> None:
+        super().update(*args, **kwargs)
+        self.version += 1
+
+
 class SwitchModel(Fame1Model):
     """Store-and-forward Ethernet switch as a FAME-1 decoupled model."""
 
@@ -114,9 +162,26 @@ class SwitchModel(Fame1Model):
         ports = [f"port{i}" for i in range(config.num_ports)]
         super().__init__(name, ports)
         self.config = config
+        # Per-flow routing memo, valid only while route() is not
+        # overridden (a subclass may route on anything — never cache it)
+        # and the table/default-port are unchanged.
+        self._route_cache: Dict[Tuple[int, int, int], Tuple[int, ...]] = {}
+        self._route_version = 0
+        self._memoize_routes = type(self).route is SwitchModel.route
+        # Idle-token elision is only sound while every tick phase is the
+        # stock implementation (an all-idle window provably changes no
+        # state); subclasses with custom phases always get a full tick.
+        cls = type(self)
+        self._idle_safe = (
+            cls._tick is SwitchModel._tick
+            and cls._ingress is SwitchModel._ingress
+            and cls._switching_step is SwitchModel._switching_step
+            and cls._egress is SwitchModel._egress
+            and cls._drain_port is SwitchModel._drain_port
+        )
         #: Static MAC -> output-port-index table (Section III-B3: populated
         #: automatically by the manager from the topology).
-        self.mac_table: Dict[int, int] = dict(mac_table or {})
+        self.mac_table = dict(mac_table or {})
         #: Port used for MACs missing from the table (the uplink in a tree
         #: topology); None means unknown unicast frames are dropped.
         self.default_port = default_port
@@ -135,6 +200,32 @@ class SwitchModel(Fame1Model):
         self.egress_log: Optional[List[Tuple[int, int]]] = None
 
     # -- configuration hooks ----------------------------------------------
+
+    @property
+    def mac_table(self) -> "_RouteTable":
+        return self._mac_table
+
+    @mac_table.setter
+    def mac_table(self, table: Dict[int, int]) -> None:
+        # Wholesale replacement (tests, topology remaps) gets wrapped in
+        # a fresh version-tracked table; the memo restarts from it.
+        self._mac_table = (
+            table if isinstance(table, _RouteTable) else _RouteTable(table)
+        )
+        self._invalidate_routes()
+
+    @property
+    def default_port(self) -> Optional[int]:
+        return self._default_port
+
+    @default_port.setter
+    def default_port(self, port: Optional[int]) -> None:
+        self._default_port = port
+        self._invalidate_routes()
+
+    def _invalidate_routes(self) -> None:
+        self._route_cache.clear()
+        self._route_version = self._mac_table.version
 
     def enable_bandwidth_probe(self) -> None:
         """Record per-packet egress completions for bandwidth-vs-time plots."""
@@ -160,6 +251,22 @@ class SwitchModel(Fame1Model):
         arrivals = self._ingress(inputs)
         self._switching_step(arrivals)
         return self._egress(window)
+
+    def idle_outputs(
+        self, window: TokenWindow
+    ) -> Optional[Dict[str, TokenBatch]]:
+        """All-empty outputs when nothing is buffered (batched engine).
+
+        With zero valid input tokens and every output queue empty, a
+        stock switch tick is a no-op: ingress assembles nothing,
+        switching routes nothing, egress drains nothing (pacing cursors
+        are only advanced while emitting).  Queued packets — including
+        window straddlers — force the full tick so congestion and drop
+        modelling stay cycle-exact.
+        """
+        if not self._idle_safe or any(self._out_queues):
+            return None
+        return {port: window.new_batch() for port in self.ports}
 
     # -- phases ---------------------------------------------------------
 
@@ -189,9 +296,25 @@ class SwitchModel(Fame1Model):
         pending = list(arrivals)
         heapq.heapify(pending)
         sink = get_trace_sink()
+        memo = self._route_cache if self._memoize_routes else None
+        if memo is not None and self._route_version != self._mac_table.version:
+            memo.clear()
+            self._route_version = self._mac_table.version
         while pending:
             timestamp, ingress_port, frame = heapq.heappop(pending)
-            out_ports = self.route(frame, ingress_port)
+            if memo is None:
+                out_ports: Iterable[int] = self.route(frame, ingress_port)
+            else:
+                flow = (frame.src, frame.dst, ingress_port)
+                cached = memo.get(flow)
+                if cached is None:
+                    cached = tuple(self.route(frame, ingress_port))
+                    memo[flow] = cached
+                elif frame.dst == BROADCAST_MAC:
+                    # route() counts each broadcast it expands; a memo
+                    # hit must keep that counter exact.
+                    self.stats.broadcasts += 1
+                out_ports = cached
             if not out_ports and frame.dst != BROADCAST_MAC:
                 # Unroutable unicast: no table entry and no default port
                 # (e.g. the destination host was quarantined and remapped).

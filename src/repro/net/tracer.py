@@ -90,6 +90,20 @@ class LinkTracer(Fame1Model):
             "a": self._forward(window, inputs["b"], "b", "b_to_a"),
         }
 
+    def idle_outputs(self, window):
+        """Pass-through of an all-idle window records nothing.
+
+        Forwarding two empty batches touches neither the packet log nor
+        the partial-packet state, so the batched engine may skip the
+        tick; subclasses with custom forwarding always tick.
+        """
+        if (
+            type(self)._tick is not LinkTracer._tick
+            or type(self)._forward is not LinkTracer._forward
+        ):
+            return None
+        return {"a": window.new_batch(), "b": window.new_batch()}
+
     def packets(self, direction: Optional[str] = None) -> List[PacketRecord]:
         if direction is None:
             return list(self.records)

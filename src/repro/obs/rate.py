@@ -20,7 +20,9 @@ structure visually.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Dict, Optional
+from typing import Any, Dict, Optional, Sequence
+
+import numpy as np
 
 from repro.obs.trace import TraceSink
 
@@ -140,6 +142,44 @@ class RateMonitor:
             self._min_round_s = round_wall_s
         if round_wall_s > self._max_round_s:
             self._max_round_s = round_wall_s
+
+    # -- batched-engine aggregation --------------------------------------
+
+    def absorb_tick_totals(
+        self, names: Sequence[str], seconds: Any
+    ) -> None:
+        """Fold one batched run's per-model tick totals in one call.
+
+        The batched engine (:mod:`repro.perf.engine`) accumulates tick
+        durations into a numpy buffer — one vectorized add per round
+        instead of a :meth:`record_model_tick` call per model per round
+        — and flushes the totals here at end of run.  ``seconds`` is
+        any array-like aligned with ``names``.
+        """
+        for name, elapsed in zip(names, np.asarray(seconds).tolist()):
+            self.model_host_seconds[name] = (
+                self.model_host_seconds.get(name, 0.0) + elapsed
+            )
+
+    def absorb_round_times(self, quantum: int, round_seconds: Any) -> None:
+        """Fold a whole run's per-round wall times (numpy reductions).
+
+        Equivalent to calling :meth:`record_round` once per entry:
+        sum/min/max are computed vectorized over the run instead of
+        maintained per round.
+        """
+        walls = np.asarray(round_seconds, dtype=float)
+        if walls.size == 0:
+            return
+        self.rounds += int(walls.size)
+        self.cycles += int(walls.size) * quantum
+        self.wall_seconds += float(walls.sum())
+        fastest = float(walls.min())
+        slowest = float(walls.max())
+        if fastest < self._min_round_s:
+            self._min_round_s = fastest
+        if slowest > self._max_round_s:
+            self._max_round_s = slowest
 
     # -- distributed aggregation ----------------------------------------
 

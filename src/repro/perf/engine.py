@@ -1,0 +1,321 @@
+"""The batched round loop behind ``Simulation(engine="batched")``.
+
+Token movement here is observably identical to the scalar orchestrator
+(:meth:`repro.core.simulation.Simulation._run_round` stays untouched as
+the bit-equality oracle); only the host cost changes.  Three overheads
+are eliminated:
+
+* **Per-call queue machinery.**  The model graph is compiled once per
+  run into :class:`_Slot` entries binding each port directly to its
+  :class:`~repro.core.channel.LinkEndpoint`.  The aligned common case —
+  queue head covers exactly one quantum, no loss gap — pops with one
+  ``deque.popleft`` and pushes with one ``deque.append``; the generic
+  ``pop`` (splits, gap starvation) remains the fallback so fault
+  semantics and diagnostics are unchanged.
+* **Per-flit relabelling.**  Busy output windows become
+  :class:`~repro.perf.stream.TokenStream` objects whose ``+latency``
+  relabel is one vectorized add; idle windows are shifted in place
+  (idle-token elision: a quiet link costs two integer adds per round).
+* **Idle model ticks.**  A model whose every input window carries zero
+  valid tokens is asked for
+  :meth:`~repro.core.fame.Fame1Model.idle_outputs` first; models that
+  can prove an all-idle window leaves their state untouched (switches
+  with empty queues, tracers, null sinks) skip their tick entirely.
+  Server blades never elide — their event queues generate traffic.
+
+Fault hooks fire at the same points as the scalar loop (round start
+with ``model=None``, then after each model), and the observer either
+gets per-tick callbacks (when Chrome tracing needs real span
+timestamps) or one vectorized fold per run through
+:meth:`~repro.obs.rate.RateMonitor.absorb_tick_totals` /
+:meth:`~repro.obs.rate.RateMonitor.absorb_round_times`.
+
+The same loop serves the distributed workers: ``pre_round`` drains peer
+token messages and ``post_round`` flushes boundary outboxes, with
+streams shipped over the wire in the producer's representation — no
+convert/deconvert hop (:meth:`repro.dist.remote_link.RemoteAttachment.ship`).
+"""
+
+from __future__ import annotations
+
+from time import perf_counter
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.fame import Fame1Model
+from repro.core.token import TokenBatch, TokenWindow
+from repro.perf.stream import TokenStream
+
+
+class _Slot:
+    """One model's precompiled tick plan: ports bound to endpoints."""
+
+    __slots__ = ("model", "tick", "idle", "in_ports", "out_ports", "name")
+
+    def __init__(
+        self,
+        model: Fame1Model,
+        idle: Optional[Callable[[TokenWindow], Optional[Dict[str, Any]]]],
+        in_ports: List[Tuple[str, Any]],
+        out_ports: List[Tuple[str, Any, int, bool, Any, Optional[Callable]]],
+    ) -> None:
+        self.model = model
+        self.tick = model._tick
+        self.idle = idle
+        self.in_ports = in_ports
+        self.out_ports = out_ports
+        self.name = model.name
+
+
+class RoundProgress:
+    """Run accounting the loop flushes even when a fault hook raises.
+
+    The caller folds these into ``Simulation.stats`` (or a
+    ``WorkerResult``) in a ``finally`` block, so a mid-round crash
+    leaves the same counters the scalar loop would: completed rounds
+    plus the failing round's already-transmitted tokens.
+    """
+
+    __slots__ = (
+        "cycle", "rounds", "tokens_moved", "valid_tokens_moved",
+        "model_host_seconds",
+    )
+
+    def __init__(self, start_cycle: int) -> None:
+        self.cycle = start_cycle
+        self.rounds = 0
+        self.tokens_moved = 0
+        self.valid_tokens_moved = 0
+        self.model_host_seconds: Dict[str, float] = {}
+
+
+def compile_slots(
+    models: Sequence[Fame1Model],
+    get_attachment: Callable[[Fame1Model, str], Any],
+) -> List[_Slot]:
+    """Bind every model port to its endpoints for direct queue access.
+
+    ``get_attachment`` returns either the orchestrator's
+    ``_Attachment`` or a distributed ``RemoteAttachment``; both expose
+    ``link``/``side``.  Remote producers additionally expose ``ship``,
+    which replaces the local enqueue with an outbox append.
+    """
+    slots: List[_Slot] = []
+    for model in models:
+        in_ports: List[Tuple[str, Any]] = []
+        out_ports: List[Tuple[str, Any, int, bool, Any, Optional[Callable]]] = []
+        for port in model.ports:
+            attachment = get_attachment(model, port)
+            link = attachment.link
+            if attachment.side == "a":
+                in_endpoint, out_endpoint, is_a = link.to_a, link.to_b, True
+            else:
+                in_endpoint, out_endpoint, is_a = link.to_b, link.to_a, False
+            in_ports.append((port, in_endpoint))
+            ship = getattr(attachment, "ship", None)
+            out_ports.append(
+                (port, link, link.latency, is_a, out_endpoint, ship)
+            )
+        idle = None
+        if type(model).idle_outputs is not Fame1Model.idle_outputs:
+            idle = model.idle_outputs
+        slots.append(_Slot(model, idle, in_ports, out_ports))
+    return slots
+
+
+def run_rounds(
+    slots: List[_Slot],
+    quantum: int,
+    start_cycle: int,
+    target_cycle: int,
+    progress: RoundProgress,
+    *,
+    hook: Optional[Callable[[int, Optional[Fame1Model]], None]] = None,
+    observer: Optional[Any] = None,
+    measure: bool = False,
+    pre_round: Optional[Callable[[int, int], None]] = None,
+    post_round: Optional[Callable[[int, int], None]] = None,
+    diagnose: Optional[Callable[[Fame1Model, int], Exception]] = None,
+) -> None:
+    """Advance all slots from ``start_cycle`` to ``target_cycle``.
+
+    Timing modes (mutually exclusive in practice):
+
+    * ``observer`` with an enabled Chrome trace: per-tick
+      ``record_model_tick``/``record_round`` calls, exactly like the
+      scalar observed path, so trace spans keep real timestamps;
+    * ``observer`` without tracing, or ``measure=True`` (distributed
+      workers): per-tick durations land in a preallocated numpy buffer
+      folded once per round and flushed once per run.
+    """
+    trace_ticks = (
+        observer is not None
+        and getattr(observer, "trace", None) is not None
+        and observer.trace.enabled
+    )
+    timed = measure or (observer is not None and not trace_ticks)
+    names = [slot.name for slot in slots]
+    count = len(slots)
+    tick_buf = np.zeros(count) if timed else None
+    tick_totals = np.zeros(count) if timed else None
+    round_walls: List[float] = []
+    from_flits = TokenStream.from_flits
+    cycle = start_cycle
+    rounds = 0
+    tokens_moved = 0
+    valid_tokens_moved = 0
+    try:
+        while cycle < target_cycle:
+            if pre_round is not None:
+                pre_round(cycle, rounds)
+            if hook is not None:
+                hook(cycle, None)
+            end = cycle + quantum
+            window = TokenWindow(cycle, end)
+            if timed or trace_ticks:
+                round_start = perf_counter()
+            for index, slot in enumerate(slots):
+                model = slot.model
+                inputs = {}
+                busy = False
+                try:
+                    for port, endpoint in slot.in_ports:
+                        queue = endpoint._queue
+                        if queue and endpoint._gap_at is None:
+                            head = queue[0]
+                            if head.length == quantum:
+                                queue.popleft()
+                                endpoint._consumed_until += quantum
+                                batch = (
+                                    head
+                                    if type(head) is TokenBatch
+                                    else head.to_batch()
+                                )
+                            else:
+                                batch = endpoint.pop(quantum)
+                        else:
+                            batch = endpoint.pop(quantum)
+                        if batch.flits:
+                            busy = True
+                        inputs[port] = batch
+                except LookupError as exc:
+                    if diagnose is not None:
+                        raise diagnose(model, cycle) from exc
+                    raise
+                if timed or trace_ticks:
+                    tick_start = perf_counter()
+                outputs = None
+                if not busy and slot.idle is not None:
+                    outputs = slot.idle(window)
+                if outputs is None:
+                    outputs = slot.tick(window, inputs)
+                model.current_cycle = end
+                if timed:
+                    tick_buf[index] = perf_counter() - tick_start
+                elif trace_ticks:
+                    observer.record_model_tick(
+                        slot.name, tick_start, perf_counter(), cycle, end
+                    )
+                for port, link, latency, is_a, out_endpoint, ship in (
+                    slot.out_ports
+                ):
+                    batch = outputs[port]
+                    flits = batch.flits
+                    valid = len(flits)
+                    tokens_moved += batch.length
+                    if valid:
+                        valid_tokens_moved += valid
+                        shipped: Any = from_flits(
+                            batch.start_cycle, batch.length, flits, latency
+                        )
+                    else:
+                        # Idle-token elision: relabel the empty window in
+                        # place.  Outputs are never referenced again by
+                        # the producing model, so mutation is safe.
+                        batch.start_cycle += latency
+                        shipped = batch
+                    if ship is not None:
+                        ship(shipped, valid)
+                    else:
+                        if is_a:
+                            link.flits_a_to_b += valid
+                        else:
+                            link.flits_b_to_a += valid
+                        if shipped.start_cycle != out_endpoint._pushed_until:
+                            raise ValueError(
+                                "non-contiguous batch: expected start "
+                                f"{out_endpoint._pushed_until}, got "
+                                f"{shipped.start_cycle}"
+                            )
+                        out_endpoint._queue.append(shipped)
+                        out_endpoint._pushed_until = (
+                            shipped.start_cycle + shipped.length
+                        )
+                if hook is not None:
+                    hook(cycle, model)
+            cycle = end
+            rounds += 1
+            if timed:
+                tick_totals += tick_buf
+                round_walls.append(perf_counter() - round_start)
+            elif trace_ticks:
+                observer.record_round(quantum, perf_counter() - round_start)
+            if post_round is not None:
+                post_round(cycle, rounds)
+    finally:
+        progress.cycle = cycle
+        progress.rounds = rounds
+        progress.tokens_moved = tokens_moved
+        progress.valid_tokens_moved = valid_tokens_moved
+        if timed:
+            totals: Dict[str, float] = {}
+            for name, seconds in zip(names, tick_totals.tolist()):
+                totals[name] = totals.get(name, 0.0) + seconds
+            progress.model_host_seconds = totals
+            if observer is not None:
+                observer.absorb_tick_totals(names, tick_totals)
+                observer.absorb_round_times(quantum, round_walls)
+
+
+def run_batched(simulation: Any, target_cycle: int) -> None:
+    """Advance a started :class:`~repro.core.simulation.Simulation`.
+
+    Entry point used by ``Simulation.run_until`` when
+    ``engine="batched"``.  Slots are compiled fresh per call (~tens of
+    microseconds on paper-scale graphs) so checkpoint restores and
+    model-graph edits between runs can never observe a stale plan.
+    """
+    quantum = simulation.quantum
+    attachments = simulation._attachments
+    slots = compile_slots(
+        simulation.models,
+        lambda model, port: attachments[(id(model), port)],
+    )
+
+    def diagnose(model: Fame1Model, cycle: int) -> Exception:
+        # The scalar loop only advances current_cycle at round end, so
+        # at failure it reads the failing round's start — mirror that
+        # before building the diagnostic.
+        simulation.current_cycle = cycle
+        return simulation._starvation_diagnostic(model, quantum)
+
+    progress = RoundProgress(simulation.current_cycle)
+    try:
+        run_rounds(
+            slots,
+            quantum,
+            simulation.current_cycle,
+            target_cycle,
+            progress,
+            hook=simulation.fault_hook,
+            observer=simulation.observer,
+            diagnose=diagnose,
+        )
+    finally:
+        stats = simulation.stats
+        stats.rounds += progress.rounds
+        stats.cycles += progress.rounds * quantum
+        stats.tokens_moved += progress.tokens_moved
+        stats.valid_tokens_moved += progress.valid_tokens_moved
+        simulation.current_cycle = progress.cycle

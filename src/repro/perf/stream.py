@@ -1,0 +1,161 @@
+"""Sparse numpy token streams: the batched engine's wire format.
+
+A :class:`~repro.core.token.TokenBatch` stores valid tokens in a Python
+dict keyed by absolute cycle.  That is the right shape for models (which
+inspect flits one by one) but the wrong shape for *transport*: shifting
+a batch across a link of latency ``l`` rebuilds the dict one entry at a
+time, so the relabelling cost scales with per-flit Python calls.
+
+A :class:`TokenStream` holds the same window as one numpy structured
+array of ``(cycle, flit)`` records sorted by cycle, so the ``+l``
+relabel is a single vectorized add on the ``cycle`` column — one array
+op per link per round.  Idle windows never become streams at all: the
+engine shifts the model's empty output batch in place (idle-token
+elision — a quiet link costs two integer adds per round, no numpy
+overhead, no allocation).
+
+Streams duck-type the parts of ``TokenBatch`` the channel layer touches
+(``start_cycle``/``length``/``end_cycle``/``flits``/``valid_count``),
+so :class:`~repro.core.channel.LinkEndpoint` queues can hold a mix of
+both and the scalar ``pop`` path still consumes them correctly.  The
+distributed wire ships whichever object the link layer holds — streams
+pickle as-is, with no convert/deconvert hop on either side.
+
+Conversion back to a batch (at the model boundary) goes through
+``ndarray.tolist()`` so cycles come back as Python ``int``: letting
+``numpy.int64`` leak into flit dicts would silently change ``repr()``
+digests and break ``json.dumps`` of CLI results.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, Tuple
+
+import numpy as np
+
+from repro.core.token import Flit, TokenBatch
+
+#: One valid token: absolute target cycle plus the flit payload.
+TOKEN_DTYPE = np.dtype([("cycle", np.int64), ("flit", np.object_)])
+
+#: Shared zero-length token array for streams with no valid tokens.
+EMPTY_TOKENS = np.empty(0, dtype=TOKEN_DTYPE)
+
+
+class TokenStream:
+    """A contiguous window of tokens backed by a structured array.
+
+    Covers target cycles ``[start_cycle, start_cycle + length)`` exactly
+    like a ``TokenBatch``; ``tokens`` holds the valid cycles in ascending
+    order.  Instances are treated as immutable once enqueued or shipped
+    (:meth:`shift` is only applied by the producer before handoff).
+    """
+
+    __slots__ = ("start_cycle", "length", "tokens")
+
+    def __init__(
+        self,
+        start_cycle: int,
+        length: int,
+        tokens: np.ndarray = EMPTY_TOKENS,
+    ) -> None:
+        self.start_cycle = start_cycle
+        self.length = length
+        self.tokens = tokens
+
+    # -- construction ---------------------------------------------------
+
+    @classmethod
+    def from_flits(
+        cls,
+        start_cycle: int,
+        length: int,
+        flits: Dict[int, Flit],
+        shift: int = 0,
+    ) -> "TokenStream":
+        """Build a (optionally relabelled) stream from a sparse flit map.
+
+        ``shift`` applies the link-latency relabel during construction:
+        the cycle column is filled once and shifted with one vectorized
+        add, which is the whole point of the representation.
+        """
+        items = sorted(flits.items())
+        tokens = np.empty(len(items), dtype=TOKEN_DTYPE)
+        tokens["cycle"] = [cycle for cycle, _ in items]
+        tokens["flit"] = [flit for _, flit in items]
+        if shift:
+            tokens["cycle"] += shift
+        return cls(start_cycle + shift, length, tokens)
+
+    @classmethod
+    def from_batch(cls, batch: TokenBatch, shift: int = 0) -> "TokenStream":
+        return cls.from_flits(
+            batch.start_cycle, batch.length, batch.flits, shift
+        )
+
+    # -- transport ------------------------------------------------------
+
+    def shift(self, latency: int) -> "TokenStream":
+        """Relabel in place by ``+latency``: one array op, no copy.
+
+        Only the producer may call this, before the stream is enqueued
+        or shipped; consumers treat streams as immutable.
+        """
+        self.start_cycle += latency
+        if self.tokens.shape[0]:
+            self.tokens["cycle"] += latency
+        return self
+
+    def to_batch(self) -> TokenBatch:
+        """Materialize as a ``TokenBatch`` with Python-int cycle keys."""
+        batch = TokenBatch(self.start_cycle, self.length)
+        tokens = self.tokens
+        if tokens.shape[0]:
+            batch.flits = dict(
+                zip(tokens["cycle"].tolist(), tokens["flit"].tolist())
+            )
+        return batch
+
+    # -- TokenBatch duck interface --------------------------------------
+
+    @property
+    def end_cycle(self) -> int:
+        return self.start_cycle + self.length
+
+    @property
+    def valid_count(self) -> int:
+        return int(self.tokens.shape[0])
+
+    @property
+    def flits(self) -> Dict[int, Flit]:
+        """The sparse cycle -> flit map, materialized on demand.
+
+        Built fresh per access (no caching: a cached dict would go
+        stale under :meth:`shift`).  The batched engine avoids this
+        property on its hot path by converting whole streams with
+        :meth:`to_batch`; it exists so the scalar ``LinkEndpoint.pop``
+        can gather and split mixed queues.
+        """
+        tokens = self.tokens
+        if not tokens.shape[0]:
+            return {}
+        return dict(zip(tokens["cycle"].tolist(), tokens["flit"].tolist()))
+
+    def contains_cycle(self, cycle: int) -> bool:
+        return self.start_cycle <= cycle < self.end_cycle
+
+    def iter_flits(self) -> Iterator[Tuple[int, Flit]]:
+        """Yield ``(cycle, flit)`` pairs in cycle order."""
+        for cycle, flit in zip(
+            self.tokens["cycle"].tolist(), self.tokens["flit"].tolist()
+        ):
+            yield cycle, flit
+
+    def __len__(self) -> int:
+        return self.length
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"TokenStream(start={self.start_cycle}, len={self.length}, "
+            f"valid={self.valid_count})"
+        )

@@ -22,7 +22,7 @@ from typing import Callable, Dict, List, Optional
 
 from repro.net.ethernet import EthernetFrame, HEADER_BYTES
 from repro.swmodel.kernel import ThreadAPI
-from repro.swmodel.process import Recv, Send, SendRaw, Sleep, ThreadBody
+from repro.swmodel.process import Send, SendRaw, Sleep, ThreadBody
 from repro.swmodel.server import ServerBlade
 from repro.tile.accelerators import Hwacha
 from repro.tile.rocket import ComputeBlock

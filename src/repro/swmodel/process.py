@@ -24,7 +24,7 @@ from dataclasses import dataclass, field
 from typing import Any, Callable, Generator, Optional, TYPE_CHECKING
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
-    from repro.swmodel.netstack import Datagram, Socket
+    from repro.swmodel.netstack import Socket
 
 
 # -- effects ------------------------------------------------------------

@@ -15,7 +15,7 @@ from nanosecond DDR3-1600-style timings at construction.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List
+from typing import List
 
 from repro.core.clock import DEFAULT_CLOCK, TargetClock
 

@@ -13,7 +13,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field, replace
 from typing import Dict, List, Optional, Tuple
 
-from repro.core.clock import DEFAULT_CLOCK, TargetClock
+from repro.core.clock import TargetClock
 from repro.tile.accelerators import ACCELERATOR_TYPES, RoCCAccelerator, build_accelerator
 from repro.tile.caches import (
     CacheConfig,

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.manager.runfarm import RunFarmConfig, elaborate
+from repro.manager.runfarm import elaborate
 from repro.manager.topology import single_rack
 from repro.swmodel.apps.iperf import (
     MSS_BYTES,

@@ -1,0 +1,190 @@
+"""Benchmark regression gate (scripts/check_bench_regression.py).
+
+The checker is the CI tripwire for the batched engine's speedup claim,
+so it gets its own unit coverage: a gate that silently stops gating is
+worse than no gate.
+"""
+
+import importlib.util
+import json
+import os
+
+import pytest
+
+_SPEC = importlib.util.spec_from_file_location(
+    "check_bench_regression",
+    os.path.join(
+        os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+        "scripts",
+        "check_bench_regression.py",
+    ),
+)
+checker = importlib.util.module_from_spec(_SPEC)
+_SPEC.loader.exec_module(checker)
+
+
+def core_doc(speedup=3.2):
+    return {
+        "schema": "repro.bench.core/v1",
+        "speedup": {"batched_over_scalar": speedup},
+    }
+
+def dist_doc(modeled):
+    return {
+        "schema": "repro.bench.dist/v1",
+        "speedup": {"modeled": dict(modeled), "measured": {"2": 0.4}},
+    }
+
+
+def write(tmp_path, name, document):
+    path = tmp_path / name
+    path.write_text(json.dumps(document))
+    return str(path)
+
+
+class TestExtractRatios:
+    def test_core_schema_yields_single_ratio(self):
+        assert checker.extract_ratios(core_doc(3.0)) == {
+            "speedup.batched_over_scalar": 3.0
+        }
+
+    def test_dist_schema_yields_one_ratio_per_worker_count(self):
+        ratios = checker.extract_ratios(dist_doc({"2": 1.3, "8": 3.2}))
+        assert ratios == {
+            "speedup.modeled[2]": 1.3,
+            "speedup.modeled[8]": 3.2,
+        }
+
+    def test_measured_dist_ratios_are_never_compared(self):
+        """Measured speedups on a shared-core container are noise."""
+        assert not any(
+            "measured" in name
+            for name in checker.extract_ratios(dist_doc({"2": 1.3}))
+        )
+
+    def test_non_numeric_ratio_ignored(self):
+        assert checker.extract_ratios(core_doc("fast")) == {}
+
+
+class TestCompare:
+    def test_regression_below_tolerance_fails(self):
+        failures, warnings = checker.compare(
+            core_doc(3.0), core_doc(2.0), 0.20
+        )
+        assert len(failures) == 1
+        assert "below" in failures[0]
+        assert not warnings
+
+    def test_within_tolerance_passes(self):
+        failures, warnings = checker.compare(
+            core_doc(3.0), core_doc(2.5), 0.20
+        )
+        assert not failures
+        assert not warnings
+
+    def test_improvement_beyond_tolerance_warns_not_fails(self):
+        failures, warnings = checker.compare(
+            core_doc(3.0), core_doc(4.0), 0.20
+        )
+        assert not failures
+        assert len(warnings) == 1
+        assert "refreshing the baseline" in warnings[0]
+
+    def test_schema_mismatch_fails(self):
+        failures, _ = checker.compare(
+            core_doc(3.0), dist_doc({"2": 1.3}), 0.20
+        )
+        assert failures
+        assert "schema mismatch" in failures[0]
+
+    def test_dist_compares_only_shared_worker_counts(self):
+        failures, warnings = checker.compare(
+            dist_doc({"2": 1.3, "8": 3.2}),
+            dist_doc({"2": 1.3, "4": 0.1}),  # 4 is new, 8 is gone
+            0.20,
+        )
+        assert not failures
+        assert not warnings
+
+    def test_disjoint_worker_counts_fail(self):
+        failures, _ = checker.compare(
+            dist_doc({"8": 3.2}), dist_doc({"2": 1.3}), 0.20
+        )
+        assert failures
+        assert "no shared metrics" in failures[0]
+
+    def test_empty_baseline_fails(self):
+        failures, _ = checker.compare(
+            {"schema": "repro.bench.core/v1", "speedup": {}},
+            core_doc(3.0),
+            0.20,
+        )
+        assert failures
+        assert "no comparable" in failures[0]
+
+
+class TestMain:
+    def test_regression_exits_nonzero(self, tmp_path):
+        code = checker.main(
+            [
+                write(tmp_path, "base.json", core_doc(3.0)),
+                write(tmp_path, "cur.json", core_doc(1.5)),
+            ]
+        )
+        assert code == 1
+
+    def test_pass_exits_zero(self, tmp_path):
+        code = checker.main(
+            [
+                write(tmp_path, "base.json", core_doc(3.0)),
+                write(tmp_path, "cur.json", core_doc(3.1)),
+            ]
+        )
+        assert code == 0
+
+    def test_self_test_passes_on_real_baseline(self, tmp_path):
+        code = checker.main(
+            ["--self-test", write(tmp_path, "base.json", core_doc(3.0))]
+        )
+        assert code == 0
+
+    def test_self_test_covers_dist_schema(self, tmp_path):
+        code = checker.main(
+            [
+                "--self-test",
+                write(tmp_path, "base.json", dist_doc({"2": 1.3, "8": 3.2})),
+            ]
+        )
+        assert code == 0
+
+    def test_unknown_schema_rejected(self, tmp_path):
+        with pytest.raises(SystemExit):
+            checker.main(
+                [
+                    write(tmp_path, "base.json", {"schema": "bogus/v9"}),
+                    write(tmp_path, "cur.json", core_doc(3.0)),
+                ]
+            )
+
+    def test_missing_file_rejected(self, tmp_path):
+        with pytest.raises(SystemExit):
+            checker.main(
+                [str(tmp_path / "nope.json"),
+                 write(tmp_path, "cur.json", core_doc(3.0))]
+            )
+
+    def test_bad_tolerance_rejected(self, tmp_path):
+        base = write(tmp_path, "base.json", core_doc(3.0))
+        cur = write(tmp_path, "cur.json", core_doc(3.0))
+        with pytest.raises(SystemExit):
+            checker.main([base, cur, "--tolerance", "1.5"])
+
+    def test_committed_baselines_self_test(self):
+        """The real committed baselines must keep the gate non-vacuous."""
+        repo = os.path.dirname(
+            os.path.dirname(os.path.abspath(__file__))
+        )
+        for name in ("BENCH_core.json", "BENCH_dist.json"):
+            assert checker.main(
+                ["--self-test", os.path.join(repo, name)]
+            ) == 0

@@ -123,7 +123,9 @@ class TestJsonMode:
         verbs = document["verbs"]
         assert verbs["buildafi"]["builds"][0]["config"] == "QuadCore"
         assert verbs["launchrunfarm"]["instances"] == {"f1.16xlarge": 1}
-        assert verbs["infrasetup"] == {"nodes": 2, "switches": 1}
+        assert verbs["infrasetup"] == {
+            "nodes": 2, "switches": 1, "engine": "scalar",
+        }
         assert verbs["runworkload"]["ping"]["samples"] == 2
         assert verbs["runworkload"]["ping"]["mean_rtt_us"] > 0
 

@@ -3,7 +3,7 @@
 import pytest
 
 from repro.core.token import TokenBatch, TokenWindow
-from repro.manager.runfarm import RunFarmConfig, elaborate
+from repro.manager.runfarm import elaborate
 from repro.manager.topology import single_rack, two_tier
 from repro.net.ethernet import BROADCAST_MAC, EthernetFrame, mac_address
 from repro.nic.nic import NIC, NICConfig
@@ -13,7 +13,7 @@ from repro.swmodel.apps.memcached import (
     worker_port,
 )
 from repro.swmodel.netstack import PROTO_UDP, Socket
-from repro.swmodel.process import Recv, Send
+from repro.swmodel.process import Send
 from repro.tile.caches import CacheModel, L1D_CONFIG, L2_CONFIG, MemoryHierarchy
 from repro.tile.dram import DRAMModel
 

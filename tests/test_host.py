@@ -18,7 +18,7 @@ from repro.host.perfmodel import (
     SimulationRateModel,
     SwitchPlacement,
 )
-from repro.net.transport import PCIE_EDMA, TransportSpec, TransportKind, tokens_to_bytes
+from repro.net.transport import TransportSpec, TransportKind, tokens_to_bytes
 
 
 class TestInstances:

@@ -2,7 +2,6 @@
 
 import pytest
 
-from repro.host.fpga import SUPERNODE_FPGA
 from repro.manager.mapper import (
     Deployment,
     HostConfig,

@@ -5,7 +5,6 @@ validating the analytic latency model's structure."""
 import pytest
 
 from repro.core.simulation import Simulation
-from repro.net.ethernet import mac_address
 from repro.pfa.memblade import (
     MemoryBladeClient,
     attach_memory_blade_server,

@@ -1,6 +1,5 @@
 """Server blade FAME-1 endpoint (repro.swmodel.server)."""
 
-import pytest
 
 from repro.core.token import TokenBatch, TokenWindow
 from repro.swmodel.process import Compute

@@ -5,7 +5,6 @@ from hypothesis import assume, given, settings, strategies as st
 
 from repro.core.fame import Fame1Model, NullModel
 from repro.core.simulation import Simulation
-from repro.core.token import Flit
 from repro.net.ethernet import EthernetFrame, mac_address
 from repro.net.switch import SwitchConfig, SwitchModel
 

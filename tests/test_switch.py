@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.core.token import Flit, TokenBatch, TokenWindow
+from repro.core.token import TokenBatch, TokenWindow
 from repro.net.ethernet import BROADCAST_MAC, EthernetFrame, mac_address
 from repro.net.switch import SwitchConfig, SwitchModel
 

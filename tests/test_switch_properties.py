@@ -1,6 +1,5 @@
 """Property-based tests on the switch model's invariants."""
 
-import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.core.token import TokenBatch, TokenWindow

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.tile.tilelink import BEAT_BYTES, TileLinkBus
+from repro.tile.tilelink import TileLinkBus
 
 
 class TestTileLinkBus:

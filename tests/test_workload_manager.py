@@ -28,7 +28,7 @@ class TestWorkloadSpec:
         manager = FireSimManager(single_rack(2))
         manager.buildafi()
         manager.launchrunfarm()
-        sim = manager.infrasetup()
+        manager.infrasetup()
         spec = WorkloadSpec("w").add_job(5, "ghost", compute_job)
         with pytest.raises(ValueError, match="nonexistent node"):
             manager.runworkload(spec)
