@@ -20,6 +20,16 @@ varies with the CI machine:
   only one document are ignored; measured dist speedups are skipped
   entirely because a shared-core container measures transport overhead,
   not scaling.
+* ``repro.bench.dist/v2`` — ``speedup.modeled`` per transport per
+  worker count under the usual relative tolerance, plus
+  ``speedup.shm_over_pipe_measured`` (the pipe/shm ratio of measured
+  per-round transport overhead — both transports tick identical models
+  on the same host, so the ratio isolates the transport substrate).
+  The measured ratio's magnitude still shifts with host load and run
+  length, so it is exempt from the baseline-relative band and gated on
+  an *absolute* floor instead (``SHM_OVER_PIPE_FLOOR``, applied at
+  2 workers): the shm transport must stay at least that much cheaper
+  per round than pipes regardless of what the baseline recorded.
 
 Ratios *above* ``baseline * (1 + tolerance)`` print a warning asking
 for a baseline refresh but do not fail the build.
@@ -40,7 +50,18 @@ import sys
 
 DEFAULT_TOLERANCE = 0.20
 
-KNOWN_SCHEMAS = ("repro.bench.core/v1", "repro.bench.dist/v1")
+KNOWN_SCHEMAS = (
+    "repro.bench.core/v1",
+    "repro.bench.dist/v1",
+    "repro.bench.dist/v2",
+)
+
+#: Absolute floor on the measured 2-worker shm-over-pipe transport
+#: overhead ratio: the shared-memory ring must move a round's tokens at
+#: least this much cheaper than the mp.Queue pipe, or the zero-copy
+#: transport has regressed to the point of pointlessness.
+SHM_OVER_PIPE_FLOOR = 1.5
+SHM_OVER_PIPE_METRIC = "speedup.shm_over_pipe_measured[2]"
 
 
 def fail(message):
@@ -71,12 +92,31 @@ def extract_ratios(document):
         if not isinstance(ratio, (int, float)):
             return {}
         return {"speedup.batched_over_scalar": float(ratio)}
-    # repro.bench.dist/v1: one modeled ratio per worker count.
-    return {
-        f"speedup.modeled[{workers}]": float(ratio)
-        for workers, ratio in sorted(speedup.get("modeled", {}).items())
-        if isinstance(ratio, (int, float))
-    }
+    if schema == "repro.bench.dist/v1":
+        # One modeled ratio per worker count.
+        return {
+            f"speedup.modeled[{workers}]": float(ratio)
+            for workers, ratio in sorted(speedup.get("modeled", {}).items())
+            if isinstance(ratio, (int, float))
+        }
+    # repro.bench.dist/v2: modeled ratios nest per transport, and the
+    # measured shm-over-pipe overhead ratio is comparable because both
+    # sides of it ran on the same host.
+    ratios = {}
+    for transport, per_workers in sorted(speedup.get("modeled", {}).items()):
+        for workers, ratio in sorted(per_workers.items()):
+            if isinstance(ratio, (int, float)):
+                ratios[f"speedup.modeled[{transport}][{workers}]"] = float(
+                    ratio
+                )
+    for workers, ratio in sorted(
+        speedup.get("shm_over_pipe_measured", {}).items()
+    ):
+        if isinstance(ratio, (int, float)):
+            ratios[f"speedup.shm_over_pipe_measured[{workers}]"] = float(
+                ratio
+            )
+    return ratios
 
 
 def compare(baseline, current, tolerance):
@@ -104,6 +144,12 @@ def compare(baseline, current, tolerance):
         )
     failures, warnings = [], []
     for metric in shared:
+        if metric.startswith("speedup.shm_over_pipe_measured"):
+            # Measured transport ratios shift with host load and run
+            # length (CI's --quick runs are shorter than the committed
+            # baseline), so they skip the baseline-relative band; the
+            # absolute floor below is their gate.
+            continue
         base, cur = base_ratios[metric], cur_ratios[metric]
         floor = base * (1.0 - tolerance)
         ceiling = base * (1.0 + tolerance)
@@ -122,6 +168,23 @@ def compare(baseline, current, tolerance):
                 f"check_bench_regression: OK: {metric}: {cur:.3f} within "
                 f"{tolerance:.0%} of baseline {base:.3f}"
             )
+    # The 2-worker shm-over-pipe overhead ratio also has an absolute
+    # floor: a baseline refresh must never quietly ratify a shm
+    # transport that stopped beating pipes.
+    shm_ratio = cur_ratios.get(SHM_OVER_PIPE_METRIC)
+    if shm_ratio is not None:
+        if shm_ratio < SHM_OVER_PIPE_FLOOR:
+            failures.append(
+                f"{SHM_OVER_PIPE_METRIC}: {shm_ratio:.3f} is below the "
+                f"absolute floor {SHM_OVER_PIPE_FLOOR} — the shm "
+                "transport no longer beats pipes by the required margin"
+            )
+        else:
+            print(
+                f"check_bench_regression: OK: {SHM_OVER_PIPE_METRIC}: "
+                f"{shm_ratio:.3f} clears the absolute floor "
+                f"{SHM_OVER_PIPE_FLOOR}"
+            )
     return failures, warnings
 
 
@@ -133,10 +196,24 @@ def scale_ratios(document, factor):
         speedup["batched_over_scalar"] = (
             speedup.get("batched_over_scalar", 0.0) * factor
         )
-    else:
+    elif scaled["schema"] == "repro.bench.dist/v1":
         speedup["modeled"] = {
             workers: ratio * factor
             for workers, ratio in speedup.get("modeled", {}).items()
+        }
+    else:
+        speedup["modeled"] = {
+            transport: {
+                workers: ratio * factor
+                for workers, ratio in per_workers.items()
+            }
+            for transport, per_workers in speedup.get("modeled", {}).items()
+        }
+        speedup["shm_over_pipe_measured"] = {
+            workers: ratio * factor
+            for workers, ratio in speedup.get(
+                "shm_over_pipe_measured", {}
+            ).items()
         }
     return scaled
 
@@ -155,6 +232,22 @@ def self_test(baseline, tolerance):
     failures, warnings = compare(baseline, unchanged, tolerance)
     if failures or warnings:
         fail(f"self-test: identical ratios flagged: {failures + warnings}")
+    if baseline["schema"] == "repro.bench.dist/v2":
+        # The absolute shm-over-pipe floor must hold even when baseline
+        # and current agree (a stale-baseline refresh cannot ratify a
+        # regressed transport): degrade BOTH documents' shm ratio below
+        # the floor and the comparison must still fail.
+        sunk = copy.deepcopy(baseline)
+        ratios = sunk.get("speedup", {}).get("shm_over_pipe_measured", {})
+        if "2" in ratios:
+            ratios["2"] = SHM_OVER_PIPE_FLOOR - 0.1
+            failures, _ = compare(sunk, copy.deepcopy(sunk), tolerance)
+            if not failures:
+                fail(
+                    "self-test: shm-over-pipe ratio below the absolute "
+                    f"floor {SHM_OVER_PIPE_FLOOR} was NOT flagged when "
+                    "baseline and current agree"
+                )
     print(
         "check_bench_regression: self-test OK "
         f"(synthetic {1.0 - tolerance - 0.1:.2f}x slowdown flagged, "

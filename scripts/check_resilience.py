@@ -19,7 +19,13 @@ enabled — and checks that:
   of 0 with an empty --telemetry-out directory is a silent failure,
   not a pass;
 * a session whose retry budget is exhausted exits non-zero with a
-  one-line error.
+  one-line error;
+* distributed sessions over BOTH transports (``--transport pipe`` and
+  ``--transport shm``) reproduce the serial session's ping results
+  exactly — including a chaos run that crashes a worker mid-flight over
+  shm — and ``/dev/shm`` holds no repro ring segments afterwards (the
+  listing is snapshotted before and after, so a leak in any teardown
+  path fails the build).
 
 Exits non-zero with a message on the first violation; prints a one-line
 summary on success.  Intended for CI smoke tests — stdlib + repro only.
@@ -35,6 +41,7 @@ sys.path.insert(
     0, os.path.join(os.path.dirname(os.path.dirname(__file__)), "src")
 )
 
+from repro.dist.shm import SEGMENT_PREFIX, leaked_segments  # noqa: E402
 from repro.manager.cli import main  # noqa: E402
 
 PLAN = {
@@ -71,6 +78,14 @@ def run_session(extra=()):
     if code != 0:
         fail(f"session exited {code}: {err.strip()}")
     return json.loads(out)["verbs"]
+
+
+def shm_listing():
+    """Current ``/dev/shm`` entries (empty set where unsupported)."""
+    try:
+        return set(os.listdir("/dev/shm"))
+    except OSError:
+        return set()
 
 
 def main_check():
@@ -128,6 +143,58 @@ def main_check():
         ):
             fail("fault log differs between identical chaos runs")
 
+        # Distributed smoke, both transports: the process boundary and
+        # the transport substrate must change nothing observable.
+        shm_before = shm_listing()
+        for transport in ("pipe", "shm"):
+            dist = run_session(
+                ["--workers", "2", "--fpgas-per-instance", "1",
+                 "--transport", transport]
+            )
+            summary = dist["runworkload"]["distributed"]
+            if summary["transport"] != transport:
+                fail(
+                    f"requested --transport {transport} but the run used "
+                    f"{summary['transport']!r}"
+                )
+            if summary["channels"] < 1:
+                fail(f"{transport} run reports no channels")
+            if dist["runworkload"]["ping"] != clean["runworkload"]["ping"]:
+                fail(
+                    f"{transport} distributed ping "
+                    f"{dist['runworkload']['ping']} != serial "
+                    f"{clean['runworkload']['ping']}"
+                )
+
+        # Chaos over shm: a worker crash mid-run tears down through the
+        # same path as a clean exit, so recovery stays cycle-exact and
+        # no ring segment survives the crash.
+        dist_faulted = run_session(
+            chaos + ["--workers", "2", "--fpgas-per-instance", "1",
+                     "--transport", "shm"]
+        )
+        if dist_faulted["runworkload"]["ping"] != (
+            clean["runworkload"]["ping"]
+        ):
+            fail("faulted shm distributed run diverged from serial ping")
+        if dist_faulted["status"]["resilience"]["restores"] != 1:
+            fail(
+                "faulted shm distributed run expected 1 restore, got "
+                f"{dist_faulted['status']['resilience']['restores']}"
+            )
+
+        # Leak check: /dev/shm before vs after the distributed sessions.
+        leaks = leaked_segments()
+        if leaks:
+            fail(f"leaked /dev/shm ring segments: {leaks}")
+        new_rings = sorted(
+            name
+            for name in shm_listing() - shm_before
+            if name.startswith(SEGMENT_PREFIX)
+        )
+        if new_rings:
+            fail(f"/dev/shm grew ring segments: {new_rings}")
+
         # Exhausted retry budgets surface as a clean non-zero exit.
         stubborn = os.path.join(tmp, "stubborn.json")
         with open(stubborn, "w") as fh:
@@ -147,7 +214,8 @@ def main_check():
     print(
         f"check_resilience: OK ({resilience['faults_injected']} faults, "
         f"{resilience['retries']} retries, "
-        f"{resilience['restores']} restore, cycle-exact recovery)"
+        f"{resilience['restores']} restore, cycle-exact recovery; "
+        "pipe+shm distributed runs serial-exact, /dev/shm leak-free)"
     )
     return 0
 

@@ -13,6 +13,9 @@ instances:
   latency priming and gap semantics bit-for-bit;
 * :mod:`repro.dist.worker` — the per-process shard round loop,
   lockstepped purely by token exchange;
+* :mod:`repro.dist.shm` — zero-copy shared-memory ring transport
+  between worker pairs (:class:`ShmRing`), selected with
+  ``transport="shm"``;
 * :mod:`repro.dist.engine` — fork workers, watch for crashes, merge
   shard counters back (:func:`run_distributed`).
 
@@ -29,17 +32,33 @@ from repro.dist.partition import (
     plan_from_assignment,
     plan_partitions,
 )
-from repro.dist.remote_link import RemoteAttachment, deliver
-from repro.dist.worker import ShardContext, WorkerResult, run_shard
+from repro.dist.remote_link import (
+    LostWindow,
+    Outbox,
+    RemoteAttachment,
+    deliver,
+)
+from repro.dist.shm import ShmRing, leaked_segments
+from repro.dist.worker import (
+    PipeChannel,
+    ShardContext,
+    WorkerResult,
+    run_shard,
+)
 
 __all__ = [
     "BoundaryLink",
     "DistributedRunResult",
+    "LostWindow",
+    "Outbox",
     "PartitionPlan",
+    "PipeChannel",
     "RemoteAttachment",
     "ShardContext",
+    "ShmRing",
     "WorkerResult",
     "deliver",
+    "leaked_segments",
     "plan_from_assignment",
     "plan_partitions",
     "run_distributed",

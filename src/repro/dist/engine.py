@@ -36,20 +36,33 @@ from queue import Empty
 from time import perf_counter
 from typing import Any, Dict, List, Optional, Tuple
 
+from repro import ConfigError
 from repro.core.simulation import Simulation
 from repro.dist.partition import PartitionPlan
-from repro.dist.worker import ShardContext, WorkerResult, shard_entry
+from repro.dist.shm import DEFAULT_RING_CAPACITY, ShmRing
+from repro.dist.worker import (
+    PipeChannel,
+    ShardContext,
+    WorkerResult,
+    shard_entry,
+)
 from repro.faults.plan import WorkerCrash
-from repro.net.transport import WORKER_PIPE
+from repro.net.transport import SHM_RING, WORKER_PIPE, TransportSpec
 
-#: Pickled wire cost of one boundary batch's sparse header (measured
-#: ~95 bytes for an empty 6400-token batch, rounded up) and of one
-#: valid token (Flit plus its frame reference).  Unlike FireSim's
-#: FPGA-side transport, which ships every token uncompressed, the
-#: worker pipe moves the sparse in-memory representation — payload
-#: scales with *valid* tokens, not the quantum.
-_BATCH_WIRE_BYTES = 128
-_VALID_TOKEN_WIRE_BYTES = 64
+#: Per-transport wire cost of one boundary batch's header and of one
+#: valid token.  Unlike FireSim's FPGA-side transport, which ships
+#: every token uncompressed, both worker transports move the sparse
+#: in-memory representation — payload scales with *valid* tokens, not
+#: the quantum.  Pipe: a pickled batch header is ~95 bytes (measured,
+#: rounded up) and each token pickles with its Flit wrapper.  Shm ring:
+#: an idle window is one 29-byte entry header and each valid token is
+#: 8 raw cycle bytes plus its pickled flit payload.
+_TRANSPORT_SPEC: Dict[str, TransportSpec] = {
+    "pipe": WORKER_PIPE,
+    "shm": SHM_RING,
+}
+_BATCH_WIRE_BYTES = {"pipe": 128, "shm": 32}
+_VALID_TOKEN_WIRE_BYTES = {"pipe": 64, "shm": 72}
 
 #: How long the parent waits between liveness sweeps of the workers.
 _POLL_INTERVAL_S = 0.2
@@ -71,6 +84,12 @@ class DistributedRunResult:
     wall_seconds: float
     workers: List[WorkerResult] = field(default_factory=list)
     boundary_link_count: int = 0
+    #: Transport that actually carried the boundary tokens ("pipe" or
+    #: "shm") — may differ from the requested one after a fallback.
+    transport: str = "pipe"
+    #: Directed channels built for the run (queues or rings) — one per
+    #: worker pair that actually shares boundary links.
+    channel_count: int = 0
 
     @property
     def cycles(self) -> int:
@@ -92,19 +111,21 @@ class DistributedRunResult:
     # -- critical-path model ---------------------------------------------
     #
     # On a host with one core per worker, a round takes as long as its
-    # slowest worker: that worker's model-tick time plus its WORKER_PIPE
-    # transport cost.  The latency is charged ONCE per round, not per
-    # peer: every mp.Queue owns its own feeder thread, so a worker's
-    # sends to different peers pickle and fly in parallel, and the
-    # receiver only ever blocks on the slowest in-flight hop.  The
-    # bandwidth term uses the *actual* wire payload — batches ship in
-    # their sparse representation, so bytes scale with valid tokens
-    # carried, not with the quantum (see _BATCH_WIRE_BYTES above).  The
-    # serial engine's round is the *sum* of all tick times with no
-    # transport.  Both sides are derived from the same measured
-    # per-model host seconds, so the modeled speedup isolates the
-    # partitioning benefit from this container's core count — the same
-    # technique repro.host.perfmodel uses for the Figure 8 curves.
+    # slowest worker: that worker's model-tick time plus the transport
+    # cost of the hop that carried its boundary tokens (WORKER_PIPE or
+    # SHM_RING, matching the run's actual transport).  The latency is
+    # charged ONCE per round, not per peer: pipe sends to different
+    # peers pickle and fly on parallel feeder threads, and shm sends
+    # are non-blocking ring publishes, so the receiver only ever blocks
+    # on the slowest in-flight hop.  The bandwidth term uses the
+    # *actual* wire payload — batches ship in their sparse
+    # representation, so bytes scale with valid tokens carried, not
+    # with the quantum (see _BATCH_WIRE_BYTES above).  The serial
+    # engine's round is the *sum* of all tick times with no transport.
+    # Both sides are derived from the same measured per-model host
+    # seconds, so the modeled speedup isolates the partitioning benefit
+    # from this container's core count — the same technique
+    # repro.host.perfmodel uses for the Figure 8 curves.
 
     def _measured_tick_seconds(self) -> Optional[Dict[int, float]]:
         if not self.workers or self.rounds == 0:
@@ -116,17 +137,18 @@ class DistributedRunResult:
             for w in self.workers
         }
 
-    def _pipe_seconds_per_round(self, worker: WorkerResult) -> float:
+    def _transport_seconds_per_round(self, worker: WorkerResult) -> float:
         if worker.peer_count == 0 or self.rounds == 0:
             return 0.0
+        spec = _TRANSPORT_SPEC[self.transport]
         valid_per_round = worker.boundary_valid_tokens / self.rounds
         wire_bytes = (
-            worker.boundary_link_count * _BATCH_WIRE_BYTES
-            + valid_per_round * _VALID_TOKEN_WIRE_BYTES
+            worker.boundary_link_count * _BATCH_WIRE_BYTES[self.transport]
+            + valid_per_round * _VALID_TOKEN_WIRE_BYTES[self.transport]
         )
         return (
-            WORKER_PIPE.one_way_latency_s
-            + wire_bytes / WORKER_PIPE.bandwidth_bytes_per_s
+            spec.one_way_latency_s
+            + wire_bytes / spec.bandwidth_bytes_per_s
         )
 
     def modeled_round_seconds(self) -> Optional[Dict[int, float]]:
@@ -136,9 +158,24 @@ class DistributedRunResult:
             return None
         return {
             w.worker_id: ticks[w.worker_id] / self.rounds
-            + self._pipe_seconds_per_round(w)
+            + self._transport_seconds_per_round(w)
             for w in self.workers
         }
+
+    def measured_transport_seconds(self) -> Dict[str, float]:
+        """Host seconds all workers spent in transport calls (measured runs).
+
+        ``send`` covers serialize + enqueue/publish, ``recv`` covers
+        dequeue/spin + decode; ``per_round`` is the mean of their sum
+        over workers and rounds — the number the benches compare across
+        transports.
+        """
+        send = sum(w.transport_send_seconds for w in self.workers)
+        recv = sum(w.transport_recv_seconds for w in self.workers)
+        per_round = 0.0
+        if self.rounds and self.workers:
+            per_round = (send + recv) / self.rounds / len(self.workers)
+        return {"send": send, "recv": recv, "per_round": per_round}
 
     def modeled_rate_mhz(self) -> Optional[float]:
         """Modeled distributed rate: quantum over the slowest worker's round."""
@@ -175,6 +212,9 @@ class DistributedRunResult:
             "cycles": self.cycles,
             "rounds": self.rounds,
             "boundary_links": self.boundary_link_count,
+            "transport": self.transport,
+            "channels": self.channel_count,
+            "transport_seconds": self.measured_transport_seconds(),
             "wall_seconds": self.wall_seconds,
             "measured_rate_mhz": self.measured_rate_mhz(),
             "per_worker_rate_mhz": {
@@ -190,14 +230,58 @@ class DistributedRunResult:
         return out
 
 
-def _directed_pairs(
+def _directed_pair_links(
     plan: PartitionPlan, simulation: Simulation
-) -> List[Tuple[int, int]]:
-    pairs = set()
+) -> Dict[Tuple[int, int], int]:
+    """Boundary-link count per *directed* worker pair.
+
+    Channels are only built for pairs that actually share at least one
+    boundary link — a pair with zero links would get a queue/ring that
+    no round ever touches, costing a feeder thread or a mapped segment
+    for nothing.
+    """
+    pairs: Dict[Tuple[int, int], int] = {}
     for boundary in plan.boundaries(simulation):
-        pairs.add((boundary.worker_a, boundary.worker_b))
-        pairs.add((boundary.worker_b, boundary.worker_a))
-    return sorted(pairs)
+        forward = (boundary.worker_a, boundary.worker_b)
+        reverse = (boundary.worker_b, boundary.worker_a)
+        pairs[forward] = pairs.get(forward, 0) + 1
+        pairs[reverse] = pairs.get(reverse, 0) + 1
+    return pairs
+
+
+def _build_channels(
+    pairs: Dict[Tuple[int, int], int],
+    transport: str,
+    context: Any,
+    shm_capacity: int,
+) -> Tuple[Dict[Tuple[int, int], Any], List[ShmRing], str]:
+    """One channel per directed pair, honoring the requested transport.
+
+    Returns ``(channels, rings, transport_used)``.  A host that cannot
+    provide POSIX shared memory (no ``/dev/shm``, or permission denied)
+    degrades to the pipe transport instead of failing the run — the
+    caller records the substitution in the result's ``transport``.
+    """
+    if transport == "shm":
+        rings: List[ShmRing] = []
+        try:
+            channels: Dict[Tuple[int, int], Any] = {}
+            for src, dst in sorted(pairs):
+                ring = ShmRing.create(src, dst, capacity=shm_capacity)
+                rings.append(ring)
+                channels[(src, dst)] = ring
+            return channels, rings, "shm"
+        except OSError:
+            for ring in rings:
+                ring.destroy()
+    return (
+        {
+            (src, dst): PipeChannel(context.Queue(), src, dst)
+            for src, dst in sorted(pairs)
+        },
+        [],
+        "pipe",
+    )
 
 
 def _merge_results(
@@ -234,6 +318,8 @@ def run_distributed(
     target_cycle: int,
     *,
     measure: bool = False,
+    transport: str = "pipe",
+    shm_capacity: int = DEFAULT_RING_CAPACITY,
 ) -> DistributedRunResult:
     """Advance ``simulation`` to ``target_cycle`` across forked workers.
 
@@ -244,10 +330,24 @@ def run_distributed(
     worker; a hook that fires in a worker kills that worker and
     surfaces here as :class:`~repro.faults.plan.WorkerCrash`.
 
+    ``transport`` selects how boundary tokens cross process boundaries:
+    ``"pipe"`` (the ``mp.Queue`` oracle, default) or ``"shm"``
+    (:class:`~repro.dist.shm.ShmRing` zero-copy rings — same bits,
+    less host time).  A host without usable POSIX shared memory falls
+    back to pipes; the result's ``transport`` field records what
+    actually ran.  Ring segments are created pre-fork and unlinked in
+    this function's ``finally``, so normal completion, worker crashes,
+    and checkpoint-restore reruns all leave ``/dev/shm`` clean.
+
     Requires a platform with the ``fork`` start method (Linux): workers
     must inherit the elaborated simulation by memory image, because
     model closures (workload jobs) are not picklable.
     """
+    if transport not in _TRANSPORT_SPEC:
+        raise ConfigError(
+            f"unknown transport {transport!r}; expected one of "
+            f"{sorted(_TRANSPORT_SPEC)}"
+        )
     plan.validate_against(simulation)
     simulation.start()
     start_cycle = simulation.current_cycle
@@ -260,10 +360,14 @@ def run_distributed(
             rounds=0,
             wall_seconds=0.0,
             boundary_link_count=len(plan.boundaries(simulation)),
+            transport=transport,
         )
 
     context = multiprocessing.get_context("fork")
-    queues = {pair: context.Queue() for pair in _directed_pairs(plan, simulation)}
+    pairs = _directed_pair_links(plan, simulation)
+    channels, rings, transport_used = _build_channels(
+        pairs, transport, context, shm_capacity
+    )
     result_queue = context.Queue()
     shard_context = ShardContext(
         simulation=simulation,
@@ -271,24 +375,24 @@ def run_distributed(
         target_cycle=target_cycle,
         quantum=simulation.quantum,
         measure=measure,
-        queues=queues,
+        channels=channels,
         result_queue=result_queue,
     )
 
     wall_start = perf_counter()
     processes: Dict[int, Any] = {}
-    for worker_id in range(plan.num_workers):
-        process = context.Process(
-            target=shard_entry,
-            args=(shard_context, worker_id),
-            name=f"repro-dist-w{worker_id}",
-        )
-        process.start()
-        processes[worker_id] = process
-
     results: Dict[int, WorkerResult] = {}
     failure: Optional[Tuple[int, Optional[int], str]] = None
     try:
+        for worker_id in range(plan.num_workers):
+            process = context.Process(
+                target=shard_entry,
+                args=(shard_context, worker_id),
+                name=f"repro-dist-w{worker_id}",
+            )
+            process.start()
+            processes[worker_id] = process
+
         while len(results) < plan.num_workers and failure is None:
             try:
                 message = result_queue.get(timeout=_POLL_INTERVAL_S)
@@ -320,6 +424,11 @@ def run_distributed(
                     process.terminate()
         for process in processes.values():
             process.join(timeout=_JOIN_TIMEOUT_S)
+        # The one teardown path for ring segments: normal exit, worker
+        # crash, and the manager's checkpoint-restore rerun all come
+        # through here, so /dev/shm never accumulates segments.
+        for ring in rings:
+            ring.destroy()
 
     if failure is not None:
         worker_id, at_cycle, detail = failure
@@ -350,4 +459,6 @@ def run_distributed(
         wall_seconds=wall_seconds,
         workers=ordered,
         boundary_link_count=len(plan.boundaries(simulation)),
+        transport=transport_used,
+        channel_count=len(channels),
     )

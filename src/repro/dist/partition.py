@@ -46,10 +46,10 @@ class BoundaryLink:
     latency: int
     worker_a: int  # worker owning the side-"a" model
     worker_b: int  # worker owning the side-"b" model
-
-    @property
-    def transport(self) -> TransportKind:
-        return TransportKind.PIPE
+    #: Host transport carrying this link's tokens.  The plan is
+    #: transport-agnostic (the same partitioning serves both); the run
+    #: driver stamps the hop that actually ran.
+    transport: TransportKind = TransportKind.PIPE
 
 
 @dataclass(frozen=True)
@@ -137,8 +137,17 @@ class PartitionPlan:
                 )
         return out
 
-    def describe(self, simulation: Optional[Simulation] = None) -> Dict[str, Any]:
-        """A JSON-friendly summary for ``status`` output and telemetry."""
+    def describe(
+        self,
+        simulation: Optional[Simulation] = None,
+        transport: str = TransportKind.PIPE.value,
+    ) -> Dict[str, Any]:
+        """A JSON-friendly summary for ``status`` output and telemetry.
+
+        ``transport`` names the worker-to-worker hop the boundary links
+        ride ("pipe" or "shm"); callers that ran distributed pass the
+        transport the run actually used, fallback included.
+        """
         shards: List[Dict[str, Any]] = []
         for worker in range(self.num_workers):
             models = sorted(
@@ -155,7 +164,7 @@ class PartitionPlan:
         if simulation is not None:
             boundaries = self.boundaries(simulation)
             summary["boundary_links"] = [b.name for b in boundaries]
-            summary["boundary_transport"] = TransportKind.PIPE.value
+            summary["boundary_transport"] = transport
         return summary
 
 

@@ -38,6 +38,79 @@ from repro.core.token import TokenBatch
 WireEntry = Tuple[int, Any]
 
 
+class LostWindow:
+    """A window whose payload was lost in transit (fault injection).
+
+    Carries only the cycle extent; :func:`deliver` turns it into a
+    consumer-side queue gap via
+    :meth:`~repro.core.channel.LinkEndpoint.mark_gap`.  Picklable, so
+    the pipe transport ships it like any other window; the shm ring
+    encodes it as a header flag instead (:mod:`repro.dist.shm`).
+    """
+
+    __slots__ = ("start_cycle", "length")
+
+    def __init__(self, start_cycle: int, length: int) -> None:
+        self.start_cycle = start_cycle
+        self.length = length
+
+    @property
+    def end_cycle(self) -> int:
+        return self.start_cycle + self.length
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"LostWindow(start={self.start_cycle}, len={self.length})"
+
+
+class Outbox:
+    """One peer's outgoing wire entries for the round in progress.
+
+    Attachments append; the transport *drains* — :meth:`drain` hands
+    the accumulated list over by reference and replaces it, so neither
+    transport copies batch contents.  The shm ring serializes entries
+    synchronously inside ``send`` and the pipe transport hands the
+    drained list (which nothing mutates afterwards — shipped windows
+    are immutable once relabelled) to ``mp.Queue``'s feeder thread,
+    eliminating the defensive per-round ``list(outbox)`` copy the
+    queue transport used to make.
+    """
+
+    __slots__ = ("entries",)
+
+    def __init__(self) -> None:
+        self.entries: List[WireEntry] = []
+
+    def append(self, entry: WireEntry) -> None:
+        self.entries.append(entry)
+
+    def drain(self) -> List[WireEntry]:
+        entries = self.entries
+        self.entries = []
+        return entries
+
+    def lose_tail(self) -> int:
+        """Replace the newest pending entry's payload with a gap marker.
+
+        The transport-loss fault hook for boundary links: the window
+        still occupies its cycle extent on the wire (so later windows
+        stay contiguous at the consumer) but arrives as a
+        :class:`LostWindow`.  Returns the number of tokens lost, like
+        :meth:`~repro.core.channel.Link.lose_in_flight`.
+        """
+        if not self.entries:
+            return 0
+        link_index, window = self.entries[-1]
+        if isinstance(window, LostWindow):
+            return 0
+        self.entries[-1] = (
+            link_index, LostWindow(window.start_cycle, window.length)
+        )
+        return window.length
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+
 class RemoteAttachment:
     """A boundary port's attachment: local consume, remote transmit.
 
@@ -55,7 +128,7 @@ class RemoteAttachment:
         link: Link,
         side: str,
         link_index: int,
-        outbox: List[WireEntry],
+        outbox: Outbox,
     ) -> None:
         if side not in ("a", "b"):
             raise ValueError(f"side must be 'a' or 'b', got {side!r}")
@@ -114,7 +187,12 @@ def deliver(link: Link, consumer_side: str, batch: Any) -> None:
     or a stream (see :data:`WireEntry`); the endpoint's own contiguity
     check rejects any reordered or dropped-and-resumed delivery, so
     transport bugs surface as loud errors rather than silent timing
-    skew.
+    skew.  A :class:`LostWindow` never enqueues — it becomes a queue
+    gap, preserving the fault model's starve-at-the-hole semantics
+    across the process boundary.
     """
     endpoint = link.to_a if consumer_side == "a" else link.to_b
-    endpoint.push(batch)
+    if isinstance(batch, LostWindow):
+        endpoint.mark_gap(batch.start_cycle, batch.end_cycle)
+    else:
+        endpoint.push(batch)

@@ -1,0 +1,472 @@
+"""Zero-copy shared-memory ring transport between worker processes.
+
+The pipe transport pays for every boundary window three times: the
+producer pickles it on an ``mp.Queue`` feeder thread, the kernel copies
+it through a pipe, and the consumer unpickles it.  On the sparse ping
+workloads that dominate our benchmarks most windows are *idle*, yet the
+pipe still ships a full pickled ``TokenBatch`` per link per round.
+
+:class:`ShmRing` replaces that with one ``multiprocessing.shared_memory``
+segment per directed worker pair, laid out as a byte ring with two
+monotonic cursors (Switchboard-style single-producer single-consumer
+queues; Herbst et al., 2024):
+
+* bytes ``[0, 8)``  — write cursor: total bytes ever published;
+* bytes ``[8, 16)`` — read cursor: total bytes ever consumed;
+* bytes ``[16, 16 + capacity)`` — the data ring.
+
+The producer copies a message into the ring *first* and publishes the
+write cursor *after* (payload-then-publish), so a reader that observes
+``write - read >= n`` may safely copy ``n`` bytes out.  Cursors are
+aligned 8-byte stores through a numpy view of the mapped segment —
+atomic on every platform CPython runs multiprocessing on — and each
+side only ever writes its own cursor, so no locks are needed.
+
+Message arrival is signalled through a per-ring POSIX semaphore (one
+post per published message, one wait per consumed one): workers
+outnumber cores on CI containers, so a reader that merely spun on the
+write cursor would steal the very CPU its peer needs to produce the
+message — the futex puts it to sleep for free and wakes it the moment
+the publish lands.  Only the *interior* waits — mid-message streaming
+and ring-full backpressure, both rare — spin, with adaptive backoff
+that falls to ``sched_yield`` almost immediately for the same reason.
+
+Lockstep makes the sizing easy: a worker entering round ``r`` has
+already consumed its peers' round ``r - 1`` messages, so at most one
+round of traffic is ever in flight per direction and the default
+1 MiB ring never fills on realistic topologies.  When a message *is*
+larger than the ring (a worst-case dense window), the writer streams
+it through in chunks while the reader drains — ring-full is
+backpressure, not an error.
+
+Wire format, per round and per directed pair::
+
+    round header:  round_tag (i64) | entry_count (i32) | payload_bytes (i64)
+    entry header:  link_index (i32) | kind (u8) | start_cycle (i64)
+                   | length (i64) | valid_count (i32) | flit_bytes (i32)
+    entry payload: valid_count * 8 bytes of int64 cycles (vectorized
+                   copy straight from the TokenStream's cycle column),
+                   then ``flit_bytes`` of pickled flit payload list.
+
+``kind`` encodes the window's gap semantics in the header so
+fault-injection paths survive the transport swap: ``DATA`` carries
+valid tokens, ``IDLE`` is a header-only empty window (the common case
+— no pickling at all), and ``LOST`` marks a window dropped in transit,
+which the consumer turns into a queue gap exactly as
+:meth:`~repro.core.channel.LinkEndpoint.discard_tail` would.
+
+Flit payloads are arbitrary Python objects (Ethernet frames), so they
+still serialize through ``pickle``; "zero-copy" buys the cycle column
+(one vectorized copy into the ring) and the idle windows (29 header
+bytes, no object traffic), which together are nearly all of the
+per-round wire cost.
+
+Segments are created by the parent *before* forking, inherited by the
+workers as mapped memory, and unlinked by the parent in the run
+driver's ``finally`` — normal exit, worker crash, and
+checkpoint-restore all tear down through that one path, so nothing
+leaks into ``/dev/shm`` (``tests/test_dist_shm.py`` and
+``scripts/check_resilience.py`` enforce this).
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import pickle
+import struct
+import time
+from multiprocessing import shared_memory
+from typing import Any, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.channel import TokenStarvationError
+from repro.core.token import TokenBatch
+from repro.dist.remote_link import LostWindow
+from repro.perf.stream import TokenStream
+
+__all__ = [
+    "DEFAULT_RING_CAPACITY",
+    "SEGMENT_PREFIX",
+    "ShmRing",
+    "leaked_segments",
+]
+
+#: Per-direction ring capacity.  One round of sparse boundary traffic is
+#: a few hundred bytes; 1 MiB absorbs dense windows without streaming.
+DEFAULT_RING_CAPACITY = 1 << 20
+
+#: ``/dev/shm`` names all start with this, so leak checks can tell our
+#: segments from unrelated tenants of the same host.
+SEGMENT_PREFIX = "repro-ring-"
+
+_CURSOR_BYTES = 16
+
+# Entry kinds: the header bits that carry window semantics.
+_DATA = 0  # valid tokens follow (cycles + pickled flits)
+_IDLE = 1  # empty window, header only
+_LOST = 2  # window lost in transit: consumer records a queue gap
+
+_ROUND = struct.Struct("<qiq")
+_ENTRY = struct.Struct("<iBqqii")
+
+#: Spin iterations before the first ``sched_yield``; on a shared core
+#: the peer cannot run while we spin, so this is deliberately tiny.
+_SPINS_BEFORE_YIELD = 32
+#: Yields before escalating to real sleeps (ring-full while the peer is
+#: mid-tick, or a genuinely slow round).
+_YIELDS_BEFORE_SLEEP = 2048
+_SLEEP_S = 200e-6
+
+
+class _Backoff:
+    """Adaptive wait for one cursor to move: spin, yield, then sleep."""
+
+    __slots__ = ("waits", "deadline", "ring", "what")
+
+    def __init__(self, ring: "ShmRing", what: str) -> None:
+        self.waits = 0
+        self.deadline = time.monotonic() + ring.timeout_s
+        self.ring = ring
+        self.what = what
+
+    def pause(self) -> None:
+        waits = self.waits = self.waits + 1
+        if waits < _SPINS_BEFORE_YIELD:
+            return
+        if waits < _YIELDS_BEFORE_SLEEP:
+            time.sleep(0)
+            return
+        time.sleep(_SLEEP_S)
+        if time.monotonic() > self.deadline:
+            ring = self.ring
+            raise TokenStarvationError(
+                f"shm ring {ring.name} (worker {ring.src} -> "
+                f"{ring.dst}) stalled waiting for {self.what}: peer made "
+                f"no progress for {ring.timeout_s:.0f}s",
+                link_name=ring.name,
+            )
+
+    def reset(self) -> None:
+        self.waits = 0
+
+
+class ShmRing:
+    """One directed worker pair's lock-free token ring.
+
+    The parent creates rings pre-fork (:meth:`create`); both the
+    producing and consuming worker inherit the same mapped segment, so
+    :meth:`send` and :meth:`recv` need no per-side setup.  Only the
+    parent may :meth:`destroy` (close + unlink); workers merely
+    :meth:`close` their mapping on the way out.
+    """
+
+    def __init__(
+        self,
+        segment: shared_memory.SharedMemory,
+        capacity: int,
+        src: int,
+        dst: int,
+        timeout_s: float,
+        wakeup: Any = None,
+    ) -> None:
+        self._segment: Optional[shared_memory.SharedMemory] = segment
+        self.capacity = capacity
+        self.src = src
+        self.dst = dst
+        self.timeout_s = timeout_s
+        self.name = segment.name
+        # One permit per published-but-unconsumed message.  None is
+        # allowed (single-process unit tests fall back to spinning).
+        self._wakeup = wakeup
+        # Cursor views must be dropped before the segment's mmap can
+        # close; close()/destroy() handle the ordering.
+        self._cursors = np.frombuffer(
+            segment.buf, dtype=np.uint64, count=2
+        )
+        self._data = segment.buf[_CURSOR_BYTES:_CURSOR_BYTES + capacity]
+        self._stage = bytearray()
+        self._header = bytearray(_ROUND.size)
+
+    @classmethod
+    def create(
+        cls,
+        src: int,
+        dst: int,
+        capacity: int = DEFAULT_RING_CAPACITY,
+        timeout_s: float = 120.0,
+    ) -> "ShmRing":
+        """Allocate a fresh zeroed segment for the ``src -> dst`` hop.
+
+        Raises ``OSError`` when the host cannot provide POSIX shared
+        memory (read-only or absent ``/dev/shm``); the run driver
+        catches that and falls back to the pipe transport.
+        """
+        if capacity < _ROUND.size:
+            raise ValueError(f"ring capacity too small: {capacity}")
+        name = f"{SEGMENT_PREFIX}{os.getpid()}-{src}to{dst}"
+        segment = shared_memory.SharedMemory(
+            name=name, create=True, size=_CURSOR_BYTES + capacity
+        )
+        wakeup = multiprocessing.get_context("fork").Semaphore(0)
+        # A fresh segment is zero-filled, so both cursors start at 0.
+        return cls(segment, capacity, src, dst, timeout_s, wakeup)
+
+    # -- ring mechanics --------------------------------------------------
+
+    def _write(self, payload: Any) -> None:
+        """Copy ``payload`` into the ring, publishing as space allows."""
+        view = memoryview(payload)
+        if view.format != "B":
+            view = view.cast("B")
+        total = len(view)
+        capacity = self.capacity
+        cursors = self._cursors
+        data = self._data
+        write = int(cursors[0])
+        # Fast path: the whole message fits in free space right now —
+        # one or two slice copies, one cursor publish, no loop state.
+        if total <= capacity - (write - int(cursors[1])):
+            position = write % capacity
+            first = capacity - position
+            if total <= first:
+                data[position:position + total] = view
+            else:
+                data[position:position + first] = view[:first]
+                data[0:total - first] = view[first:]
+            cursors[0] = write + total  # publish after the bytes landed
+            return
+        sent = 0
+        backoff = None
+        while sent < total:
+            free = capacity - (write - int(cursors[1]))
+            if free == 0:
+                if backoff is None:
+                    backoff = _Backoff(self, "ring space")
+                backoff.pause()
+                continue
+            if backoff is not None:
+                backoff.reset()
+            chunk = min(free, total - sent)
+            position = write % capacity
+            first = min(chunk, capacity - position)
+            data[position:position + first] = view[sent:sent + first]
+            if chunk > first:
+                data[0:chunk - first] = view[sent + first:sent + chunk]
+            write += chunk
+            sent += chunk
+            cursors[0] = write  # publish only after the bytes landed
+
+    def _read(self, count: int) -> bytearray:
+        """Copy exactly ``count`` bytes out, freeing ring space as we go."""
+        out = bytearray(count)
+        capacity = self.capacity
+        cursors = self._cursors
+        data = self._data
+        read = int(cursors[1])
+        # Fast path: everything we need is already published.
+        if count <= int(cursors[0]) - read:
+            position = read % capacity
+            first = capacity - position
+            if count <= first:
+                out[:] = data[position:position + count]
+            else:
+                out[:first] = data[position:position + first]
+                out[first:] = data[0:count - first]
+            cursors[1] = read + count  # free the space for the writer
+            return out
+        filled = 0
+        backoff = None
+        while filled < count:
+            available = int(cursors[0]) - read
+            if available == 0:
+                if backoff is None:
+                    backoff = _Backoff(self, "peer tokens")
+                backoff.pause()
+                continue
+            if backoff is not None:
+                backoff.reset()
+            chunk = min(available, count - filled)
+            position = read % capacity
+            first = min(chunk, capacity - position)
+            out[filled:filled + first] = data[position:position + first]
+            if chunk > first:
+                out[filled + first:filled + chunk] = data[0:chunk - first]
+            read += chunk
+            filled += chunk
+            cursors[1] = read  # free the space for the writer
+        return out
+
+    # -- wire codec ------------------------------------------------------
+
+    def send(self, round_tag: int, entries: Sequence[Tuple[int, Any]]) -> None:
+        """Encode and publish one round's wire entries.
+
+        ``entries`` are ``(link_index, window)`` pairs in the producer's
+        own representation — ``TokenStream`` for busy batched windows,
+        ``TokenBatch`` for scalar or idle windows, ``LostWindow`` for
+        fault-injected transport loss.
+        """
+        stage = self._stage
+        del stage[:]
+        stage += self._header  # round-header placeholder, packed below
+        pack = _ENTRY.pack
+        for link_index, window in entries:
+            if type(window) is LostWindow:
+                stage += pack(
+                    link_index, _LOST, window.start_cycle, window.length, 0, 0
+                )
+                continue
+            if isinstance(window, TokenStream):
+                tokens = window.tokens
+                valid = tokens.shape[0]
+                if valid:
+                    blob = pickle.dumps(
+                        tokens["flit"].tolist(),
+                        protocol=pickle.HIGHEST_PROTOCOL,
+                    )
+                    stage += pack(
+                        link_index, _DATA, window.start_cycle,
+                        window.length, valid, len(blob),
+                    )
+                    # The cycle column leaves as one vectorized copy —
+                    # no per-token Python objects, no pickling.
+                    cycles = np.ascontiguousarray(tokens["cycle"])
+                    stage += memoryview(cycles).cast("B")
+                    stage += blob
+                else:
+                    stage += pack(
+                        link_index, _IDLE, window.start_cycle,
+                        window.length, 0, 0,
+                    )
+                continue
+            flits = window.flits
+            if flits:
+                cycles_list = sorted(flits)
+                blob = pickle.dumps(
+                    [flits[cycle] for cycle in cycles_list],
+                    protocol=pickle.HIGHEST_PROTOCOL,
+                )
+                stage += pack(
+                    link_index, _DATA, window.start_cycle, window.length,
+                    len(cycles_list), len(blob),
+                )
+                stage += np.asarray(cycles_list, dtype=np.int64).tobytes()
+                stage += blob
+            else:
+                stage += pack(
+                    link_index, _IDLE, window.start_cycle, window.length, 0, 0
+                )
+        _ROUND.pack_into(
+            stage, 0, round_tag, len(entries), len(stage) - _ROUND.size
+        )
+        wakeup = self._wakeup
+        if wakeup is None:
+            self._write(stage)
+            return
+        cursors = self._cursors
+        if len(stage) > self.capacity - int(cursors[0]) + int(cursors[1]):
+            # The message must stream through the ring: wake the reader
+            # *first* so it drains while we fill — releasing after the
+            # write would deadlock (writer waits for space, reader
+            # sleeps on the semaphore).
+            wakeup.release()
+            self._write(stage)
+        else:
+            # Common case: the write cannot block, so publish the bytes
+            # before the wakeup and the reader never spins.
+            self._write(stage)
+            wakeup.release()
+
+    def recv(self, expected_round: int) -> List[Tuple[int, Any]]:
+        """Block for one round message and decode its wire entries."""
+        wakeup = self._wakeup
+        if wakeup is not None and not wakeup.acquire(False):
+            # Sleep on the futex until the peer's publish, so the peer
+            # gets the whole core; cap the wait so a dead peer still
+            # surfaces as starvation rather than a hang.
+            deadline = time.monotonic() + self.timeout_s
+            while not wakeup.acquire(True, 1.0):
+                if time.monotonic() > deadline:
+                    raise TokenStarvationError(
+                        f"shm ring {self.name} (worker {self.src} -> "
+                        f"{self.dst}) stalled: peer published nothing "
+                        f"for {self.timeout_s:.0f}s",
+                        link_name=self.name,
+                    )
+        round_tag, entry_count, payload_bytes = _ROUND.unpack(
+            self._read(_ROUND.size)
+        )
+        if round_tag != expected_round:
+            raise TokenStarvationError(
+                f"worker {self.dst}: out-of-order token message from "
+                f"worker {self.src}: round {round_tag}, expected "
+                f"{expected_round}"
+            )
+        payload = self._read(payload_bytes)
+        entries: List[Tuple[int, Any]] = []
+        unpack = _ENTRY.unpack_from
+        offset = 0
+        for _ in range(entry_count):
+            (
+                link_index, kind, start_cycle, length, valid, flit_bytes,
+            ) = unpack(payload, offset)
+            offset += _ENTRY.size
+            window: Any
+            if kind == _IDLE:
+                window = TokenBatch(start_cycle, length)
+            elif kind == _LOST:
+                window = LostWindow(start_cycle, length)
+            else:
+                cycles = np.frombuffer(
+                    payload, dtype=np.int64, count=valid, offset=offset
+                )
+                offset += 8 * valid
+                flits = pickle.loads(
+                    memoryview(payload)[offset:offset + flit_bytes]
+                )
+                offset += flit_bytes
+                window = TokenStream.from_wire(
+                    start_cycle, length, cycles, flits
+                )
+            entries.append((link_index, window))
+        return entries
+
+    # -- lifecycle -------------------------------------------------------
+
+    def close(self) -> None:
+        """Drop this process's mapping (workers, on the way out)."""
+        segment = self._segment
+        if segment is None:
+            return
+        self._segment = None
+        # numpy/memoryview exports must die before mmap.close() or it
+        # raises BufferError during interpreter shutdown.
+        self._cursors = None  # type: ignore[assignment]
+        self._data = None  # type: ignore[assignment]
+        segment.close()
+
+    def destroy(self) -> None:
+        """Close and unlink the segment (parent only; idempotent)."""
+        segment = self._segment
+        self.close()
+        if segment is None:
+            return
+        try:
+            segment.unlink()
+        except FileNotFoundError:  # pragma: no cover - already gone
+            pass
+
+
+def leaked_segments() -> List[str]:
+    """Names of repro shared-memory segments still present on this host.
+
+    Empty on platforms without ``/dev/shm``; used by the leak checks in
+    ``tests/test_dist_shm.py`` and ``scripts/check_resilience.py``.
+    """
+    try:
+        names = os.listdir("/dev/shm")
+    except OSError:
+        return []
+    return sorted(name for name in names if name.startswith(SEGMENT_PREFIX))

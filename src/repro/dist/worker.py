@@ -34,7 +34,12 @@ from repro.core.channel import TokenStarvationError
 from repro.core.simulation import Simulation, _Attachment
 from repro.core.token import TokenWindow
 from repro.dist.partition import PartitionPlan
-from repro.dist.remote_link import RemoteAttachment, deliver
+from repro.dist.remote_link import (
+    LostWindow,
+    Outbox,
+    RemoteAttachment,
+    WireEntry,
+)
 from repro.net.switch import SwitchModel
 from repro.net.tracer import LinkTracer
 from repro.obs.trace import set_trace_sink
@@ -75,6 +80,13 @@ class WorkerResult:
     link_flits: Dict[int, Tuple[Optional[int], Optional[int]]] = field(
         default_factory=dict
     )
+    #: Host seconds this worker spent inside transport calls (populated
+    #: when measuring): ``send`` covers serialize + enqueue/publish,
+    #: ``recv`` covers dequeue/spin + decode.  Together with the round
+    #: count these give the per-round transport overhead the benches
+    #: report per transport.
+    transport_send_seconds: float = 0.0
+    transport_recv_seconds: float = 0.0
 
     @property
     def cycles(self) -> int:
@@ -86,6 +98,38 @@ class WorkerResult:
         return self.cycles / self.wall_seconds / 1e6
 
 
+class PipeChannel:
+    """The ``mp.Queue`` transport in the shm ring's send/recv shape.
+
+    ``send`` hands the *drained* entry list straight to the queue — the
+    feeder thread pickles it asynchronously, which is safe because the
+    outbox replaced its list on drain and shipped windows are immutable
+    once relabelled (no defensive copy).  ``recv`` blocks for the
+    peer's message and enforces round ordering exactly like
+    :meth:`~repro.dist.shm.ShmRing.recv`.
+    """
+
+    __slots__ = ("_queue", "src", "dst")
+
+    def __init__(self, queue: Any, src: int, dst: int) -> None:
+        self._queue = queue
+        self.src = src
+        self.dst = dst
+
+    def send(self, round_tag: int, entries: List[WireEntry]) -> None:
+        self._queue.put((round_tag, entries))
+
+    def recv(self, expected_round: int) -> List[WireEntry]:
+        round_tag, entries = self._queue.get()
+        if round_tag != expected_round:
+            raise TokenStarvationError(
+                f"worker {self.dst}: out-of-order token message from "
+                f"worker {self.src}: round {round_tag}, expected "
+                f"{expected_round}"
+            )
+        return entries
+
+
 @dataclass
 class ShardContext:
     """Everything a forked worker needs, inherited by memory image."""
@@ -95,24 +139,26 @@ class ShardContext:
     target_cycle: int
     quantum: int
     measure: bool
-    #: queues[(src, dst)] carries src's boundary output toward dst.
-    queues: Dict[Tuple[int, int], Any]
+    #: channels[(src, dst)] carries src's boundary output toward dst —
+    #: a :class:`PipeChannel` or a :class:`~repro.dist.shm.ShmRing`,
+    #: chosen by the run driver; the round loop is transport-agnostic.
+    channels: Dict[Tuple[int, int], Any]
     result_queue: Any
 
 
 def _build_attachments(
     simulation: Simulation, plan: PartitionPlan, worker_id: int
-) -> Tuple[Dict[Tuple[int, str], Any], Dict[int, List], Dict[int, str]]:
+) -> Tuple[Dict[Tuple[int, str], Any], Dict[int, Outbox], Dict[int, str]]:
     """Attachment table for one shard.
 
     Returns ``(attachments, outboxes, inbound_side)`` where
     ``attachments`` maps ``(id(model), port)`` to an attachment object,
-    ``outboxes`` maps peer worker -> outgoing wire-entry list, and
+    ``outboxes`` maps peer worker -> outgoing wire-entry holder, and
     ``inbound_side`` maps boundary link index -> the side ("a"/"b")
     whose consuming queue lives in this worker.
     """
     attachments: Dict[Tuple[int, str], Any] = {}
-    outboxes: Dict[int, List] = {}
+    outboxes: Dict[int, Outbox] = {}
     inbound_side: Dict[int, str] = {}
     for index, (link, (model_a, port_a), (model_b, port_b)) in enumerate(
         simulation.link_attachments()
@@ -125,19 +171,38 @@ def _build_attachments(
                 attachments[(id(model_b), port_b)] = _Attachment(link, "b")
             continue
         if worker_of_a == worker_id:
-            outbox = outboxes.setdefault(worker_of_b, [])
+            outbox = outboxes.get(worker_of_b)
+            if outbox is None:
+                outbox = outboxes[worker_of_b] = Outbox()
             attachments[(id(model_a), port_a)] = RemoteAttachment(
                 link, "a", index, outbox
             )
             inbound_side[index] = "a"
-            outboxes.setdefault(worker_of_b, outbox)
         elif worker_of_b == worker_id:
-            outbox = outboxes.setdefault(worker_of_a, [])
+            outbox = outboxes.get(worker_of_a)
+            if outbox is None:
+                outbox = outboxes[worker_of_a] = Outbox()
             attachments[(id(model_b), port_b)] = RemoteAttachment(
                 link, "b", index, outbox
             )
             inbound_side[index] = "b"
     return attachments, outboxes, inbound_side
+
+
+def _consumer_endpoints(
+    simulation: Simulation, inbound_side: Dict[int, str]
+) -> Dict[int, Any]:
+    """Boundary link index -> the local consuming endpoint.
+
+    Precomputed once so the round loop delivers received windows with a
+    dict lookup instead of re-deriving link and side every time (the
+    loop-free twin of :func:`~repro.dist.remote_link.deliver`).
+    """
+    links = simulation.links
+    return {
+        index: links[index].to_a if side == "a" else links[index].to_b
+        for index, side in inbound_side.items()
+    }
 
 
 def _starvation_diagnostic(
@@ -189,6 +254,8 @@ def _collect_result(
     valid_tokens_moved: int,
     wall_seconds: float,
     model_host_seconds: Dict[str, float],
+    transport_send_seconds: float = 0.0,
+    transport_recv_seconds: float = 0.0,
 ) -> WorkerResult:
     simulation = context.simulation
     plan = context.plan
@@ -205,6 +272,8 @@ def _collect_result(
         boundary_valid_tokens=boundary_valid_tokens,
         model_names=[model.name for model in shard],
         model_host_seconds=model_host_seconds,
+        transport_send_seconds=transport_send_seconds,
+        transport_recv_seconds=transport_recv_seconds,
     )
     for model in shard:
         if isinstance(model, SwitchModel):
@@ -247,19 +316,31 @@ def run_shard(context: ShardContext, worker_id: int) -> WorkerResult:
         simulation, plan, worker_id
     )
     peers = sorted(outboxes)
-    recv_queues = {
-        peer: context.queues[(peer, worker_id)] for peer in peers
+    recv_channels = {
+        peer: context.channels[(peer, worker_id)] for peer in peers
     }
-    send_queues = {
-        peer: context.queues[(worker_id, peer)] for peer in peers
+    send_channels = {
+        peer: context.channels[(worker_id, peer)] for peer in peers
     }
     if simulation.engine == "batched":
         return _run_shard_batched(
             context, worker_id, shard, attachments, outboxes,
-            inbound_side, peers, recv_queues, send_queues,
+            inbound_side, peers, recv_channels, send_channels,
         )
     hook = simulation.fault_hook
-    links = simulation.links
+
+    # Hoist every per-round dict lookup the loop would otherwise repeat:
+    # each model's (port, attachment) pairs, each boundary link's local
+    # consuming endpoint, and the per-peer channel/outbox pairings.
+    rows = []
+    for model in shard:
+        ports = [
+            (port, attachments[(id(model), port)]) for port in model.ports
+        ]
+        rows.append((model, ports, dict(ports)))
+    endpoints = _consumer_endpoints(simulation, inbound_side)
+    recv_list = [recv_channels[peer] for peer in peers]
+    send_list = [(send_channels[peer], outboxes[peer]) for peer in peers]
 
     start_cycle = simulation.current_cycle
     cycle = start_cycle
@@ -267,27 +348,29 @@ def run_shard(context: ShardContext, worker_id: int) -> WorkerResult:
     tokens_moved = 0
     valid_tokens_moved = 0
     model_host_seconds: Dict[str, float] = {}
+    transport_send_s = 0.0
+    transport_recv_s = 0.0
     wall_start = perf_counter()
     while cycle < context.target_cycle:
         if rounds > 0:
-            for peer in peers:
-                round_tag, entries = recv_queues[peer].get()
-                if round_tag != rounds - 1:
-                    raise TokenStarvationError(
-                        f"worker {worker_id}: out-of-order token message "
-                        f"from worker {peer}: round {round_tag}, expected "
-                        f"{rounds - 1}"
-                    )
-                for link_index, batch in entries:
-                    deliver(links[link_index], inbound_side[link_index], batch)
+            recv_start = perf_counter() if measure else 0.0
+            for channel in recv_list:
+                for link_index, batch in channel.recv(rounds - 1):
+                    endpoint = endpoints[link_index]
+                    if type(batch) is LostWindow:
+                        endpoint.mark_gap(batch.start_cycle, batch.end_cycle)
+                    else:
+                        endpoint.push(batch)
+            if measure:
+                transport_recv_s += perf_counter() - recv_start
         if hook is not None:
             hook(cycle, None)
         window = TokenWindow(cycle, cycle + quantum)
-        for model in shard:
+        for model, ports, attachment_of in rows:
             try:
                 inputs = {
-                    port: attachments[(id(model), port)].receive(quantum)
-                    for port in model.ports
+                    port: attachment.receive(quantum)
+                    for port, attachment in ports
                 }
             except LookupError as exc:
                 raise _starvation_diagnostic(
@@ -304,17 +387,16 @@ def run_shard(context: ShardContext, worker_id: int) -> WorkerResult:
             else:
                 outputs = model.tick(window, inputs)
             for port, batch in outputs.items():
-                attachments[(id(model), port)].transmit(batch)
+                attachment_of[port].transmit(batch)
                 tokens_moved += batch.length
                 valid_tokens_moved += batch.valid_count
             if hook is not None:
                 hook(cycle, model)
-        for peer in peers:
-            outbox = outboxes[peer]
-            # Ship a copy: mp.Queue pickles asynchronously, so the live
-            # outbox list must not be cleared under the feeder thread.
-            send_queues[peer].put((rounds, list(outbox)))
-            outbox.clear()
+        send_start = perf_counter() if measure else 0.0
+        for channel, outbox in send_list:
+            channel.send(rounds, outbox.drain())
+        if measure:
+            transport_send_s += perf_counter() - send_start
         cycle += quantum
         rounds += 1
     wall_seconds = perf_counter() - wall_start
@@ -337,6 +419,8 @@ def run_shard(context: ShardContext, worker_id: int) -> WorkerResult:
         valid_tokens_moved,
         wall_seconds,
         model_host_seconds,
+        transport_send_s,
+        transport_recv_s,
     )
 
 
@@ -345,11 +429,11 @@ def _run_shard_batched(
     worker_id: int,
     shard: List[Any],
     attachments: Dict[Tuple[int, str], Any],
-    outboxes: Dict[int, List],
+    outboxes: Dict[int, Outbox],
     inbound_side: Dict[int, str],
     peers: List[int],
-    recv_queues: Dict[int, Any],
-    send_queues: Dict[int, Any],
+    recv_channels: Dict[int, Any],
+    send_channels: Dict[int, Any],
 ) -> WorkerResult:
     """The batched-engine twin of the scalar loop in :func:`run_shard`.
 
@@ -365,29 +449,33 @@ def _run_shard_batched(
 
     simulation = context.simulation
     quantum = context.quantum
-    links = simulation.links
+    measure = context.measure
+    endpoints = _consumer_endpoints(simulation, inbound_side)
+    recv_list = [recv_channels[peer] for peer in peers]
+    send_list = [(send_channels[peer], outboxes[peer]) for peer in peers]
+    # [send_seconds, recv_seconds], mutated by the round hooks.
+    transport_seconds = [0.0, 0.0]
 
     def pre_round(cycle: int, rounds: int) -> None:
         if rounds == 0:
             return
-        for peer in peers:
-            round_tag, entries = recv_queues[peer].get()
-            if round_tag != rounds - 1:
-                raise TokenStarvationError(
-                    f"worker {worker_id}: out-of-order token message "
-                    f"from worker {peer}: round {round_tag}, expected "
-                    f"{rounds - 1}"
-                )
-            for link_index, batch in entries:
-                deliver(links[link_index], inbound_side[link_index], batch)
+        recv_start = perf_counter() if measure else 0.0
+        for channel in recv_list:
+            for link_index, batch in channel.recv(rounds - 1):
+                endpoint = endpoints[link_index]
+                if type(batch) is LostWindow:
+                    endpoint.mark_gap(batch.start_cycle, batch.end_cycle)
+                else:
+                    endpoint.push(batch)
+        if measure:
+            transport_seconds[1] += perf_counter() - recv_start
 
     def post_round(cycle: int, rounds: int) -> None:
-        for peer in peers:
-            outbox = outboxes[peer]
-            # Ship a copy: mp.Queue pickles asynchronously, so the live
-            # outbox list must not be cleared under the feeder thread.
-            send_queues[peer].put((rounds - 1, list(outbox)))
-            outbox.clear()
+        send_start = perf_counter() if measure else 0.0
+        for channel, outbox in send_list:
+            channel.send(rounds - 1, outbox.drain())
+        if measure:
+            transport_seconds[0] += perf_counter() - send_start
 
     def diagnose(model: Any, cycle: int) -> TokenStarvationError:
         return _starvation_diagnostic(
@@ -432,7 +520,24 @@ def _run_shard_batched(
         progress.valid_tokens_moved,
         wall_seconds,
         progress.model_host_seconds,
+        transport_seconds[0],
+        transport_seconds[1],
     )
+
+
+def _release_channels(context: ShardContext) -> None:
+    """Drop this process's transport mappings on the way out.
+
+    Shared-memory rings hold numpy views over the mapped segment;
+    releasing them *before* interpreter shutdown keeps the mmap close
+    orderly (a view outliving the segment raises ``BufferError`` noise
+    at exit).  Pipe channels have no mapping and are left alone.  Only
+    the parent unlinks segments.
+    """
+    for channel in context.channels.values():
+        close = getattr(channel, "close", None)
+        if close is not None:
+            close()
 
 
 def shard_entry(context: ShardContext, worker_id: int) -> None:
@@ -458,5 +563,7 @@ def shard_entry(context: ShardContext, worker_id: int) -> None:
                 f"{type(exc).__name__}: {exc}",
             )
         )
+        _release_channels(context)
         sys.exit(1)
     context.result_queue.put(("ok", worker_id, result))
+    _release_channels(context)

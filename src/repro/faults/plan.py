@@ -289,6 +289,9 @@ class ResilienceStats:
     heartbeats_missed: int = 0
     stalls_detected: int = 0
     watchdog_scans: int = 0
+    #: Distributed runs that asked for the shared-memory transport but
+    #: fell back to pipes (``/dev/shm`` unavailable or denied).
+    shm_fallbacks: int = 0
 
 
 # -- the injector --------------------------------------------------------

@@ -124,6 +124,12 @@ def make_parser() -> argparse.ArgumentParser:
                         help="partition runworkload across N worker "
                              "processes (1 = serial engine); partitions "
                              "follow the deployment's instance mapping")
+    parser.add_argument("--transport", default="pipe",
+                        choices=("pipe", "shm"),
+                        help="worker-to-worker token hop for --workers > 1: "
+                             "mp.Queue pipes (the oracle default) or "
+                             "zero-copy shared-memory rings (falls back "
+                             "to pipes when /dev/shm is unavailable)")
     parser.add_argument("--engine", default="scalar",
                         choices=("scalar", "batched"),
                         help="round-loop implementation: the scalar "
@@ -227,7 +233,9 @@ def _run_verb(
             lines.append(
                 f"distributed: {distributed['num_workers']} workers, "
                 f"{distributed['boundary_links']} boundary links, "
-                f"{distributed['measured_rate_mhz']:.3f} MHz achieved"
+                f"{distributed['measured_rate_mhz']:.3f} MHz achieved "
+                f"({distributed['channels']} {distributed['transport']} "
+                "channels)"
             )
             for worker, rate in sorted(
                 distributed["per_worker_rate_mhz"].items(),
@@ -260,7 +268,9 @@ def _run_verb(
             lines.append(
                 f"distributed: {distributed['num_workers']} workers over "
                 f"{distributed['boundary_links']} boundary links "
-                f"({distributed['rounds']} lockstep rounds)"
+                f"({distributed['rounds']} lockstep rounds, "
+                f"{distributed['channels']} {distributed['transport']} "
+                "channels)"
             )
             for worker, rate in sorted(
                 distributed["per_worker_rate_mhz"].items(),
@@ -337,6 +347,7 @@ def _main(args: argparse.Namespace, out) -> int:
         retry_policy=retry_policy,
         checkpoint_interval_cycles=checkpoint_cycles,
         workers=args.workers,
+        transport=args.transport,
     )
     if args.telemetry_out or "status" in args.verbs:
         manager.enable_telemetry()

@@ -75,11 +75,20 @@ class FireSimManager:
         retry_policy: Optional[RetryPolicy] = None,
         checkpoint_interval_cycles: Optional[int] = None,
         workers: int = 1,
+        transport: str = "pipe",
     ) -> None:
         if workers < 1:
             raise ManagerError(f"workers must be >= 1, got {workers}")
+        if transport not in ("pipe", "shm"):
+            raise ManagerError(
+                f"transport must be 'pipe' or 'shm', got {transport!r}"
+            )
         #: Worker processes for ``runworkload``; 1 = the serial engine.
         self.workers = workers
+        #: Worker-to-worker token hop for distributed runs ("pipe" is
+        #: the oracle default; "shm" selects the zero-copy ring and
+        #: falls back to pipes when /dev/shm is unavailable).
+        self.transport = transport
         #: The last distributed run's merged result (``status`` reads it).
         self.last_distributed: Optional[DistributedRunResult] = None
         self.topology = topology
@@ -435,7 +444,13 @@ class FireSimManager:
                     plan,
                     total_cycles,
                     measure=self.telemetry is not None,
+                    transport=self.transport,
                 )
+                if (
+                    self.transport == "shm"
+                    and result.transport != "shm"
+                ):
+                    self.fault_stats.shm_fallbacks += 1
                 break
             except WorkerCrash as fault:
                 restores += 1
@@ -521,6 +536,7 @@ class FireSimManager:
             "heartbeats_missed": stats.heartbeats_missed,
             "stalls_detected": stats.stalls_detected,
             "watchdog_scans": stats.watchdog_scans,
+            "shm_fallbacks": stats.shm_fallbacks,
             "quarantined_hosts": sorted(self.breaker.quarantined),
         }
         if self.injector is not None:

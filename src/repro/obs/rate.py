@@ -38,6 +38,11 @@ class RateReport:
     model_host_seconds: Dict[str, float] = field(default_factory=dict)
     min_round_s: float = 0.0
     max_round_s: float = 0.0
+    #: Host seconds spent inside distributed transport calls (zero for
+    #: serial runs): serialize + publish on the send side, wait + decode
+    #: on the receive side, summed over workers.
+    transport_send_seconds: float = 0.0
+    transport_recv_seconds: float = 0.0
 
     @property
     def rate_hz(self) -> float:
@@ -54,6 +59,15 @@ class RateReport:
     def slowdown_vs_target(self) -> float:
         """How many times slower than the simulated machine itself."""
         return self.freq_hz / self.rate_hz if self.rate_hz else float("inf")
+
+    @property
+    def transport_seconds_per_round(self) -> float:
+        """Mean transport time per observed round (0 for serial runs)."""
+        if self.rounds <= 0:
+            return 0.0
+        return (
+            self.transport_send_seconds + self.transport_recv_seconds
+        ) / self.rounds
 
     @property
     def host_time_shares(self) -> Dict[str, float]:
@@ -90,6 +104,9 @@ class RateReport:
             "min_round_s": self.min_round_s,
             "max_round_s": self.max_round_s,
             "host_time_shares": self.host_time_shares,
+            "transport_send_seconds": self.transport_send_seconds,
+            "transport_recv_seconds": self.transport_recv_seconds,
+            "transport_seconds_per_round": self.transport_seconds_per_round,
         }
 
 
@@ -108,6 +125,8 @@ class RateMonitor:
         self.cycles = 0
         self.wall_seconds = 0.0
         self.model_host_seconds: Dict[str, float] = {}
+        self.transport_send_seconds = 0.0
+        self.transport_recv_seconds = 0.0
         self._min_round_s = float("inf")
         self._max_round_s = 0.0
 
@@ -189,6 +208,8 @@ class RateMonitor:
         rounds: int,
         wall_seconds: float,
         model_host_seconds: Optional[Dict[str, float]] = None,
+        transport_send_seconds: float = 0.0,
+        transport_recv_seconds: float = 0.0,
     ) -> None:
         """Fold a remote run's measurements into this monitor.
 
@@ -198,13 +219,18 @@ class RateMonitor:
         ``status`` and telemetry dumps report one coherent session.
         ``wall_seconds`` is the parent-observed wall time (cycles are
         simulated once no matter how many workers ticked them), and the
-        mean round time feeds the min/max envelope.
+        mean round time feeds the min/max envelope.  The transport
+        seconds are the workers' summed time inside send/recv calls
+        (the per-round overhead the distributed benches report per
+        transport).
         """
         if rounds <= 0:
             return
         self.rounds += rounds
         self.cycles += cycles
         self.wall_seconds += wall_seconds
+        self.transport_send_seconds += transport_send_seconds
+        self.transport_recv_seconds += transport_recv_seconds
         for name, seconds in (model_host_seconds or {}).items():
             self.model_host_seconds[name] = (
                 self.model_host_seconds.get(name, 0.0) + seconds
@@ -226,6 +252,8 @@ class RateMonitor:
             model_host_seconds=dict(self.model_host_seconds),
             min_round_s=0.0 if self.rounds == 0 else self._min_round_s,
             max_round_s=self._max_round_s,
+            transport_send_seconds=self.transport_send_seconds,
+            transport_recv_seconds=self.transport_recv_seconds,
         )
 
     def register_metrics(self, registry: Any, prefix: str = "sim") -> None:

@@ -89,12 +89,30 @@ class TelemetrySession:
         for worker in result.workers:
             for name, seconds in worker.model_host_seconds.items():
                 merged_ticks[name] = merged_ticks.get(name, 0.0) + seconds
+        send_seconds = sum(
+            worker.transport_send_seconds for worker in result.workers
+        )
+        recv_seconds = sum(
+            worker.transport_recv_seconds for worker in result.workers
+        )
         self.rate.absorb(
-            result.cycles, result.rounds, result.wall_seconds, merged_ticks
+            result.cycles,
+            result.rounds,
+            result.wall_seconds,
+            merged_ticks,
+            transport_send_seconds=send_seconds,
+            transport_recv_seconds=recv_seconds,
         )
         self.registry.gauge("dist.num_workers").set(float(result.num_workers))
         self.registry.gauge("dist.boundary_links").set(
             float(result.boundary_link_count)
+        )
+        # Transport hop identity is a string; gauges are floats — expose
+        # the shm-ness as a flag plus the channel count, and leave the
+        # name itself to the manager's distributed summary.
+        self.registry.gauge("dist.channels").set(float(result.channel_count))
+        self.registry.gauge("dist.transport_shm").set(
+            1.0 if result.transport == "shm" else 0.0
         )
         for worker in result.workers:
             self.registry.gauge(

@@ -93,6 +93,27 @@ class TokenStream:
             batch.start_cycle, batch.length, batch.flits, shift
         )
 
+    @classmethod
+    def from_wire(
+        cls,
+        start_cycle: int,
+        length: int,
+        cycles: np.ndarray,
+        flits: list,
+    ) -> "TokenStream":
+        """Rebuild a stream from its shared-memory wire representation.
+
+        ``cycles`` is the raw int64 column as read off the transport
+        ring (typically a read-only ``frombuffer`` view) and ``flits``
+        the matching unpickled payload list; both columns land in the
+        token array with one vectorized assignment each, so the
+        consumer never builds intermediate per-token tuples.
+        """
+        tokens = np.empty(len(flits), dtype=TOKEN_DTYPE)
+        tokens["cycle"] = cycles
+        tokens["flit"] = flits
+        return cls(start_cycle, length, tokens)
+
     # -- transport ------------------------------------------------------
 
     def shift(self, latency: int) -> "TokenStream":
