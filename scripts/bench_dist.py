@@ -9,7 +9,7 @@ Runs the Figure-8 sim-rate configuration (the paper's 2 us / 6400-cycle
 link latency, a two-tier 8-node cluster scaled to what one container
 can elaborate) through the serial engine and through ``repro.dist`` at
 each requested worker count, once per transport (``pipe`` and ``shm``),
-and emits ``BENCH_dist.json`` (schema ``repro.bench.dist/v2``).
+and emits ``BENCH_dist.json`` (schema ``repro.bench.dist/v3``).
 
 Three rate families are reported, clearly labeled:
 
@@ -38,6 +38,30 @@ and shm back-to-back (a host slowdown hits all three legs), yielding
 one ratio per trial, and the reported ratio is the median across
 trials.  Headline rates are best-of across the same trials.
 
+v3 adds the round-phase profiler's numbers:
+
+* ``phase_breakdown`` per transport per worker count — the profiled
+  run's compute/transport/wait shares of attributed round time
+  (:class:`repro.obs.prof.PhaseReport`), the measured decomposition
+  that explains WHERE each transport's overhead goes;
+* ``profiler.overhead_ratio`` per transport — the measured
+  profiled-over-unprofiled round-time ratio at the smallest worker
+  count, the "overhead below 5% of round time" number CI gates under
+  ``check_bench_regression.PROFILER_OVERHEAD_CEILING``.  Measured
+  *within one run* by the alternate-round probe
+  (``ProfileConfig(overhead_probe=True)``): every worker records
+  phases on alternate rounds and times the others minimally, and the
+  ratio of median recorded-round to median minimal-round duration is
+  the profiler's round-time cost.  Back-to-back A/B legs cannot
+  measure this on a shared host — run-to-run drift is ~+-10-20%, an
+  order of magnitude above the profiler's ~2us-per-round cost, and no
+  min/median over a handful of legs sheds it (a null-op recorder
+  "measures" the same overhead as the real one).  Interleaving the
+  two populations round-by-round inside one run cancels the drift.
+  The per-trial ratios ship alongside for transparency; the gate's
+  self-test proves an injected per-round sleep blows the measured
+  ratio past the ceiling.
+
 Exits non-zero if the distributed runs diverge from serial cycle
 counts — the benchmark doubles as an equivalence check.
 """
@@ -57,6 +81,7 @@ from repro.dist import plan_partitions, run_distributed  # noqa: E402
 from repro.manager.mapper import HostConfig, map_topology  # noqa: E402
 from repro.manager.runfarm import RunFarmConfig, elaborate  # noqa: E402
 from repro.manager.topology import two_tier  # noqa: E402
+from repro.obs.prof import PhaseReport, ProfileConfig  # noqa: E402
 from repro.obs.rate import RateMonitor  # noqa: E402
 
 RACKS = 4
@@ -86,24 +111,35 @@ def serial_trial(cycles):
     return report.rate_mhz, report, running.simulation.current_cycle
 
 
-def run_one(cycles, workers, transport, measure):
+def run_one(cycles, workers, transport, measure, profile=False):
     running, root = build(LINK_LATENCY_CYCLES)
     deployment = map_topology(root, HOSTS)
     plan = plan_partitions(running, deployment, workers)
     result = run_distributed(
         running.simulation, plan, cycles,
-        measure=measure, transport=transport,
+        measure=measure, transport=transport, profile=profile or None,
     )
     return result, running.simulation.current_cycle
 
 
 def instrumented_summary(cycles, workers, transport):
-    """One measure=True run's profile (its wall clock pays for the
-    instrumentation, so rates come from the paired trials instead)."""
-    result, _ = run_one(cycles, workers, transport, measure=True)
+    """One measure=True profiled run's profile (its wall clock pays for
+    the instrumentation, so rates come from the paired trials
+    instead)."""
+    result, _ = run_one(cycles, workers, transport, measure=True,
+                        profile=True)
     summary = result.to_dict()
     summary["modeled_mhz"] = summary.pop("modeled_rate_mhz", None)
     summary.pop("measured_rate_mhz", None)
+    report = PhaseReport.from_result(result)
+    reconciliation = report.reconciliation()
+    summary["phase_breakdown"] = {
+        key: reconciliation[key]
+        for key in ("compute_share", "transport_share", "wait_share")
+    }
+    summary["profiler_self_overhead_ratio"] = (
+        report.profiling_overhead_ratio()
+    )
     return summary
 
 
@@ -149,6 +185,10 @@ def main(argv=None):
     speedup_measured = {transport: {} for transport in TRANSPORTS}
     overhead = {transport: {} for transport in TRANSPORTS}
     shm_over_pipe = {}
+    #: Per-trial alternate-round probe ratios at the smallest worker
+    #: count; the gate value is the median across trials.
+    probe_ratios = {transport: [] for transport in TRANSPORTS}
+    profile_workers = min(worker_counts)
     for workers in worker_counts:
         rates = {transport: [] for transport in TRANSPORTS}
         trial_overheads = {transport: [] for transport in TRANSPORTS}
@@ -189,6 +229,25 @@ def main(argv=None):
                 trial_overheads[transport].append(per_trial[transport])
             if per_trial["shm"] > 0:
                 trial_ratios.append(per_trial["pipe"] / per_trial["shm"])
+            if workers == profile_workers:
+                # One alternate-round probe run per trial: recorded and
+                # minimally-timed rounds interleave inside the run, so
+                # their duration ratio measures the profiler's
+                # round-time cost with host drift cancelled (see the
+                # module docstring).  Fork and result-shipping costs
+                # outside the loop (a profiled run ships its rings,
+                # once per run, not per round) stay out of the
+                # per-ROUND number the gate is about.
+                for transport in TRANSPORTS:
+                    probe_result, _ = run_one(
+                        cycles, workers, transport, measure=False,
+                        profile=ProfileConfig(overhead_probe=True),
+                    )
+                    ratio = PhaseReport.from_result(
+                        probe_result
+                    ).probe_overhead_ratio()
+                    if ratio is not None:
+                        probe_ratios[transport].append(ratio)
         for transport in TRANSPORTS:
             summary = instrumented_summary(cycles, workers, transport)
             best = max(rates[transport])
@@ -224,9 +283,20 @@ def main(argv=None):
                 summary["measured_mhz"] / serial_best
             )
     print(f"serial: {serial_best:.3f} MHz measured (best of all trials)")
+    profiler_overhead = {
+        transport: median(ratios)
+        for transport, ratios in probe_ratios.items()
+        if ratios
+    }
+    for transport, ratio in sorted(profiler_overhead.items()):
+        print(
+            f"profiler overhead ({transport}, {profile_workers} workers): "
+            f"{ratio:.3f}x round time (alternate-round probe, median of "
+            f"{len(probe_ratios[transport])} runs)"
+        )
 
     document = {
-        "schema": "repro.bench.dist/v2",
+        "schema": "repro.bench.dist/v3",
         "topology": {
             "kind": "two_tier",
             "racks": RACKS,
@@ -244,6 +314,12 @@ def main(argv=None):
             "modeled": speedup_modeled,
             "measured": speedup_measured,
             "shm_over_pipe_measured": shm_over_pipe,
+        },
+        "profiler": {
+            "overhead_ratio": profiler_overhead,
+            "ratio_runs": probe_ratios,
+            "method": "alternate-round probe",
+            "workers": profile_workers,
         },
         "note": (
             "measured rates share this host's cores; modeled rates are "

@@ -30,6 +30,14 @@ varies with the CI machine:
   an *absolute* floor instead (``SHM_OVER_PIPE_FLOOR``, applied at
   2 workers): the shm transport must stay at least that much cheaper
   per round than pipes regardless of what the baseline recorded.
+* ``repro.bench.dist/v3`` — everything in v2, plus the round-phase
+  profiler's measured overhead (``profiler.overhead_ratio`` per
+  transport: profiled-over-unprofiled round time from the
+  alternate-round probe, where recorded and minimally-timed rounds
+  interleave within one run so host drift cancels).  Like the shm
+  floor it is an *absolute* gate, not baseline-relative: the ratio
+  must stay below ``PROFILER_OVERHEAD_CEILING`` so the profiler's own
+  cost never exceeds 5% of round time.
 
 Ratios *above* ``baseline * (1 + tolerance)`` print a warning asking
 for a baseline refresh but do not fail the build.
@@ -54,6 +62,7 @@ KNOWN_SCHEMAS = (
     "repro.bench.core/v1",
     "repro.bench.dist/v1",
     "repro.bench.dist/v2",
+    "repro.bench.dist/v3",
 )
 
 #: Absolute floor on the measured 2-worker shm-over-pipe transport
@@ -62,6 +71,12 @@ KNOWN_SCHEMAS = (
 #: transport has regressed to the point of pointlessness.
 SHM_OVER_PIPE_FLOOR = 1.5
 SHM_OVER_PIPE_METRIC = "speedup.shm_over_pipe_measured[2]"
+
+#: Absolute ceiling on the profiled-over-unprofiled round-time ratio:
+#: the round-phase profiler must cost under 5% of round time, or the
+#: "low-overhead" in its contract has regressed.
+PROFILER_OVERHEAD_CEILING = 1.05
+PROFILER_METRIC_PREFIX = "profiler.overhead_ratio"
 
 
 def fail(message):
@@ -99,7 +114,7 @@ def extract_ratios(document):
             for workers, ratio in sorted(speedup.get("modeled", {}).items())
             if isinstance(ratio, (int, float))
         }
-    # repro.bench.dist/v2: modeled ratios nest per transport, and the
+    # repro.bench.dist/v2+: modeled ratios nest per transport, and the
     # measured shm-over-pipe overhead ratio is comparable because both
     # sides of it ran on the same host.
     ratios = {}
@@ -116,6 +131,12 @@ def extract_ratios(document):
             ratios[f"speedup.shm_over_pipe_measured[{workers}]"] = float(
                 ratio
             )
+    # v3: profiled-over-unprofiled round time per transport, also a
+    # same-host pair so it travels between machines.
+    profiler = document.get("profiler", {}).get("overhead_ratio", {})
+    for transport, ratio in sorted(profiler.items()):
+        if isinstance(ratio, (int, float)):
+            ratios[f"{PROFILER_METRIC_PREFIX}[{transport}]"] = float(ratio)
     return ratios
 
 
@@ -144,11 +165,12 @@ def compare(baseline, current, tolerance):
         )
     failures, warnings = [], []
     for metric in shared:
-        if metric.startswith("speedup.shm_over_pipe_measured"):
-            # Measured transport ratios shift with host load and run
-            # length (CI's --quick runs are shorter than the committed
-            # baseline), so they skip the baseline-relative band; the
-            # absolute floor below is their gate.
+        if metric.startswith("speedup.shm_over_pipe_measured") or \
+                metric.startswith(PROFILER_METRIC_PREFIX):
+            # Measured transport/profiler ratios shift with host load
+            # and run length (CI's --quick runs are shorter than the
+            # committed baseline), so they skip the baseline-relative
+            # band; the absolute floor/ceiling below are their gates.
             continue
         base, cur = base_ratios[metric], cur_ratios[metric]
         floor = base * (1.0 - tolerance)
@@ -184,6 +206,24 @@ def compare(baseline, current, tolerance):
                 f"check_bench_regression: OK: {SHM_OVER_PIPE_METRIC}: "
                 f"{shm_ratio:.3f} clears the absolute floor "
                 f"{SHM_OVER_PIPE_FLOOR}"
+            )
+    # Every profiler overhead ratio has an absolute ceiling: profiling
+    # a run must never cost more than 5% of round time, and a baseline
+    # refresh cannot ratify a heavier profiler.
+    for metric in sorted(cur_ratios):
+        if not metric.startswith(PROFILER_METRIC_PREFIX):
+            continue
+        ratio = cur_ratios[metric]
+        if ratio > PROFILER_OVERHEAD_CEILING:
+            failures.append(
+                f"{metric}: {ratio:.3f} exceeds the absolute ceiling "
+                f"{PROFILER_OVERHEAD_CEILING} — the profiler costs more "
+                "than 5% of round time"
+            )
+        else:
+            print(
+                f"check_bench_regression: OK: {metric}: {ratio:.3f} "
+                f"under the absolute ceiling {PROFILER_OVERHEAD_CEILING}"
             )
     return failures, warnings
 
@@ -232,7 +272,7 @@ def self_test(baseline, tolerance):
     failures, warnings = compare(baseline, unchanged, tolerance)
     if failures or warnings:
         fail(f"self-test: identical ratios flagged: {failures + warnings}")
-    if baseline["schema"] == "repro.bench.dist/v2":
+    if baseline["schema"] in ("repro.bench.dist/v2", "repro.bench.dist/v3"):
         # The absolute shm-over-pipe floor must hold even when baseline
         # and current agree (a stale-baseline refresh cannot ratify a
         # regressed transport): degrade BOTH documents' shm ratio below
@@ -247,6 +287,22 @@ def self_test(baseline, tolerance):
                     "self-test: shm-over-pipe ratio below the absolute "
                     f"floor {SHM_OVER_PIPE_FLOOR} was NOT flagged when "
                     "baseline and current agree"
+                )
+    if baseline["schema"] == "repro.bench.dist/v3":
+        # The profiler-overhead ceiling likewise: simulate a sleep
+        # injected into the profiled path (ratio well above 1.05) in
+        # BOTH documents and the gate must still trip.
+        bloated = copy.deepcopy(baseline)
+        overhead = bloated.get("profiler", {}).get("overhead_ratio", {})
+        if overhead:
+            for transport in overhead:
+                overhead[transport] = PROFILER_OVERHEAD_CEILING + 0.15
+            failures, _ = compare(bloated, copy.deepcopy(bloated), tolerance)
+            if not failures:
+                fail(
+                    "self-test: profiler overhead above the absolute "
+                    f"ceiling {PROFILER_OVERHEAD_CEILING} was NOT "
+                    "flagged when baseline and current agree"
                 )
     print(
         "check_bench_regression: self-test OK "

@@ -1,19 +1,32 @@
 #!/usr/bin/env python
 """Validate telemetry artifacts exported by --telemetry-out.
 
-Usage: python scripts/check_telemetry.py OUT_DIR
+Usage: python scripts/check_telemetry.py OUT_DIR [--profile]
 
 Checks that OUT_DIR holds a metrics.json conforming to the
 repro.obs.metrics/v1 schema (with the keys the acceptance criteria
 demand), a metrics.csv with the expected header, and a trace.json that
-is a structurally valid Chrome trace_event document. Exits non-zero
-with a message on the first violation; prints a one-line summary on
-success. Intended for CI smoke tests — stdlib only.
+is a structurally valid Chrome trace_event document.
+
+With ``--profile`` (a ``--profile-out`` export from a profiled
+distributed run), additionally validates phase_report.json — schema
+``repro.obs.prof/v1``, per-worker phase shares that sum to ~1, a
+critical path naming a concrete worker and phase — and the merged
+trace: exactly one Chrome pid per worker and non-decreasing timestamps
+within every complete-event track, so the cross-process merge is one
+openable timeline.
+
+Exits non-zero with a message on the first violation; prints a one-line
+summary on success. Intended for CI smoke tests — stdlib only.
 """
 
 import json
 import os
 import sys
+
+PROFILE_SCHEMA = "repro.obs.prof/v1"
+WORKER_PID_BASE = 100
+PHASES = ("compute", "serialize", "send", "recv_wait", "gap", "idle")
 
 REQUIRED_METRICS = ("sim.rounds", "sim.cycles", "sim.rate_mhz")
 SWITCH_SUFFIXES = (".packets_dropped", ".bytes_in", ".bytes_out")
@@ -91,6 +104,74 @@ def check_trace(out_dir):
     return len(events)
 
 
+def check_phase_report(out_dir):
+    """phase_report.json: schema, shares ~1, a named critical path."""
+    document = load_json(os.path.join(out_dir, "phase_report.json"))
+    schema = document.get("schema")
+    if schema != PROFILE_SCHEMA:
+        fail(f"phase_report.json schema is {schema!r}")
+    per_worker = document.get("per_worker")
+    if not isinstance(per_worker, dict) or not per_worker:
+        fail("phase_report.json has no per_worker profiles")
+    for worker_id, profile in per_worker.items():
+        shares = profile.get("phase_shares")
+        if not isinstance(shares, dict):
+            fail(f"worker {worker_id} has no phase_shares")
+        unknown = set(shares) - set(PHASES)
+        if unknown:
+            fail(f"worker {worker_id} has unknown phases {sorted(unknown)}")
+        total = sum(shares.values())
+        if not 0.99 <= total <= 1.01:
+            fail(
+                f"worker {worker_id} phase shares sum to {total:.4f}, "
+                "not ~1.0 — attributed time does not cover round time"
+            )
+    critical = document.get("critical_path")
+    if not isinstance(critical, dict):
+        fail("phase_report.json has no critical_path")
+    if not isinstance(critical.get("worker"), int):
+        fail("critical_path does not name a worker")
+    if critical.get("phase") not in PHASES:
+        fail(f"critical_path phase is {critical.get('phase')!r}")
+    overhead = document.get("profiling_overhead_ratio")
+    if not isinstance(overhead, (int, float)) or overhead < 0:
+        fail(f"profiling_overhead_ratio is {overhead!r}")
+    return len(per_worker)
+
+
+def check_merged_trace(out_dir, num_workers):
+    """The merged trace holds one pid per worker, monotonic per track."""
+    document = load_json(os.path.join(out_dir, "trace.json"))
+    events = document.get("traceEvents", [])
+    worker_pids = sorted(
+        {e["pid"] for e in events if e.get("pid", 0) >= WORKER_PID_BASE}
+    )
+    expected = list(range(WORKER_PID_BASE, WORKER_PID_BASE + num_workers))
+    if worker_pids != expected:
+        fail(
+            f"merged trace worker pids are {worker_pids}, expected "
+            f"{expected} (one pid per worker)"
+        )
+    last_ts = {}
+    for index, event in enumerate(events):
+        if event.get("ph") != "X":
+            continue
+        track = (event["pid"], event["tid"])
+        ts = event["ts"]
+        if ts < last_ts.get(track, float("-inf")):
+            fail(
+                f"traceEvents[{index}] goes back in time on track "
+                f"{track}: ts {ts} after {last_ts[track]}"
+            )
+        last_ts[track] = ts
+    worker_events = sum(
+        1 for e in events if e.get("pid", 0) >= WORKER_PID_BASE
+    )
+    if worker_events == 0:
+        fail("merged trace has no worker events")
+    return worker_events
+
+
 def check_out_dir(out_dir):
     """The export directory itself must exist and hold artifacts.
 
@@ -107,18 +188,25 @@ def check_out_dir(out_dir):
 
 
 def main(argv):
-    if len(argv) != 2:
+    args = [a for a in argv[1:] if a != "--profile"]
+    profile = "--profile" in argv[1:]
+    if len(args) != 1:
         print(__doc__, file=sys.stderr)
         return 2
-    out_dir = argv[1]
+    out_dir = args[0]
     check_out_dir(out_dir)
     metrics = check_metrics(out_dir)
     rows = check_csv(out_dir)
     events = check_trace(out_dir)
-    print(
-        f"check_telemetry: OK ({metrics} metrics, {rows} csv rows, "
-        f"{events} trace events)"
-    )
+    summary = f"{metrics} metrics, {rows} csv rows, {events} trace events"
+    if profile:
+        workers = check_phase_report(out_dir)
+        worker_events = check_merged_trace(out_dir, workers)
+        summary += (
+            f", {workers}-worker phase report, "
+            f"{worker_events} merged worker events"
+        )
+    print(f"check_telemetry: OK ({summary})")
     return 0
 
 

@@ -48,6 +48,7 @@ from repro.dist.worker import (
 )
 from repro.faults.plan import WorkerCrash
 from repro.net.transport import SHM_RING, WORKER_PIPE, TransportSpec
+from repro.obs.prof import ProfileConfig
 
 #: Per-transport wire cost of one boundary batch's header and of one
 #: valid token.  Unlike FireSim's FPGA-side transport, which ships
@@ -90,10 +91,18 @@ class DistributedRunResult:
     #: Directed channels built for the run (queues or rings) — one per
     #: worker pair that actually shares boundary links.
     channel_count: int = 0
+    #: Transport the caller asked for; differs from ``transport`` only
+    #: after a shm-unavailable fallback to pipes.
+    requested_transport: str = "pipe"
 
     @property
     def cycles(self) -> int:
         return self.end_cycle - self.start_cycle
+
+    @property
+    def profiled(self) -> bool:
+        """True when workers carried phase profiles back."""
+        return any(w.profile is not None for w in self.workers)
 
     @property
     def num_workers(self) -> int:
@@ -213,6 +222,8 @@ class DistributedRunResult:
             "rounds": self.rounds,
             "boundary_links": self.boundary_link_count,
             "transport": self.transport,
+            "requested_transport": self.requested_transport,
+            "profiled": self.profiled,
             "channels": self.channel_count,
             "transport_seconds": self.measured_transport_seconds(),
             "wall_seconds": self.wall_seconds,
@@ -320,6 +331,7 @@ def run_distributed(
     measure: bool = False,
     transport: str = "pipe",
     shm_capacity: int = DEFAULT_RING_CAPACITY,
+    profile: Optional[Any] = None,
 ) -> DistributedRunResult:
     """Advance ``simulation`` to ``target_cycle`` across forked workers.
 
@@ -339,6 +351,15 @@ def run_distributed(
     this function's ``finally``, so normal completion, worker crashes,
     and checkpoint-restore reruns all leave ``/dev/shm`` clean.
 
+    ``profile`` enables the distributed round-phase profiler: pass a
+    :class:`~repro.obs.prof.ProfileConfig` (or ``True`` for defaults)
+    and every worker records per-round phase timings into a
+    preallocated ring, anchored to a parent clock epoch stamped just
+    before the forks; the shipped
+    :class:`~repro.obs.prof.WorkerProfile` objects land on each
+    ``WorkerResult.profile`` for
+    :class:`~repro.obs.prof.PhaseReport` aggregation.
+
     Requires a platform with the ``fork`` start method (Linux): workers
     must inherit the elaborated simulation by memory image, because
     model closures (workload jobs) are not picklable.
@@ -348,6 +369,8 @@ def run_distributed(
             f"unknown transport {transport!r}; expected one of "
             f"{sorted(_TRANSPORT_SPEC)}"
         )
+    if profile is True:
+        profile = ProfileConfig()
     plan.validate_against(simulation)
     simulation.start()
     start_cycle = simulation.current_cycle
@@ -361,6 +384,7 @@ def run_distributed(
             wall_seconds=0.0,
             boundary_link_count=len(plan.boundaries(simulation)),
             transport=transport,
+            requested_transport=transport,
         )
 
     context = multiprocessing.get_context("fork")
@@ -377,9 +401,14 @@ def run_distributed(
         measure=measure,
         channels=channels,
         result_queue=result_queue,
+        profile=profile,
     )
 
     wall_start = perf_counter()
+    # Clock-sync epoch: the parent's monotonic reading just before the
+    # forks.  Every worker's ClockSync anchors to this one stamp, so
+    # merged trace timestamps share a timeline.
+    shard_context.epoch_s = wall_start
     processes: Dict[int, Any] = {}
     results: Dict[int, WorkerResult] = {}
     failure: Optional[Tuple[int, Optional[int], str]] = None
@@ -461,4 +490,5 @@ def run_distributed(
         boundary_link_count=len(plan.boundaries(simulation)),
         transport=transport_used,
         channel_count=len(channels),
+        requested_transport=transport,
     )

@@ -75,10 +75,15 @@ class Outbox:
     queue transport used to make.
     """
 
-    __slots__ = ("entries",)
+    __slots__ = ("entries", "total_entries", "peak_entries")
 
     def __init__(self) -> None:
         self.entries: List[WireEntry] = []
+        #: Entries ever drained / most entries in a single drain —
+        #: per-peer coalescing stats the distributed profiler reports
+        #: (peak == boundary links toward the peer in a healthy run).
+        self.total_entries = 0
+        self.peak_entries = 0
 
     def append(self, entry: WireEntry) -> None:
         self.entries.append(entry)
@@ -86,6 +91,10 @@ class Outbox:
     def drain(self) -> List[WireEntry]:
         entries = self.entries
         self.entries = []
+        count = len(entries)
+        self.total_entries += count
+        if count > self.peak_entries:
+            self.peak_entries = count
         return entries
 
     def lose_tail(self) -> int:

@@ -84,6 +84,7 @@ import numpy as np
 from repro.core.channel import TokenStarvationError
 from repro.core.token import TokenBatch
 from repro.dist.remote_link import LostWindow
+from repro.obs.prof import P_SERIALIZE
 from repro.perf.stream import TokenStream
 
 __all__ = [
@@ -188,6 +189,30 @@ class ShmRing:
         self._data = segment.buf[_CURSOR_BYTES:_CURSOR_BYTES + capacity]
         self._stage = bytearray()
         self._header = bytearray(_ROUND.size)
+        # -- occupancy / backpressure counters (profiler telemetry) ----
+        # Plain per-process ints: after the fork each side accumulates
+        # only what *it* did (the producer its sends, the consumer its
+        # receives), which is exactly the attribution the profiler
+        # wants.  Always on — an int add per message is noise next to
+        # the encode loop.
+        self.sent_messages = 0
+        self.sent_bytes = 0
+        #: Peak published-but-unconsumed bytes observed at send time.
+        self.high_water_bytes = 0
+        #: Sends whose message exceeded free ring space (reader-drains-
+        #: while-writer-fills streaming mode).
+        self.streaming_sends = 0
+        #: Times the writer found the ring completely full and had to
+        #: back off mid-message.
+        self.backpressure_stalls = 0
+        #: Receives that found no published message and went to sleep
+        #: on the wakeup semaphore.
+        self.blocked_wakeups = 0
+        self.recv_messages = 0
+        self.recv_bytes = 0
+        #: Optional PhaseRecorder: when set by a profiled worker, the
+        #: encode loop's time is accrued to its ``serialize`` phase.
+        self.phase_sink: Any = None
 
     @classmethod
     def create(
@@ -243,6 +268,8 @@ class ShmRing:
             free = capacity - (write - int(cursors[1]))
             if free == 0:
                 if backoff is None:
+                    self.backpressure_stalls += 1
+                    self.high_water_bytes = capacity
                     backoff = _Backoff(self, "ring space")
                 backoff.pause()
                 continue
@@ -308,6 +335,8 @@ class ShmRing:
         ``TokenBatch`` for scalar or idle windows, ``LostWindow`` for
         fault-injected transport loss.
         """
+        sink = self.phase_sink
+        stage_start = time.perf_counter() if sink is not None else 0.0
         stage = self._stage
         del stage[:]
         stage += self._header  # round-header placeholder, packed below
@@ -361,16 +390,23 @@ class ShmRing:
         _ROUND.pack_into(
             stage, 0, round_tag, len(entries), len(stage) - _ROUND.size
         )
+        if sink is not None:
+            # The encode loop ran inside the round loop's send segment;
+            # hand its cost to the profiler's serialize phase so
+            # ``send`` nets out to the publish alone.
+            sink.accrue(P_SERIALIZE, time.perf_counter() - stage_start)
+        self.sent_messages += 1
+        self.sent_bytes += len(stage)
+        cursors = self._cursors
         wakeup = self._wakeup
         if wakeup is None:
             self._write(stage)
-            return
-        cursors = self._cursors
-        if len(stage) > self.capacity - int(cursors[0]) + int(cursors[1]):
+        elif len(stage) > self.capacity - int(cursors[0]) + int(cursors[1]):
             # The message must stream through the ring: wake the reader
             # *first* so it drains while we fill — releasing after the
             # write would deadlock (writer waits for space, reader
             # sleeps on the semaphore).
+            self.streaming_sends += 1
             wakeup.release()
             self._write(stage)
         else:
@@ -378,6 +414,9 @@ class ShmRing:
             # before the wakeup and the reader never spins.
             self._write(stage)
             wakeup.release()
+        pending = int(cursors[0]) - int(cursors[1])
+        if pending > self.high_water_bytes:
+            self.high_water_bytes = pending
 
     def recv(self, expected_round: int) -> List[Tuple[int, Any]]:
         """Block for one round message and decode its wire entries."""
@@ -386,6 +425,7 @@ class ShmRing:
             # Sleep on the futex until the peer's publish, so the peer
             # gets the whole core; cap the wait so a dead peer still
             # surfaces as starvation rather than a hang.
+            self.blocked_wakeups += 1
             deadline = time.monotonic() + self.timeout_s
             while not wakeup.acquire(True, 1.0):
                 if time.monotonic() > deadline:
@@ -431,7 +471,31 @@ class ShmRing:
                     start_cycle, length, cycles, flits
                 )
             entries.append((link_index, window))
+        self.recv_messages += 1
+        self.recv_bytes += _ROUND.size + payload_bytes
         return entries
+
+    # -- telemetry -------------------------------------------------------
+
+    def counters(self) -> dict:
+        """This process's view of the ring's traffic counters.
+
+        Counters are per-process plain ints (shared memory holds only
+        the byte ring), so the producer's copy reports the send side
+        and the consumer's copy the receive side — which is exactly how
+        a profiled worker attributes its own directions.
+        """
+        return {
+            "sent_messages": self.sent_messages,
+            "sent_bytes": self.sent_bytes,
+            "high_water_bytes": self.high_water_bytes,
+            "streaming_sends": self.streaming_sends,
+            "backpressure_stalls": self.backpressure_stalls,
+            "blocked_wakeups": self.blocked_wakeups,
+            "recv_messages": self.recv_messages,
+            "recv_bytes": self.recv_bytes,
+            "capacity": self.capacity,
+        }
 
     # -- lifecycle -------------------------------------------------------
 

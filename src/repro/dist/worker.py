@@ -27,7 +27,7 @@ from __future__ import annotations
 
 import sys
 from dataclasses import dataclass, field
-from time import perf_counter
+from time import perf_counter, process_time
 from typing import Any, Dict, List, Optional, Tuple
 
 from repro.core.channel import TokenStarvationError
@@ -42,6 +42,16 @@ from repro.dist.remote_link import (
 )
 from repro.net.switch import SwitchModel
 from repro.net.tracer import LinkTracer
+from repro.obs.prof import (
+    P_COMPUTE,
+    P_GAP,
+    P_RECV_WAIT,
+    P_SEND,
+    ClockSync,
+    PhaseRecorder,
+    ProbeRecorder,
+    WorkerProfile,
+)
 from repro.obs.trace import set_trace_sink
 from repro.swmodel.server import ServerBlade
 
@@ -87,6 +97,16 @@ class WorkerResult:
     #: report per transport.
     transport_send_seconds: float = 0.0
     transport_recv_seconds: float = 0.0
+    #: CPU seconds the round loop burned (``time.process_time`` around
+    #: the loop).  Blocking recv waits cost ~no CPU, so this isolates
+    #: the cycles the worker actually executed from lockstep wait
+    #: time; the profiler-overhead bench ships it alongside the
+    #: wall-based gate ratio as a diagnostic.
+    cpu_seconds: float = 0.0
+    #: Per-round phase attribution (a
+    #: :class:`~repro.obs.prof.WorkerProfile`), populated only when the
+    #: run driver requested profiling.
+    profile: Optional[Any] = None
 
     @property
     def cycles(self) -> int:
@@ -109,14 +129,17 @@ class PipeChannel:
     :meth:`~repro.dist.shm.ShmRing.recv`.
     """
 
-    __slots__ = ("_queue", "src", "dst")
+    __slots__ = ("_queue", "src", "dst", "sent_messages", "recv_messages")
 
     def __init__(self, queue: Any, src: int, dst: int) -> None:
         self._queue = queue
         self.src = src
         self.dst = dst
+        self.sent_messages = 0
+        self.recv_messages = 0
 
     def send(self, round_tag: int, entries: List[WireEntry]) -> None:
+        self.sent_messages += 1
         self._queue.put((round_tag, entries))
 
     def recv(self, expected_round: int) -> List[WireEntry]:
@@ -127,7 +150,20 @@ class PipeChannel:
                 f"worker {self.src}: round {round_tag}, expected "
                 f"{expected_round}"
             )
+        self.recv_messages += 1
         return entries
+
+    def counters(self) -> Dict[str, int]:
+        """Message counts, shaped like :meth:`ShmRing.counters`.
+
+        Pipes pickle on a feeder thread and copy through the kernel, so
+        occupancy/backpressure numbers have no pipe equivalent — only
+        the message counts are meaningful here.
+        """
+        return {
+            "sent_messages": self.sent_messages,
+            "recv_messages": self.recv_messages,
+        }
 
 
 @dataclass
@@ -144,6 +180,13 @@ class ShardContext:
     #: chosen by the run driver; the round loop is transport-agnostic.
     channels: Dict[Tuple[int, int], Any]
     result_queue: Any
+    #: A :class:`~repro.obs.prof.ProfileConfig` to enable the per-round
+    #: phase profiler, or None (default) for the uninstrumented loop.
+    profile: Optional[Any] = None
+    #: Parent ``perf_counter`` stamped just before forking — the shared
+    #: epoch every worker's :class:`~repro.obs.prof.ClockSync` anchors
+    #: its trace timestamps to.
+    epoch_s: float = 0.0
 
 
 def _build_attachments(
@@ -305,8 +348,77 @@ def _collect_result(
     return result
 
 
+def _setup_profile(
+    context: ShardContext,
+    entry_s: float,
+    send_channels: Dict[int, Any],
+) -> Tuple[Optional[PhaseRecorder], Optional[ClockSync]]:
+    """Build the phase recorder + clock sync for a profiled run.
+
+    Returns ``(None, None)`` on unprofiled runs so every instrumentation
+    site below stays behind one ``is not None`` check.  Outgoing shm
+    rings get the recorder as their ``phase_sink`` so their staging loop
+    shows up as ``serialize`` instead of vanishing into ``send``.
+    """
+    config = context.profile
+    if config is None:
+        return None, None
+    clock = ClockSync(epoch_s=context.epoch_s, entry_s=entry_s)
+    if config.overhead_probe:
+        recorder: PhaseRecorder = ProbeRecorder(
+            config.ring_capacity, sleep_s=config.probe_sleep_s
+        )
+    else:
+        recorder = PhaseRecorder(config.ring_capacity)
+    for channel in send_channels.values():
+        if hasattr(channel, "phase_sink"):
+            channel.phase_sink = recorder
+    return recorder, clock
+
+
+def _collect_profile(
+    recorder: PhaseRecorder,
+    clock: ClockSync,
+    worker_id: int,
+    peers: List[int],
+    send_channels: Dict[int, Any],
+    recv_channels: Dict[int, Any],
+    outboxes: Dict[int, Outbox],
+) -> WorkerProfile:
+    """Package this worker's recorder + transport counters for shipping.
+
+    A worker is authoritative for the directions it drove: the send
+    side of its outgoing channels and the receive side of its incoming
+    ones (channel counters are per-process ints, so each fork's copy
+    holds exactly that half).
+    """
+    channel_counters: Dict[str, Dict[str, Any]] = {}
+    for peer in peers:
+        counters = getattr(send_channels[peer], "counters", None)
+        if counters is not None:
+            entry = dict(counters())
+            entry["role"] = "send"
+            channel_counters[f"{worker_id}->{peer}"] = entry
+        counters = getattr(recv_channels[peer], "counters", None)
+        if counters is not None:
+            entry = dict(counters())
+            entry["role"] = "recv"
+            channel_counters[f"{peer}->{worker_id}"] = entry
+    outbox_stats = {
+        peer: {
+            "total_entries": outbox.total_entries,
+            "peak_entries": outbox.peak_entries,
+        }
+        for peer, outbox in outboxes.items()
+    }
+    return WorkerProfile.from_recorder(
+        worker_id, recorder, clock, channel_counters, outbox_stats
+    )
+
+
 def run_shard(context: ShardContext, worker_id: int) -> WorkerResult:
     """Execute one worker's shard to the target cycle; returns its result."""
+    entry_s = perf_counter()  # clock-sync stamp: first post-fork reading
     simulation = context.simulation
     plan = context.plan
     quantum = context.quantum
@@ -322,10 +434,12 @@ def run_shard(context: ShardContext, worker_id: int) -> WorkerResult:
     send_channels = {
         peer: context.channels[(worker_id, peer)] for peer in peers
     }
+    recorder, clock = _setup_profile(context, entry_s, send_channels)
     if simulation.engine == "batched":
         return _run_shard_batched(
             context, worker_id, shard, attachments, outboxes,
             inbound_side, peers, recv_channels, send_channels,
+            recorder, clock,
         )
     hook = simulation.fault_hook
 
@@ -351,16 +465,27 @@ def run_shard(context: ShardContext, worker_id: int) -> WorkerResult:
     transport_send_s = 0.0
     transport_recv_s = 0.0
     wall_start = perf_counter()
+    cpu_start = process_time()
     while cycle < context.target_cycle:
+        if recorder is not None:
+            recorder.round_begin()
         if rounds > 0:
             recv_start = perf_counter() if measure else 0.0
             for channel in recv_list:
-                for link_index, batch in channel.recv(rounds - 1):
+                entries = channel.recv(rounds - 1)
+                if recorder is not None:
+                    # Blocking for the peer's message is recv_wait;
+                    # delivering its windows into local queues is gap
+                    # handling, marked after the delivery loop below.
+                    recorder.mark(P_RECV_WAIT)
+                for link_index, batch in entries:
                     endpoint = endpoints[link_index]
                     if type(batch) is LostWindow:
                         endpoint.mark_gap(batch.start_cycle, batch.end_cycle)
                     else:
                         endpoint.push(batch)
+                if recorder is not None:
+                    recorder.mark(P_GAP)
             if measure:
                 transport_recv_s += perf_counter() - recv_start
         if hook is not None:
@@ -392,20 +517,26 @@ def run_shard(context: ShardContext, worker_id: int) -> WorkerResult:
                 valid_tokens_moved += batch.valid_count
             if hook is not None:
                 hook(cycle, model)
+        if recorder is not None:
+            recorder.mark(P_COMPUTE)
         send_start = perf_counter() if measure else 0.0
         for channel, outbox in send_list:
             channel.send(rounds, outbox.drain())
         if measure:
             transport_send_s += perf_counter() - send_start
+        if recorder is not None:
+            recorder.mark(P_SEND)
+            recorder.round_end()
         cycle += quantum
         rounds += 1
+    cpu_seconds = process_time() - cpu_start
     wall_seconds = perf_counter() - wall_start
     boundary_valid_tokens = sum(
         attachment.sent_valid
         for attachment in attachments.values()
         if isinstance(attachment, RemoteAttachment)
     )
-    return _collect_result(
+    result = _collect_result(
         context,
         worker_id,
         shard,
@@ -422,6 +553,13 @@ def run_shard(context: ShardContext, worker_id: int) -> WorkerResult:
         transport_send_s,
         transport_recv_s,
     )
+    result.cpu_seconds = cpu_seconds
+    if recorder is not None and clock is not None:
+        result.profile = _collect_profile(
+            recorder, clock, worker_id, peers,
+            send_channels, recv_channels, outboxes,
+        )
+    return result
 
 
 def _run_shard_batched(
@@ -434,6 +572,8 @@ def _run_shard_batched(
     peers: List[int],
     recv_channels: Dict[int, Any],
     send_channels: Dict[int, Any],
+    recorder: Optional[PhaseRecorder] = None,
+    clock: Optional[ClockSync] = None,
 ) -> WorkerResult:
     """The batched-engine twin of the scalar loop in :func:`run_shard`.
 
@@ -444,6 +584,10 @@ def _run_shard_batched(
     in-place-shifted empty batches for idle ones) via
     :meth:`~repro.dist.remote_link.RemoteAttachment.ship` — the peer's
     ``deliver`` pushes them unchanged.
+
+    Phase recording rides the same hooks: ``pre_round`` opens the row
+    and marks the recv/gap segments, ``post_round`` marks the engine's
+    tick loop as compute, the outbox flush as send, and closes the row.
     """
     from repro.perf.engine import RoundProgress, compile_slots, run_rounds
 
@@ -457,25 +601,38 @@ def _run_shard_batched(
     transport_seconds = [0.0, 0.0]
 
     def pre_round(cycle: int, rounds: int) -> None:
+        if recorder is not None:
+            recorder.round_begin()
         if rounds == 0:
             return
         recv_start = perf_counter() if measure else 0.0
         for channel in recv_list:
-            for link_index, batch in channel.recv(rounds - 1):
+            entries = channel.recv(rounds - 1)
+            if recorder is not None:
+                recorder.mark(P_RECV_WAIT)
+            for link_index, batch in entries:
                 endpoint = endpoints[link_index]
                 if type(batch) is LostWindow:
                     endpoint.mark_gap(batch.start_cycle, batch.end_cycle)
                 else:
                     endpoint.push(batch)
+            if recorder is not None:
+                recorder.mark(P_GAP)
         if measure:
             transport_seconds[1] += perf_counter() - recv_start
 
     def post_round(cycle: int, rounds: int) -> None:
+        if recorder is not None:
+            # Everything since the last mark is the engine's tick loop.
+            recorder.mark(P_COMPUTE)
         send_start = perf_counter() if measure else 0.0
         for channel, outbox in send_list:
             channel.send(rounds - 1, outbox.drain())
         if measure:
             transport_seconds[0] += perf_counter() - send_start
+        if recorder is not None:
+            recorder.mark(P_SEND)
+            recorder.round_end()
 
     def diagnose(model: Any, cycle: int) -> TokenStarvationError:
         return _starvation_diagnostic(
@@ -488,6 +645,7 @@ def _run_shard_batched(
     start_cycle = simulation.current_cycle
     progress = RoundProgress(start_cycle)
     wall_start = perf_counter()
+    cpu_start = process_time()
     run_rounds(
         slots,
         quantum,
@@ -500,13 +658,14 @@ def _run_shard_batched(
         post_round=post_round,
         diagnose=diagnose,
     )
+    cpu_seconds = process_time() - cpu_start
     wall_seconds = perf_counter() - wall_start
     boundary_valid_tokens = sum(
         attachment.sent_valid
         for attachment in attachments.values()
         if isinstance(attachment, RemoteAttachment)
     )
-    return _collect_result(
+    result = _collect_result(
         context,
         worker_id,
         shard,
@@ -523,6 +682,13 @@ def _run_shard_batched(
         transport_seconds[0],
         transport_seconds[1],
     )
+    result.cpu_seconds = cpu_seconds
+    if recorder is not None and clock is not None:
+        result.profile = _collect_profile(
+            recorder, clock, worker_id, peers,
+            send_channels, recv_channels, outboxes,
+        )
+    return result
 
 
 def _release_channels(context: ShardContext) -> None:

@@ -22,6 +22,11 @@ Observability:
 * ``--telemetry-out DIR`` dumps ``metrics.json``/``metrics.csv`` and a
   Chrome ``trace.json`` (open in ``chrome://tracing`` or Perfetto)
   after the verbs complete;
+* ``profile`` (a verb after a ``--workers N`` ``runworkload``) turns on
+  the distributed round-phase profiler and prints per-worker phase
+  attribution plus critical-path analysis; ``--profile-out DIR`` dumps
+  the telemetry artifacts *plus* ``phase_report.json`` and the merged
+  multi-process trace;
 * ``--json`` replaces the free-form text with one machine-parseable
   JSON object on stdout — ``{"verbs": {<verb>: <summary>, ...}}`` —
   for scripting runs.
@@ -58,6 +63,7 @@ VERBS = (
     "infrasetup",
     "runworkload",
     "status",
+    "profile",
     "terminaterunfarm",
 )
 
@@ -142,6 +148,10 @@ def make_parser() -> argparse.ArgumentParser:
                         help="print one JSON object instead of text")
     parser.add_argument("--telemetry-out", metavar="DIR", default=None,
                         help="dump metrics.json/metrics.csv/trace.json here")
+    parser.add_argument("--profile-out", metavar="DIR", default=None,
+                        help="profile distributed rounds and dump the "
+                             "telemetry artifacts plus phase_report.json "
+                             "and the merged cross-process trace here")
     parser.add_argument("--fault-plan", metavar="PLAN.json", default=None,
                         help="inject the faults described in this seeded "
                              "JSON plan (chaos testing)")
@@ -153,6 +163,14 @@ def make_parser() -> argparse.ArgumentParser:
                         help="take a recovery checkpoint every MS "
                              "milliseconds of target time")
     return parser
+
+
+def _load_imbalance(per_worker_rate_mhz: Dict[Any, float]) -> Optional[float]:
+    """Fastest/slowest partition rate, or None when not meaningful."""
+    rates = [rate for rate in per_worker_rate_mhz.values() if rate > 0.0]
+    if len(rates) < 2:
+        return None
+    return max(rates) / min(rates)
 
 
 def _run_verb(
@@ -242,6 +260,9 @@ def _run_verb(
                 key=lambda item: int(item[0]),
             ):
                 lines.append(f"  partition {worker}: {rate:.3f} MHz")
+            imbalance = _load_imbalance(distributed["per_worker_rate_mhz"])
+            if imbalance is not None:
+                lines.append(f"  load imbalance: {imbalance:.2f}x")
             summary["distributed"] = distributed
         return lines, summary
 
@@ -277,6 +298,9 @@ def _run_verb(
                 key=lambda item: int(item[0]),
             ):
                 lines.append(f"  partition {worker}: {rate:.3f} MHz")
+            imbalance = _load_imbalance(distributed["per_worker_rate_mhz"])
+            if imbalance is not None:
+                lines.append(f"  load imbalance: {imbalance:.2f}x")
             summary["distributed"] = distributed
         resilience = manager.resilience_summary()
         lines.append(
@@ -294,6 +318,10 @@ def _run_verb(
             lines.append(f"  {entry}")
         summary["resilience"] = resilience
         return lines, summary
+
+    if verb == "profile":
+        report = manager.phase_report()
+        return report.summary_lines(), report.to_dict()
 
     if verb == "terminaterunfarm":
         manager.terminaterunfarm()
@@ -351,6 +379,8 @@ def _main(args: argparse.Namespace, out) -> int:
     )
     if args.telemetry_out or "status" in args.verbs:
         manager.enable_telemetry()
+    if args.profile_out or "profile" in args.verbs:
+        manager.enable_profiling()
 
     summaries: Dict[str, Any] = {}
     for verb in args.verbs:
@@ -361,12 +391,16 @@ def _main(args: argparse.Namespace, out) -> int:
                 print(line, file=out)
 
     document: Dict[str, Any] = {"verbs": summaries}
-    if args.telemetry_out:
-        written = manager.dump_telemetry(args.telemetry_out)
-        document["telemetry"] = written
+    for flag, out_dir in (
+        ("telemetry", args.telemetry_out), ("profile", args.profile_out),
+    ):
+        if not out_dir:
+            continue
+        written = manager.dump_telemetry(out_dir)
+        document[flag] = written
         if not args.json:
             for artifact, path in sorted(written.items()):
-                print(f"telemetry: {artifact} -> {path}", file=out)
+                print(f"{flag}: {artifact} -> {path}", file=out)
     if args.json:
         print(json.dumps(document, indent=2, sort_keys=True), file=out)
     return 0

@@ -53,6 +53,7 @@ from repro.manager.runfarm import RunFarmConfig, RunningSimulation, elaborate
 from repro.manager.topology import SwitchNode
 from repro.manager.workload import WorkloadResult, WorkloadSpec, run_workload
 from repro.net.transport import HeartbeatMonitor
+from repro.obs.prof import PhaseReport, ProfileConfig
 from repro.obs.rate import RateReport
 from repro.obs.session import TelemetrySession
 from repro.obs.trace import get_trace_sink
@@ -100,6 +101,10 @@ class FireSimManager:
         self.deployment: Optional[Deployment] = None
         self.running: Optional[RunningSimulation] = None
         self.telemetry: Optional[TelemetrySession] = None
+        #: When set (see :meth:`enable_profiling`), distributed runs
+        #: carry per-worker phase recorders and ``runworkload`` yields a
+        #: :class:`~repro.obs.prof.PhaseReport`.
+        self.profile_config: Optional[ProfileConfig] = None
         # -- resilience (Section III-B3: the manager babysits an elastic
         # spot-market fleet, so host failure is the common case) --------
         self.fault_stats = ResilienceStats()
@@ -146,6 +151,30 @@ class FireSimManager:
             if self.running is not None:
                 self.telemetry.attach_running(self.running)
         return self.telemetry
+
+    def enable_profiling(
+        self, config: Optional[ProfileConfig] = None
+    ) -> ProfileConfig:
+        """Turn on the distributed round-phase profiler.
+
+        Profiling rides on telemetry (the phase report and merged trace
+        export through the session), so this enables telemetry too.
+        Serial runs ignore the config — only worker round loops carry
+        recorders.  Idempotent; returns the active config.
+        """
+        self.enable_telemetry()
+        if self.profile_config is None:
+            self.profile_config = config or ProfileConfig()
+        return self.profile_config
+
+    def phase_report(self) -> PhaseReport:
+        """The last profiled distributed run's phase attribution."""
+        if self.telemetry is None or self.telemetry.phase_report is None:
+            raise ManagerError(
+                "no profiled distributed run yet: enable_profiling and run "
+                "a workload with workers > 1 before reading phase_report"
+            )
+        return self.telemetry.phase_report
 
     def _span(self, verb: str) -> ContextManager[Any]:
         if self.telemetry is None:
@@ -445,6 +474,7 @@ class FireSimManager:
                     total_cycles,
                     measure=self.telemetry is not None,
                     transport=self.transport,
+                    profile=self.profile_config,
                 )
                 if (
                     self.transport == "shm"

@@ -21,8 +21,14 @@ collect all of that:
   wall-clock per simulation quantum and reports achieved MHz plus
   per-model host-time shares: the *measured* counterpart to
   :class:`repro.host.perfmodel.SimulationRateModel`'s predictions.
-* :mod:`repro.obs.export` — ``metrics.json`` / ``trace.json`` dumps
-  (validated by ``scripts/check_telemetry.py``).
+* :mod:`repro.obs.prof` — the distributed round-phase profiler:
+  per-worker :class:`PhaseRecorder` rings, fork-time
+  :class:`ClockSync`, and the aggregated :class:`PhaseReport` with
+  critical-path attribution (the measured decomposition behind the
+  paper's Section VI scaling discussion).
+* :mod:`repro.obs.export` — ``metrics.json`` / ``trace.json`` /
+  ``phase_report.json`` dumps (validated by
+  ``scripts/check_telemetry.py``).
 * :mod:`repro.obs.session` — :class:`TelemetrySession`, the bundle the
   manager wires through its lifecycle verbs.
 
@@ -37,6 +43,17 @@ from repro.obs.metrics import (
     Histogram,
     MetricsRegistry,
 )
+from repro.obs.prof import (
+    PHASES,
+    PROFILE_SCHEMA,
+    WORKER_PID_BASE,
+    ClockSync,
+    PhaseRecorder,
+    PhaseReport,
+    ProbeRecorder,
+    ProfileConfig,
+    WorkerProfile,
+)
 from repro.obs.rate import RateMonitor, RateReport
 from repro.obs.session import TelemetrySession
 from repro.obs.trace import (
@@ -48,16 +65,25 @@ from repro.obs.trace import (
 )
 
 __all__ = [
+    "PHASES",
+    "PROFILE_SCHEMA",
+    "WORKER_PID_BASE",
     "ChromeTraceSink",
+    "ClockSync",
     "Counter",
     "Gauge",
     "Histogram",
     "MetricsRegistry",
     "NullTraceSink",
+    "PhaseRecorder",
+    "PhaseReport",
+    "ProbeRecorder",
+    "ProfileConfig",
     "RateMonitor",
     "RateReport",
     "TelemetrySession",
     "TraceSink",
+    "WorkerProfile",
     "dump_telemetry",
     "get_trace_sink",
     "set_trace_sink",

@@ -9,6 +9,7 @@ simulation.
 
 from __future__ import annotations
 
+import json
 import os
 from typing import Any, Dict, Optional
 
@@ -18,6 +19,7 @@ from repro.obs.trace import ChromeTraceSink
 METRICS_FILE = "metrics.json"
 METRICS_CSV_FILE = "metrics.csv"
 TRACE_FILE = "trace.json"
+PROFILE_FILE = "phase_report.json"
 
 
 def dump_telemetry(
@@ -25,8 +27,13 @@ def dump_telemetry(
     registry: MetricsRegistry,
     sink: Optional[ChromeTraceSink] = None,
     extra: Optional[Dict[str, Any]] = None,
+    phase_report: Optional[Dict[str, Any]] = None,
 ) -> Dict[str, str]:
     """Write metrics (JSON + CSV) and, if traced, the Chrome trace.
+
+    ``phase_report`` — a serialized
+    :class:`~repro.obs.prof.PhaseReport` from a profiled distributed
+    run — additionally lands as ``phase_report.json``.
 
     Returns ``{artifact-name: path}`` for everything written.
     """
@@ -50,5 +57,12 @@ def dump_telemetry(
             fh.write(sink.to_json())
             fh.write("\n")
         written[TRACE_FILE] = trace_path
+
+    if phase_report is not None:
+        profile_path = os.path.join(out_dir, PROFILE_FILE)
+        with open(profile_path, "w", encoding="utf-8") as fh:
+            json.dump(phase_report, fh, indent=1)
+            fh.write("\n")
+        written[PROFILE_FILE] = profile_path
 
     return written

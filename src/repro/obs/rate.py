@@ -43,6 +43,10 @@ class RateReport:
     #: on the receive side, summed over workers.
     transport_send_seconds: float = 0.0
     transport_recv_seconds: float = 0.0
+    #: Per-worker achieved MHz from the last distributed run (empty for
+    #: serial runs) — kept un-collapsed so shard load imbalance is
+    #: visible in ``status`` output.
+    worker_rates: Dict[int, float] = field(default_factory=dict)
 
     @property
     def rate_hz(self) -> float:
@@ -68,6 +72,22 @@ class RateReport:
         return (
             self.transport_send_seconds + self.transport_recv_seconds
         ) / self.rounds
+
+    @property
+    def load_imbalance(self) -> float:
+        """Fastest over slowest worker rate; 1.0 when balanced/serial.
+
+        Lockstep pins every worker's wall clock to the slowest shard's,
+        so shards rarely diverge in wall time — but a *busy-time*
+        imbalance still shows up here because each worker's rate is its
+        cycles over its own wall, and a shard that finishes its last
+        round's work early exits sooner.  Values well above 1.0 mean
+        the partitioner handed one worker more model than the others.
+        """
+        rates = [rate for rate in self.worker_rates.values() if rate > 0.0]
+        if len(rates) < 2:
+            return 1.0
+        return max(rates) / min(rates)
 
     @property
     def host_time_shares(self) -> Dict[str, float]:
@@ -96,7 +116,7 @@ class RateReport:
         return self.rate_hz / predicted
 
     def to_dict(self) -> Dict[str, Any]:
-        return {
+        out: Dict[str, Any] = {
             "wall_seconds": self.wall_seconds,
             "cycles": self.cycles,
             "rounds": self.rounds,
@@ -108,6 +128,13 @@ class RateReport:
             "transport_recv_seconds": self.transport_recv_seconds,
             "transport_seconds_per_round": self.transport_seconds_per_round,
         }
+        if self.worker_rates:
+            out["worker_rates_mhz"] = {
+                str(worker): rate
+                for worker, rate in sorted(self.worker_rates.items())
+            }
+            out["load_imbalance"] = self.load_imbalance
+        return out
 
 
 class RateMonitor:
@@ -127,6 +154,7 @@ class RateMonitor:
         self.model_host_seconds: Dict[str, float] = {}
         self.transport_send_seconds = 0.0
         self.transport_recv_seconds = 0.0
+        self.worker_rates: Dict[int, float] = {}
         self._min_round_s = float("inf")
         self._max_round_s = 0.0
 
@@ -210,6 +238,7 @@ class RateMonitor:
         model_host_seconds: Optional[Dict[str, float]] = None,
         transport_send_seconds: float = 0.0,
         transport_recv_seconds: float = 0.0,
+        worker_rates: Optional[Dict[int, float]] = None,
     ) -> None:
         """Fold a remote run's measurements into this monitor.
 
@@ -222,10 +251,14 @@ class RateMonitor:
         mean round time feeds the min/max envelope.  The transport
         seconds are the workers' summed time inside send/recv calls
         (the per-round overhead the distributed benches report per
-        transport).
+        transport).  ``worker_rates`` keeps each worker's achieved MHz
+        un-collapsed (later runs overwrite per worker id) so the report
+        can surface shard load imbalance.
         """
         if rounds <= 0:
             return
+        if worker_rates:
+            self.worker_rates.update(worker_rates)
         self.rounds += rounds
         self.cycles += cycles
         self.wall_seconds += wall_seconds
@@ -254,6 +287,7 @@ class RateMonitor:
             max_round_s=self._max_round_s,
             transport_send_seconds=self.transport_send_seconds,
             transport_recv_seconds=self.transport_recv_seconds,
+            worker_rates=dict(self.worker_rates),
         )
 
     def register_metrics(self, registry: Any, prefix: str = "sim") -> None:

@@ -23,6 +23,7 @@ from typing import Any, Dict, Iterator, Optional
 
 from repro.obs.export import dump_telemetry
 from repro.obs.metrics import MetricsRegistry
+from repro.obs.prof import PhaseReport
 from repro.obs.rate import RateMonitor, RateReport
 from repro.obs.trace import ChromeTraceSink, set_trace_sink
 
@@ -36,6 +37,7 @@ class TelemetrySession:
             ChromeTraceSink(freq_hz=freq_hz) if trace else None
         )
         self.rate = RateMonitor(trace=self.sink)
+        self.phase_report: Optional[PhaseReport] = None
         self._installed = False
         self._rate_metrics_registered = False
 
@@ -83,7 +85,11 @@ class TelemetrySession:
         tick profile feeds the shared :class:`RateMonitor` (so
         ``rate_report`` covers distributed cycles too) and each worker's
         achieved rate lands as a ``dist.worker<N>.rate_mhz`` gauge for
-        per-partition ``status`` output.
+        per-partition ``status`` output.  When the run was profiled
+        (``result.profiled``), the per-worker phase rings aggregate into
+        :attr:`phase_report`, shm-ring counters land as ``dist.shm.*``
+        gauges, and each worker's trace track merges into the session's
+        sink so the exported ``trace.json`` is one openable timeline.
         """
         merged_ticks: Dict[str, float] = {}
         for worker in result.workers:
@@ -102,6 +108,10 @@ class TelemetrySession:
             merged_ticks,
             transport_send_seconds=send_seconds,
             transport_recv_seconds=recv_seconds,
+            worker_rates={
+                worker.worker_id: worker.rate_mhz()
+                for worker in result.workers
+            },
         )
         self.registry.gauge("dist.num_workers").set(float(result.num_workers))
         self.registry.gauge("dist.boundary_links").set(
@@ -114,10 +124,42 @@ class TelemetrySession:
         self.registry.gauge("dist.transport_shm").set(
             1.0 if result.transport == "shm" else 0.0
         )
+        requested = getattr(result, "requested_transport", result.transport)
+        self.registry.gauge("dist.transport_fallback").set(
+            1.0 if requested == "shm" and result.transport != "shm" else 0.0
+        )
         for worker in result.workers:
             self.registry.gauge(
                 f"dist.worker{worker.worker_id}.rate_mhz"
             ).set(worker.rate_mhz())
+        if getattr(result, "profiled", False):
+            self._absorb_profiles(result)
+
+    def _absorb_profiles(self, result: Any) -> None:
+        """Aggregate a profiled run: report, ring gauges, merged trace."""
+        self.phase_report = PhaseReport.from_result(result)
+        high_water = 0.0
+        wakeups = 0.0
+        stalls = 0.0
+        streaming = 0.0
+        for profile in self.phase_report.profiles:
+            for counters in profile.channel_counters.values():
+                high_water = max(
+                    high_water, float(counters.get("high_water_bytes", 0))
+                )
+                wakeups += float(counters.get("blocked_wakeups", 0))
+                stalls += float(counters.get("backpressure_stalls", 0))
+                streaming += float(counters.get("streaming_sends", 0))
+        self.registry.gauge("dist.shm.high_water_bytes").set(high_water)
+        self.registry.gauge("dist.shm.blocked_wakeups").set(wakeups)
+        self.registry.gauge("dist.shm.backpressure_stalls").set(stalls)
+        self.registry.gauge("dist.shm.streaming_sends").set(streaming)
+        self.registry.gauge("dist.profile.overhead_ratio").set(
+            self.phase_report.profiling_overhead_ratio()
+        )
+        if self.sink is not None:
+            for profile in self.phase_report.profiles:
+                self.sink.absorb_events(profile.trace_events())
 
     @contextmanager
     def span(self, name: str, cat: str = "manager") -> Iterator[None]:
@@ -139,10 +181,18 @@ class TelemetrySession:
     def dump(
         self, out_dir: str, extra: Optional[Dict[str, Any]] = None
     ) -> Dict[str, str]:
-        """Write metrics.json/metrics.csv/trace.json into ``out_dir``."""
+        """Write metrics.json/metrics.csv/trace.json into ``out_dir``.
+
+        A profiled distributed run additionally writes
+        ``phase_report.json`` (schema ``repro.obs.prof/v1``).
+        """
         payload = {"rate": self.rate_report().to_dict()}
         if extra:
             payload.update(extra)
         return dump_telemetry(
-            out_dir, self.registry, sink=self.sink, extra=payload
+            out_dir, self.registry, sink=self.sink, extra=payload,
+            phase_report=(
+                self.phase_report.to_dict()
+                if self.phase_report is not None else None
+            ),
         )

@@ -155,6 +155,24 @@ class ChromeTraceSink(TraceSink):
             "args": dict(args or {}),
         })
 
+    # -- cross-process merge ---------------------------------------------
+
+    def absorb_events(self, events: List[Dict[str, Any]]) -> None:
+        """Merge pre-built Chrome events (e.g. a worker's profiler track).
+
+        Metadata (``"ph": "M"``) events — process/thread names for the
+        worker pids — bypass the cap so merged tracks stay labelled even
+        in a saturated sink; real events go through :meth:`_emit` and
+        count against ``max_events`` like local ones.  Timestamps must
+        already be in this sink's host-time domain (the distributed
+        profiler rebases worker clocks at collection time).
+        """
+        for event in events:
+            if event.get("ph") == "M":
+                self.events.append(event)
+            else:
+                self._emit(event)
+
     # -- export ----------------------------------------------------------
 
     def to_document(self) -> Dict[str, Any]:

@@ -36,6 +36,21 @@ def dist_doc(modeled):
     }
 
 
+def dist_doc_v3(shm_over_pipe=2.0, profiler_pipe=1.01, profiler_shm=1.00):
+    return {
+        "schema": "repro.bench.dist/v3",
+        "speedup": {
+            "modeled": {"pipe": {"2": 1.3}, "shm": {"2": 1.9}},
+            "shm_over_pipe_measured": {"2": shm_over_pipe},
+        },
+        "profiler": {
+            "overhead_ratio": {"pipe": profiler_pipe, "shm": profiler_shm},
+            "method": "alternate-round probe",
+            "workers": 2,
+        },
+    }
+
+
 def write(tmp_path, name, document):
     path = tmp_path / name
     path.write_text(json.dumps(document))
@@ -64,6 +79,13 @@ class TestExtractRatios:
 
     def test_non_numeric_ratio_ignored(self):
         assert checker.extract_ratios(core_doc("fast")) == {}
+
+    def test_v3_schema_extracts_profiler_ratios(self):
+        ratios = checker.extract_ratios(dist_doc_v3())
+        assert ratios["profiler.overhead_ratio[pipe]"] == 1.01
+        assert ratios["profiler.overhead_ratio[shm]"] == 1.00
+        assert ratios["speedup.shm_over_pipe_measured[2]"] == 2.0
+        assert ratios["speedup.modeled[shm][2]"] == 1.9
 
 
 class TestCompare:
@@ -122,6 +144,35 @@ class TestCompare:
         assert failures
         assert "no comparable" in failures[0]
 
+    def test_profiler_overhead_over_ceiling_fails(self):
+        """The ceiling is absolute: agreeing documents still trip it."""
+        slow = dist_doc_v3(
+            profiler_pipe=checker.PROFILER_OVERHEAD_CEILING + 0.1
+        )
+        failures, _ = checker.compare(slow, slow, 0.20)
+        assert any("ceiling" in f for f in failures)
+
+    def test_profiler_overhead_under_ceiling_passes(self):
+        healthy = dist_doc_v3()
+        failures, warnings = checker.compare(healthy, healthy, 0.20)
+        assert not failures
+        assert not warnings
+
+    def test_profiler_overhead_exempt_from_relative_band(self):
+        """A faster profiler must not trigger the improvement warning."""
+        failures, warnings = checker.compare(
+            dist_doc_v3(profiler_pipe=1.04),
+            dist_doc_v3(profiler_pipe=0.99),
+            0.20,
+        )
+        assert not failures
+        assert not warnings
+
+    def test_shm_floor_applies_to_v3(self):
+        sunk = dist_doc_v3(shm_over_pipe=checker.SHM_OVER_PIPE_FLOOR - 0.2)
+        failures, _ = checker.compare(sunk, sunk, 0.20)
+        assert any("floor" in f for f in failures)
+
 
 class TestMain:
     def test_regression_exits_nonzero(self, tmp_path):
@@ -154,6 +205,13 @@ class TestMain:
                 "--self-test",
                 write(tmp_path, "base.json", dist_doc({"2": 1.3, "8": 3.2})),
             ]
+        )
+        assert code == 0
+
+    def test_self_test_covers_v3_schema(self, tmp_path):
+        """v3 self-test exercises the profiler ceiling injection."""
+        code = checker.main(
+            ["--self-test", write(tmp_path, "base.json", dist_doc_v3())]
         )
         assert code == 0
 
