@@ -23,9 +23,14 @@ enabled — and checks that:
 * distributed sessions over BOTH transports (``--transport pipe`` and
   ``--transport shm``) reproduce the serial session's ping results
   exactly — including a chaos run that crashes a worker mid-flight over
-  shm — and ``/dev/shm`` holds no repro ring segments afterwards (the
-  listing is snapshotted before and after, so a leak in any teardown
-  path fails the build).
+  shm — and ``/dev/shm`` holds no repro ring or heartbeat segments
+  afterwards (the listing is snapshotted before and after, so a leak in
+  any teardown path fails the build);
+* supervised chaos: a livelocked worker (``worker-hang``) is detected
+  by the heartbeat supervisor, killed, and recovered bit-identically;
+  an injected shm frame bit-flip (``ring-corrupt``) is caught by the
+  frame CRCs and recovered bit-identically — both surface in the
+  ``status`` resilience counters and leak no processes or segments.
 
 Exits non-zero with a message on the first violation; prints a one-line
 summary on success.  Intended for CI smoke tests — stdlib + repro only.
@@ -41,7 +46,11 @@ sys.path.insert(
     0, os.path.join(os.path.dirname(os.path.dirname(__file__)), "src")
 )
 
-from repro.dist.shm import SEGMENT_PREFIX, leaked_segments  # noqa: E402
+from repro.dist.shm import (  # noqa: E402
+    HEARTBEAT_PREFIX,
+    SEGMENT_PREFIX,
+    leaked_segments,
+)
 from repro.manager.cli import main  # noqa: E402
 
 PLAN = {
@@ -183,6 +192,56 @@ def main_check():
                 f"{dist_faulted['status']['resilience']['restores']}"
             )
 
+        # Supervised chaos: a worker livelocked mid-run must be caught
+        # by the heartbeat supervisor (not a transport timeout), killed,
+        # and the workload recovered bit-identically from checkpoint.
+        hang_plan = os.path.join(tmp, "hang.json")
+        with open(hang_plan, "w") as fh:
+            json.dump({"seed": 3, "faults": [
+                {"kind": "worker-hang", "point": "runworkload",
+                 "at_cycle": 1_000_000, "target": "worker:1"},
+            ]}, fh)
+        hung = run_session(
+            ["--fault-plan", hang_plan, "--workers", "2",
+             "--fpgas-per-instance", "1", "--hang-timeout", "1"]
+        )
+        if hung["runworkload"]["ping"] != clean["runworkload"]["ping"]:
+            fail("hung-worker run diverged from the serial ping results")
+        hung_resilience = hung["status"]["resilience"]
+        if hung_resilience["hangs_detected"] != 1:
+            fail(f"expected 1 hang detected, "
+                 f"got {hung_resilience['hangs_detected']}")
+        if hung_resilience["workers_killed"] < 1:
+            fail("hung worker was not killed")
+        if hung_resilience["restores"] != 1:
+            fail(f"hung-worker run expected 1 restore, "
+                 f"got {hung_resilience['restores']}")
+
+        # Supervised chaos over shm: a frame bit-flip must be caught by
+        # the ring CRCs (typed ring corruption, not decoded garbage) and
+        # recovered bit-identically.
+        corrupt_plan = os.path.join(tmp, "corrupt.json")
+        with open(corrupt_plan, "w") as fh:
+            json.dump({"seed": 4, "faults": [
+                {"kind": "ring-corrupt", "point": "runworkload",
+                 "at_cycle": 1_000_000, "target": "ring:0->1"},
+            ]}, fh)
+        corrupted = run_session(
+            ["--fault-plan", corrupt_plan, "--workers", "2",
+             "--fpgas-per-instance", "1", "--transport", "shm"]
+        )
+        if corrupted["runworkload"]["ping"] != clean["runworkload"]["ping"]:
+            fail("ring-corrupt run diverged from the serial ping results")
+        corrupt_resilience = corrupted["status"]["resilience"]
+        if corrupt_resilience["ring_corruptions"] != 1:
+            fail(f"expected 1 ring corruption, "
+                 f"got {corrupt_resilience['ring_corruptions']}")
+        if corrupt_resilience["restores"] != 1:
+            fail(f"ring-corrupt run expected 1 restore, "
+                 f"got {corrupt_resilience['restores']}")
+        if corrupt_resilience["serial_fallbacks"] != 0:
+            fail("ring-corrupt run fell back to serial unexpectedly")
+
         # Leak check: /dev/shm before vs after the distributed sessions.
         leaks = leaked_segments()
         if leaks:
@@ -190,10 +249,10 @@ def main_check():
         new_rings = sorted(
             name
             for name in shm_listing() - shm_before
-            if name.startswith(SEGMENT_PREFIX)
+            if name.startswith((SEGMENT_PREFIX, HEARTBEAT_PREFIX))
         )
         if new_rings:
-            fail(f"/dev/shm grew ring segments: {new_rings}")
+            fail(f"/dev/shm grew repro segments: {new_rings}")
 
         # Exhausted retry budgets surface as a clean non-zero exit.
         stubborn = os.path.join(tmp, "stubborn.json")
@@ -215,7 +274,8 @@ def main_check():
         f"check_resilience: OK ({resilience['faults_injected']} faults, "
         f"{resilience['retries']} retries, "
         f"{resilience['restores']} restore, cycle-exact recovery; "
-        "pipe+shm distributed runs serial-exact, /dev/shm leak-free)"
+        "pipe+shm distributed runs serial-exact, hang+corrupt chaos "
+        "recovered, /dev/shm leak-free)"
     )
     return 0
 

@@ -16,8 +16,12 @@ instances:
 * :mod:`repro.dist.shm` — zero-copy shared-memory ring transport
   between worker pairs (:class:`ShmRing`), selected with
   ``transport="shm"``;
-* :mod:`repro.dist.engine` — fork workers, watch for crashes, merge
-  shard counters back (:func:`run_distributed`).
+* :mod:`repro.dist.supervisor` — liveness supervision: workers
+  heartbeat into a pre-fork shared control block
+  (:class:`HeartbeatBlock`) and the parent's :class:`Supervisor`
+  detects and kills hung workers against an adaptive round deadline;
+* :mod:`repro.dist.engine` — fork workers, watch for crashes and
+  hangs, merge shard counters back (:func:`run_distributed`).
 
 The headline property, enforced by ``tests/test_dist.py``: a
 distributed run is *bit-identical* to the serial engine in cycle
@@ -39,6 +43,11 @@ from repro.dist.remote_link import (
     deliver,
 )
 from repro.dist.shm import ShmRing, leaked_segments
+from repro.dist.supervisor import (
+    HeartbeatBlock,
+    Supervisor,
+    SupervisorConfig,
+)
 from repro.dist.worker import (
     PipeChannel,
     ShardContext,
@@ -49,6 +58,7 @@ from repro.dist.worker import (
 __all__ = [
     "BoundaryLink",
     "DistributedRunResult",
+    "HeartbeatBlock",
     "LostWindow",
     "Outbox",
     "PartitionPlan",
@@ -56,6 +66,8 @@ __all__ = [
     "RemoteAttachment",
     "ShardContext",
     "ShmRing",
+    "Supervisor",
+    "SupervisorConfig",
     "WorkerResult",
     "deliver",
     "leaked_segments",

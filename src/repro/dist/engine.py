@@ -16,10 +16,16 @@ serial run.
 
 A worker that dies — injected controller crash, starvation after a
 lost batch, or a genuine defect — is detected by the parent's poll
-loop (an ``("error", ...)`` report or a bare nonzero exit), surviving
-workers are torn down, and the failure is raised as a
-:class:`~repro.faults.plan.WorkerCrash` *host fault* so the manager's
-resilience layer can checkpoint-restore onto fewer workers.
+loop (an ``("error", ...)`` report or a bare dead-without-result
+process), surviving workers are torn down, and the failure is raised
+as a :class:`~repro.faults.plan.WorkerCrash` *host fault* so the
+manager's resilience layer can checkpoint-restore onto fewer workers.
+A worker that *hangs* is caught by the same loop through the
+:mod:`repro.dist.supervisor` heartbeat block: zero heartbeat progress
+past an adaptive deadline gets the worker killed (SIGTERM -> SIGKILL)
+and surfaces as :class:`~repro.faults.plan.WorkerHang`, and a shm
+frame that fails its integrity check is re-raised as the typed
+:class:`~repro.faults.plan.RingCorruption` the worker reported.
 
 Caveat, stated loudly: after a distributed run the parent's model
 *internals* (switch queues, blade kernels, link queues) are stale —
@@ -39,14 +45,23 @@ from typing import Any, Dict, List, Optional, Tuple
 from repro import ConfigError
 from repro.core.simulation import Simulation
 from repro.dist.partition import PartitionPlan
-from repro.dist.shm import DEFAULT_RING_CAPACITY, ShmRing
+from repro.dist.shm import (
+    DEFAULT_RING_CAPACITY,
+    DEFAULT_TRANSPORT_TIMEOUT_S,
+    ShmRing,
+)
+from repro.dist.supervisor import (
+    HeartbeatBlock,
+    Supervisor,
+    SupervisorConfig,
+)
 from repro.dist.worker import (
     PipeChannel,
     ShardContext,
     WorkerResult,
     shard_entry,
 )
-from repro.faults.plan import WorkerCrash
+from repro.faults.plan import RingCorruption, WorkerCrash, WorkerHang
 from repro.net.transport import SHM_RING, WORKER_PIPE, TransportSpec
 from repro.obs.prof import ProfileConfig
 
@@ -70,6 +85,11 @@ _POLL_INTERVAL_S = 0.2
 #: Grace period for a finished worker's process to exit after its
 #: result arrived.
 _JOIN_TIMEOUT_S = 10.0
+#: Grace period for a cleanly exited (code 0) worker's result to drain
+#: out of the queue's feeder pipe before the parent declares it dead
+#: without a result.  The put happens before the exit, so anything
+#: longer than a scheduler hiccup means the result is genuinely gone.
+_RESULT_GRACE_S = 2.0
 
 
 @dataclass
@@ -94,6 +114,9 @@ class DistributedRunResult:
     #: Transport the caller asked for; differs from ``transport`` only
     #: after a shm-unavailable fallback to pipes.
     requested_transport: str = "pipe"
+    #: The run's :meth:`Supervisor.report` — heartbeat/hang telemetry
+    #: for ``status --json`` and the ``dist.supervisor.*`` gauges.
+    supervision: Optional[Dict[str, Any]] = None
 
     @property
     def cycles(self) -> int:
@@ -238,6 +261,8 @@ class DistributedRunResult:
             out["modeled_rate_mhz"] = modeled
             out["modeled_serial_rate_mhz"] = self.modeled_serial_rate_mhz()
             out["modeled_speedup"] = self.modeled_speedup()
+        if self.supervision is not None:
+            out["supervision"] = self.supervision
         return out
 
 
@@ -265,6 +290,7 @@ def _build_channels(
     transport: str,
     context: Any,
     shm_capacity: int,
+    timeout_s: float = DEFAULT_TRANSPORT_TIMEOUT_S,
 ) -> Tuple[Dict[Tuple[int, int], Any], List[ShmRing], str]:
     """One channel per directed pair, honoring the requested transport.
 
@@ -278,7 +304,9 @@ def _build_channels(
         try:
             channels: Dict[Tuple[int, int], Any] = {}
             for src, dst in sorted(pairs):
-                ring = ShmRing.create(src, dst, capacity=shm_capacity)
+                ring = ShmRing.create(
+                    src, dst, capacity=shm_capacity, timeout_s=timeout_s
+                )
                 rings.append(ring)
                 channels[(src, dst)] = ring
             return channels, rings, "shm"
@@ -287,7 +315,9 @@ def _build_channels(
                 ring.destroy()
     return (
         {
-            (src, dst): PipeChannel(context.Queue(), src, dst)
+            (src, dst): PipeChannel(
+                context.Queue(), src, dst, timeout_s=timeout_s
+            )
             for src, dst in sorted(pairs)
         },
         [],
@@ -332,6 +362,9 @@ def run_distributed(
     transport: str = "pipe",
     shm_capacity: int = DEFAULT_RING_CAPACITY,
     profile: Optional[Any] = None,
+    supervision: Optional[SupervisorConfig] = None,
+    transport_timeout_s: float = DEFAULT_TRANSPORT_TIMEOUT_S,
+    stats: Optional[Any] = None,
 ) -> DistributedRunResult:
     """Advance ``simulation`` to ``target_cycle`` across forked workers.
 
@@ -360,6 +393,16 @@ def run_distributed(
     ``WorkerResult.profile`` for
     :class:`~repro.obs.prof.PhaseReport` aggregation.
 
+    ``supervision`` configures the liveness supervisor (defaults to an
+    enabled :class:`~repro.dist.supervisor.SupervisorConfig`): workers
+    heartbeat into a pre-fork shared control block and a worker with
+    zero progress past the adaptive deadline is killed and raised as
+    :class:`~repro.faults.plan.WorkerHang`.  ``transport_timeout_s``
+    bounds how long either transport's ``recv`` waits for peer
+    progress.  ``stats`` is an optional
+    :class:`~repro.faults.plan.ResilienceStats` that collects hang /
+    kill / join-timeout counters.
+
     Requires a platform with the ``fork`` start method (Linux): workers
     must inherit the elaborated simulation by memory image, because
     model closures (workload jobs) are not picklable.
@@ -369,8 +412,14 @@ def run_distributed(
             f"unknown transport {transport!r}; expected one of "
             f"{sorted(_TRANSPORT_SPEC)}"
         )
+    if transport_timeout_s <= 0:
+        raise ConfigError(
+            f"transport_timeout_s must be positive, got {transport_timeout_s}"
+        )
     if profile is True:
         profile = ProfileConfig()
+    if supervision is None:
+        supervision = SupervisorConfig()
     plan.validate_against(simulation)
     simulation.start()
     start_cycle = simulation.current_cycle
@@ -390,8 +439,16 @@ def run_distributed(
     context = multiprocessing.get_context("fork")
     pairs = _directed_pair_links(plan, simulation)
     channels, rings, transport_used = _build_channels(
-        pairs, transport, context, shm_capacity
+        pairs, transport, context, shm_capacity, transport_timeout_s
     )
+    heartbeats: Optional[HeartbeatBlock] = None
+    if supervision.enabled:
+        try:
+            heartbeats = HeartbeatBlock.create(plan.num_workers)
+        except OSError:
+            # No usable POSIX shared memory: supervision degrades to
+            # crash-only detection; the report records it disabled.
+            heartbeats = None
     result_queue = context.Queue()
     shard_context = ShardContext(
         simulation=simulation,
@@ -402,6 +459,7 @@ def run_distributed(
         channels=channels,
         result_queue=result_queue,
         profile=profile,
+        heartbeats=heartbeats,
     )
 
     wall_start = perf_counter()
@@ -411,7 +469,17 @@ def run_distributed(
     shard_context.epoch_s = wall_start
     processes: Dict[int, Any] = {}
     results: Dict[int, WorkerResult] = {}
-    failure: Optional[Tuple[int, Optional[int], str]] = None
+    # failure = (worker_id, at_cycle, detail, exception_name, target)
+    failure: Optional[Tuple[int, Optional[int], str, str, Optional[str]]] = (
+        None
+    )
+    supervisor = Supervisor(
+        heartbeats, plan.num_workers, supervision, stats=stats
+    )
+    # Workers seen dead with exit code 0 but no result yet, and when:
+    # the result may still be draining out of the queue's feeder pipe,
+    # so they get _RESULT_GRACE_S before being declared failed.
+    dead_ok_since: Dict[int, float] = {}
     try:
         for worker_id in range(plan.num_workers):
             process = context.Process(
@@ -426,17 +494,44 @@ def run_distributed(
             try:
                 message = result_queue.get(timeout=_POLL_INTERVAL_S)
             except Empty:
+                verdict = supervisor.poll(set(results))
+                if verdict is not None:
+                    supervisor.kill(processes[verdict.worker_id])
+                    failure = (
+                        verdict.worker_id,
+                        None,
+                        f"worker {verdict.worker_id} {verdict.describe()}",
+                        "WorkerHang",
+                        None,
+                    )
+                    break
+                now = perf_counter()
                 for worker_id, process in processes.items():
-                    if (
-                        worker_id not in results
-                        and not process.is_alive()
-                        and process.exitcode not in (0, None)
-                    ):
+                    if worker_id in results or process.is_alive():
+                        continue
+                    if process.exitcode not in (0, None):
                         failure = (
                             worker_id,
                             None,
                             f"worker process exited with code "
                             f"{process.exitcode} before reporting",
+                            "WorkerCrash",
+                            None,
+                        )
+                        break
+                    # Exit code 0 without a result: give the queue
+                    # feeder a grace window to flush, then treat it as
+                    # dead — the old `exitcode not in (0, None)` test
+                    # excluded 0 and spun on such a worker forever.
+                    since = dead_ok_since.setdefault(worker_id, now)
+                    if now - since > _RESULT_GRACE_S:
+                        failure = (
+                            worker_id,
+                            None,
+                            "worker process exited cleanly without "
+                            "reporting a result",
+                            "WorkerCrash",
+                            None,
                         )
                         break
                 continue
@@ -444,8 +539,8 @@ def run_distributed(
                 _, worker_id, result = message
                 results[worker_id] = result
             else:
-                _, worker_id, at_cycle, detail = message
-                failure = (worker_id, at_cycle, detail)
+                _, worker_id, at_cycle, detail, kind_name, target = message
+                failure = (worker_id, at_cycle, detail, kind_name, target)
     finally:
         if failure is not None:
             for process in processes.values():
@@ -453,14 +548,39 @@ def run_distributed(
                     process.terminate()
         for process in processes.values():
             process.join(timeout=_JOIN_TIMEOUT_S)
+            if process.is_alive():
+                # Join-timeout escalation: a worker that survives
+                # SIGTERM through the whole grace is SIGKILLed and
+                # reaped — leaving it behind would leak a process (and
+                # its shm mappings) per restore.
+                process.kill()
+                process.join()
+                if stats is not None:
+                    stats.join_timeouts += 1
+                    stats.workers_killed += 1
         # The one teardown path for ring segments: normal exit, worker
         # crash, and the manager's checkpoint-restore rerun all come
         # through here, so /dev/shm never accumulates segments.
         for ring in rings:
             ring.destroy()
+        if heartbeats is not None:
+            heartbeats.destroy()
 
     if failure is not None:
-        worker_id, at_cycle, detail = failure
+        worker_id, at_cycle, detail, kind_name, target = failure
+        if kind_name == "RingCorruption":
+            raise RingCorruption(
+                f"distributed worker {worker_id} hit transport "
+                f"corruption: {detail}",
+                ring=target if target else "ring:?",
+                at_cycle=at_cycle,
+            )
+        if kind_name == "WorkerHang":
+            raise WorkerHang(
+                f"distributed worker {worker_id} hung: {detail}",
+                worker_index=worker_id,
+                at_cycle=at_cycle,
+            )
         raise WorkerCrash(
             f"distributed worker {worker_id} died: {detail}",
             worker_index=worker_id,
@@ -491,4 +611,5 @@ def run_distributed(
         transport=transport_used,
         channel_count=len(channels),
         requested_transport=transport,
+        supervision=supervisor.report(),
     )

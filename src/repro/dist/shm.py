@@ -42,6 +42,7 @@ backpressure, not an error.
 Wire format, per round and per directed pair::
 
     round header:  round_tag (i64) | entry_count (i32) | payload_bytes (i64)
+                   | seq (i64) | payload_crc32 (u32) | header_crc32 (u32)
     entry header:  link_index (i32) | kind (u8) | start_cycle (i64)
                    | length (i64) | valid_count (i32) | flit_bytes (i32)
     entry payload: valid_count * 8 bytes of int64 cycles (vectorized
@@ -54,6 +55,14 @@ valid tokens, ``IDLE`` is a header-only empty window (the common case
 — no pickling at all), and ``LOST`` marks a window dropped in transit,
 which the consumer turns into a queue gap exactly as
 :meth:`~repro.core.channel.LinkEndpoint.discard_tail` would.
+
+Integrity: the round header carries a CRC32 over itself, a CRC32 over
+the payload, and a per-ring monotonic sequence number.  A reader that
+sees a mismatched checksum or a skewed sequence raises a typed
+:class:`~repro.faults.plan.RingCorruption` — corruption becomes a host
+fault routed through checkpoint-restore, never silently-wrong
+simulation results.  The checks cost two ``zlib.crc32`` calls per
+round per direction, noise next to the encode loop.
 
 Flit payloads are arbitrary Python objects (Ethernet frames), so they
 still serialize through ``pickle``; "zero-copy" buys the cycle column
@@ -76,6 +85,7 @@ import os
 import pickle
 import struct
 import time
+import zlib
 from multiprocessing import shared_memory
 from typing import Any, List, Optional, Sequence, Tuple
 
@@ -84,11 +94,14 @@ import numpy as np
 from repro.core.channel import TokenStarvationError
 from repro.core.token import TokenBatch
 from repro.dist.remote_link import LostWindow
+from repro.faults.plan import RingCorruption
 from repro.obs.prof import P_SERIALIZE
 from repro.perf.stream import TokenStream
 
 __all__ = [
     "DEFAULT_RING_CAPACITY",
+    "DEFAULT_TRANSPORT_TIMEOUT_S",
+    "HEARTBEAT_PREFIX",
     "SEGMENT_PREFIX",
     "ShmRing",
     "leaked_segments",
@@ -98,9 +111,19 @@ __all__ = [
 #: a few hundred bytes; 1 MiB absorbs dense windows without streaming.
 DEFAULT_RING_CAPACITY = 1 << 20
 
+#: How long either transport waits for peer progress before declaring
+#: token starvation.  Shared by the shm ring waits and (since the
+#: supervisor PR) the pipe transport's ``recv``; the CLI exposes it as
+#: ``--transport-timeout``.
+DEFAULT_TRANSPORT_TIMEOUT_S = 120.0
+
 #: ``/dev/shm`` names all start with this, so leak checks can tell our
 #: segments from unrelated tenants of the same host.
 SEGMENT_PREFIX = "repro-ring-"
+
+#: Heartbeat control blocks (:mod:`repro.dist.supervisor`) use this
+#: prefix; the leak audit covers both families.
+HEARTBEAT_PREFIX = "repro-hb-"
 
 _CURSOR_BYTES = 16
 
@@ -109,7 +132,11 @@ _DATA = 0  # valid tokens follow (cycles + pickled flits)
 _IDLE = 1  # empty window, header only
 _LOST = 2  # window lost in transit: consumer records a queue gap
 
-_ROUND = struct.Struct("<qiq")
+# round_tag, entry_count, payload_bytes, seq, payload_crc, header_crc.
+# The header CRC covers everything before itself; it is verified first
+# so a corrupted payload_bytes can never drive a garbage-sized read.
+_ROUND = struct.Struct("<qiqqII")
+_HEADER_CRC_OFFSET = _ROUND.size - 4
 _ENTRY = struct.Struct("<iBqqii")
 
 #: Spin iterations before the first ``sched_yield``; on a shared core
@@ -208,8 +235,25 @@ class ShmRing:
         #: Receives that found no published message and went to sleep
         #: on the wakeup semaphore.
         self.blocked_wakeups = 0
+        #: Receives that found data published with no wakeup permit —
+        #: a lost wakeup self-healed by the cursor check instead of
+        #: timing out (see ``recv``).
+        self.wakeup_recoveries = 0
         self.recv_messages = 0
         self.recv_bytes = 0
+        # -- integrity state ------------------------------------------
+        # Per-direction monotonic frame sequence.  Each side of the
+        # fork owns one counter: the producer stamps _send_seq into
+        # every frame, the consumer checks frames against _recv_seq.
+        self._send_seq = 0
+        self._recv_seq = 0
+        #: Fault injection (repro.faults ``ring-corrupt`` verb): flip
+        #: one staged byte *after* the checksums are computed, so the
+        #: reader's CRC check must catch it.
+        self.corrupt_next_send = False
+        #: Fault injection (``wakeup-loss`` verb): skip one semaphore
+        #: release, exercising the reader's cursor-check recovery.
+        self.drop_next_wakeup = False
         #: Optional PhaseRecorder: when set by a profiled worker, the
         #: encode loop's time is accrued to its ``serialize`` phase.
         self.phase_sink: Any = None
@@ -220,7 +264,7 @@ class ShmRing:
         src: int,
         dst: int,
         capacity: int = DEFAULT_RING_CAPACITY,
-        timeout_s: float = 120.0,
+        timeout_s: float = DEFAULT_TRANSPORT_TIMEOUT_S,
     ) -> "ShmRing":
         """Allocate a fresh zeroed segment for the ``src -> dst`` hop.
 
@@ -387,9 +431,21 @@ class ShmRing:
                 stage += pack(
                     link_index, _IDLE, window.start_cycle, window.length, 0, 0
                 )
+        self._send_seq += 1
+        payload_view = memoryview(stage)[_ROUND.size:]
         _ROUND.pack_into(
-            stage, 0, round_tag, len(entries), len(stage) - _ROUND.size
+            stage, 0, round_tag, len(entries), len(stage) - _ROUND.size,
+            self._send_seq, zlib.crc32(payload_view), 0,
         )
+        header_crc = zlib.crc32(memoryview(stage)[:_HEADER_CRC_OFFSET])
+        struct.pack_into("<I", stage, _HEADER_CRC_OFFSET, header_crc)
+        payload_view.release()
+        if self.corrupt_next_send:
+            # Injected bit-flip, applied after both checksums so the
+            # reader's integrity check must be what catches it.
+            self.corrupt_next_send = False
+            victim = _ROUND.size if len(stage) > _ROUND.size else 0
+            stage[victim] ^= 0x01
         if sink is not None:
             # The encode loop ran inside the round loop's send segment;
             # hand its cost to the profiler's serialize phase so
@@ -413,7 +469,13 @@ class ShmRing:
             # Common case: the write cannot block, so publish the bytes
             # before the wakeup and the reader never spins.
             self._write(stage)
-            wakeup.release()
+            if self.drop_next_wakeup:
+                # Injected wakeup loss: the bytes are published but the
+                # permit never posts; the reader's cursor check must
+                # recover on its own.
+                self.drop_next_wakeup = False
+            else:
+                wakeup.release()
         pending = int(cursors[0]) - int(cursors[1])
         if pending > self.high_water_bytes:
             self.high_water_bytes = pending
@@ -421,23 +483,52 @@ class ShmRing:
     def recv(self, expected_round: int) -> List[Tuple[int, Any]]:
         """Block for one round message and decode its wire entries."""
         wakeup = self._wakeup
+        cursors = self._cursors
         if wakeup is not None and not wakeup.acquire(False):
-            # Sleep on the futex until the peer's publish, so the peer
-            # gets the whole core; cap the wait so a dead peer still
-            # surfaces as starvation rather than a hang.
-            self.blocked_wakeups += 1
-            deadline = time.monotonic() + self.timeout_s
-            while not wakeup.acquire(True, 1.0):
-                if time.monotonic() > deadline:
-                    raise TokenStarvationError(
-                        f"shm ring {self.name} (worker {self.src} -> "
-                        f"{self.dst}) stalled: peer published nothing "
-                        f"for {self.timeout_s:.0f}s",
-                        link_name=self.name,
-                    )
-        round_tag, entry_count, payload_bytes = _ROUND.unpack(
-            self._read(_ROUND.size)
-        )
+            if int(cursors[0]) > int(cursors[1]):
+                # Data is published but no permit posted: a lost wakeup
+                # (injected or a genuinely dropped post).  Self-heal by
+                # trusting the cursors — the payload-then-publish order
+                # guarantees the bytes are complete.
+                self.wakeup_recoveries += 1
+            else:
+                # Sleep on the futex until the peer's publish, so the
+                # peer gets the whole core; cap the wait so a dead peer
+                # still surfaces as starvation rather than a hang.
+                self.blocked_wakeups += 1
+                deadline = time.monotonic() + self.timeout_s
+                while not wakeup.acquire(True, 1.0):
+                    if int(cursors[0]) > int(cursors[1]):
+                        # Published without a permit mid-wait: recover
+                        # rather than starve on the missing post.
+                        self.wakeup_recoveries += 1
+                        break
+                    if time.monotonic() > deadline:
+                        raise TokenStarvationError(
+                            f"shm ring {self.name} (worker {self.src} -> "
+                            f"{self.dst}) stalled: peer published nothing "
+                            f"for {self.timeout_s:.0f}s",
+                            link_name=self.name,
+                        )
+        header = self._read(_ROUND.size)
+        (
+            round_tag, entry_count, payload_bytes, seq,
+            payload_crc, header_crc,
+        ) = _ROUND.unpack(header)
+        if zlib.crc32(memoryview(header)[:_HEADER_CRC_OFFSET]) != header_crc:
+            raise RingCorruption(
+                f"shm ring {self.name} (worker {self.src} -> {self.dst}): "
+                f"round header failed its CRC32 check",
+                ring=f"ring:{self.src}->{self.dst}",
+            )
+        expected_seq = self._recv_seq + 1
+        if seq != expected_seq:
+            raise RingCorruption(
+                f"shm ring {self.name} (worker {self.src} -> {self.dst}): "
+                f"frame sequence skew: got {seq}, expected {expected_seq}",
+                ring=f"ring:{self.src}->{self.dst}",
+            )
+        self._recv_seq = seq
         if round_tag != expected_round:
             raise TokenStarvationError(
                 f"worker {self.dst}: out-of-order token message from "
@@ -445,6 +536,13 @@ class ShmRing:
                 f"{expected_round}"
             )
         payload = self._read(payload_bytes)
+        if zlib.crc32(payload) != payload_crc:
+            raise RingCorruption(
+                f"shm ring {self.name} (worker {self.src} -> {self.dst}): "
+                f"round {round_tag} payload failed its CRC32 check "
+                f"({payload_bytes} bytes)",
+                ring=f"ring:{self.src}->{self.dst}",
+            )
         entries: List[Tuple[int, Any]] = []
         unpack = _ENTRY.unpack_from
         offset = 0
@@ -492,6 +590,7 @@ class ShmRing:
             "streaming_sends": self.streaming_sends,
             "backpressure_stalls": self.backpressure_stalls,
             "blocked_wakeups": self.blocked_wakeups,
+            "wakeup_recoveries": self.wakeup_recoveries,
             "recv_messages": self.recv_messages,
             "recv_bytes": self.recv_bytes,
             "capacity": self.capacity,
@@ -533,4 +632,5 @@ def leaked_segments() -> List[str]:
         names = os.listdir("/dev/shm")
     except OSError:
         return []
-    return sorted(name for name in names if name.startswith(SEGMENT_PREFIX))
+    prefixes = (SEGMENT_PREFIX, HEARTBEAT_PREFIX)
+    return sorted(name for name in names if name.startswith(prefixes))

@@ -27,6 +27,7 @@ from __future__ import annotations
 
 import sys
 from dataclasses import dataclass, field
+from queue import Empty
 from time import perf_counter, process_time
 from typing import Any, Dict, List, Optional, Tuple
 
@@ -39,6 +40,14 @@ from repro.dist.remote_link import (
     Outbox,
     RemoteAttachment,
     WireEntry,
+)
+from repro.dist.shm import DEFAULT_TRANSPORT_TIMEOUT_S
+from repro.dist.supervisor import (
+    HB_COMPUTE,
+    HB_DONE,
+    HB_RECV,
+    HB_SEND,
+    HB_STARTUP,
 )
 from repro.net.switch import SwitchModel
 from repro.net.tracer import LinkTracer
@@ -54,6 +63,15 @@ from repro.obs.prof import (
 )
 from repro.obs.trace import set_trace_sink
 from repro.swmodel.server import ServerBlade
+
+# Worker-process identity, published for the fault injector's
+# transport chaos verbs (worker-hang / ring-corrupt / wakeup-loss):
+# the injector hook runs deep inside the inherited simulation and has
+# no handle on the shard context, so :func:`shard_entry` and
+# :func:`run_shard` park the id and the outbound channel map here.
+# Both stay None/{} in the parent and in serial runs.
+_WORKER_ID: Optional[int] = None
+_SEND_CHANNELS: Dict[int, Any] = {}
 
 
 @dataclass
@@ -125,16 +143,25 @@ class PipeChannel:
     feeder thread pickles it asynchronously, which is safe because the
     outbox replaced its list on drain and shipped windows are immutable
     once relabelled (no defensive copy).  ``recv`` blocks for the
-    peer's message and enforces round ordering exactly like
-    :meth:`~repro.dist.shm.ShmRing.recv`.
+    peer's message with the same progress deadline as
+    :meth:`~repro.dist.shm.ShmRing.recv` — a peer that publishes
+    nothing for ``timeout_s`` surfaces as token starvation, not a hang
+    — and enforces round ordering the same way.
     """
 
-    __slots__ = ("_queue", "src", "dst", "sent_messages", "recv_messages")
+    __slots__ = (
+        "_queue", "src", "dst", "timeout_s",
+        "sent_messages", "recv_messages",
+    )
 
-    def __init__(self, queue: Any, src: int, dst: int) -> None:
+    def __init__(
+        self, queue: Any, src: int, dst: int,
+        timeout_s: float = DEFAULT_TRANSPORT_TIMEOUT_S,
+    ) -> None:
         self._queue = queue
         self.src = src
         self.dst = dst
+        self.timeout_s = timeout_s
         self.sent_messages = 0
         self.recv_messages = 0
 
@@ -143,7 +170,14 @@ class PipeChannel:
         self._queue.put((round_tag, entries))
 
     def recv(self, expected_round: int) -> List[WireEntry]:
-        round_tag, entries = self._queue.get()
+        try:
+            round_tag, entries = self._queue.get(timeout=self.timeout_s)
+        except Empty:
+            raise TokenStarvationError(
+                f"pipe channel (worker {self.src} -> {self.dst}) "
+                f"stalled: peer published nothing for "
+                f"{self.timeout_s:.0f}s",
+            ) from None
         if round_tag != expected_round:
             raise TokenStarvationError(
                 f"worker {self.dst}: out-of-order token message from "
@@ -187,6 +221,11 @@ class ShardContext:
     #: epoch every worker's :class:`~repro.obs.prof.ClockSync` anchors
     #: its trace timestamps to.
     epoch_s: float = 0.0
+    #: A :class:`~repro.dist.supervisor.HeartbeatBlock` created by the
+    #: parent pre-fork, or None when supervision is disabled (or the
+    #: host has no usable POSIX shared memory).  Workers publish beats
+    #: into their slot several times per lockstep round.
+    heartbeats: Optional[Any] = None
 
 
 def _build_attachments(
@@ -418,6 +457,7 @@ def _collect_profile(
 
 def run_shard(context: ShardContext, worker_id: int) -> WorkerResult:
     """Execute one worker's shard to the target cycle; returns its result."""
+    global _SEND_CHANNELS
     entry_s = perf_counter()  # clock-sync stamp: first post-fork reading
     simulation = context.simulation
     plan = context.plan
@@ -434,12 +474,19 @@ def run_shard(context: ShardContext, worker_id: int) -> WorkerResult:
     send_channels = {
         peer: context.channels[(worker_id, peer)] for peer in peers
     }
+    _SEND_CHANNELS = send_channels
+    heartbeats = context.heartbeats
+    beat = (
+        heartbeats.writer(worker_id).beat if heartbeats is not None else None
+    )
+    if beat is not None:
+        beat(0, HB_STARTUP)
     recorder, clock = _setup_profile(context, entry_s, send_channels)
     if simulation.engine == "batched":
         return _run_shard_batched(
             context, worker_id, shard, attachments, outboxes,
             inbound_side, peers, recv_channels, send_channels,
-            recorder, clock,
+            recorder, clock, beat,
         )
     hook = simulation.fault_hook
 
@@ -469,6 +516,8 @@ def run_shard(context: ShardContext, worker_id: int) -> WorkerResult:
     while cycle < context.target_cycle:
         if recorder is not None:
             recorder.round_begin()
+        if beat is not None:
+            beat(rounds, HB_RECV)
         if rounds > 0:
             recv_start = perf_counter() if measure else 0.0
             for channel in recv_list:
@@ -488,6 +537,8 @@ def run_shard(context: ShardContext, worker_id: int) -> WorkerResult:
                     recorder.mark(P_GAP)
             if measure:
                 transport_recv_s += perf_counter() - recv_start
+        if beat is not None:
+            beat(rounds, HB_COMPUTE)
         if hook is not None:
             hook(cycle, None)
         window = TokenWindow(cycle, cycle + quantum)
@@ -519,6 +570,8 @@ def run_shard(context: ShardContext, worker_id: int) -> WorkerResult:
                 hook(cycle, model)
         if recorder is not None:
             recorder.mark(P_COMPUTE)
+        if beat is not None:
+            beat(rounds, HB_SEND)
         send_start = perf_counter() if measure else 0.0
         for channel, outbox in send_list:
             channel.send(rounds, outbox.drain())
@@ -529,6 +582,8 @@ def run_shard(context: ShardContext, worker_id: int) -> WorkerResult:
             recorder.round_end()
         cycle += quantum
         rounds += 1
+    if beat is not None:
+        beat(rounds, HB_DONE)
     cpu_seconds = process_time() - cpu_start
     wall_seconds = perf_counter() - wall_start
     boundary_valid_tokens = sum(
@@ -574,6 +629,7 @@ def _run_shard_batched(
     send_channels: Dict[int, Any],
     recorder: Optional[PhaseRecorder] = None,
     clock: Optional[ClockSync] = None,
+    beat: Optional[Any] = None,
 ) -> WorkerResult:
     """The batched-engine twin of the scalar loop in :func:`run_shard`.
 
@@ -603,6 +659,8 @@ def _run_shard_batched(
     def pre_round(cycle: int, rounds: int) -> None:
         if recorder is not None:
             recorder.round_begin()
+        if beat is not None:
+            beat(rounds, HB_RECV)
         if rounds == 0:
             return
         recv_start = perf_counter() if measure else 0.0
@@ -620,11 +678,15 @@ def _run_shard_batched(
                 recorder.mark(P_GAP)
         if measure:
             transport_seconds[1] += perf_counter() - recv_start
+        if beat is not None:
+            beat(rounds, HB_COMPUTE)
 
     def post_round(cycle: int, rounds: int) -> None:
         if recorder is not None:
             # Everything since the last mark is the engine's tick loop.
             recorder.mark(P_COMPUTE)
+        if beat is not None:
+            beat(rounds - 1, HB_SEND)
         send_start = perf_counter() if measure else 0.0
         for channel, outbox in send_list:
             channel.send(rounds - 1, outbox.drain())
@@ -658,6 +720,8 @@ def _run_shard_batched(
         post_round=post_round,
         diagnose=diagnose,
     )
+    if beat is not None:
+        beat(progress.rounds, HB_DONE)
     cpu_seconds = process_time() - cpu_start
     wall_seconds = perf_counter() - wall_start
     boundary_valid_tokens = sum(
@@ -704,6 +768,8 @@ def _release_channels(context: ShardContext) -> None:
         close = getattr(channel, "close", None)
         if close is not None:
             close()
+    if context.heartbeats is not None:
+        context.heartbeats.close()
 
 
 def shard_entry(context: ShardContext, worker_id: int) -> None:
@@ -718,15 +784,23 @@ def shard_entry(context: ShardContext, worker_id: int) -> None:
     # Worker-local trace events cannot be aggregated into the parent's
     # session; silence the inherited sink rather than buffer them.
     set_trace_sink(None)
+    global _WORKER_ID
+    _WORKER_ID = worker_id
     try:
         result = run_shard(context, worker_id)
     except BaseException as exc:  # noqa: BLE001 - report, then die loudly
+        # Ship the exception's type and fault target alongside the
+        # message so the parent can re-raise *typed* faults (a
+        # RingCorruption must reach the manager's circuit breaker as
+        # itself, not flattened into a generic crash).
         context.result_queue.put(
             (
                 "error",
                 worker_id,
                 context.simulation.current_cycle,
                 f"{type(exc).__name__}: {exc}",
+                type(exc).__name__,
+                getattr(exc, "target", None),
             )
         )
         _release_channels(context)

@@ -43,8 +43,10 @@ from repro.faults.plan import (
     HeartbeatLost,
     InstanceLaunchFault,
     ResilienceStats,
+    RingCorruption,
     TransientFault,
     WorkerCrash,
+    WorkerHang,
 )
 from repro.faults.retry import CircuitBreaker, RetryPolicy
 from repro.faults.watchdog import TokenWatchdog
@@ -65,9 +67,11 @@ __all__ = [
     "ReplayCheckpoint",
     "ResilienceStats",
     "RetryPolicy",
+    "RingCorruption",
     "SimulationSnapshot",
     "TokenWatchdog",
     "TransientFault",
     "WorkerCrash",
+    "WorkerHang",
     "state_digest",
 ]

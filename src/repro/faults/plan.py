@@ -25,12 +25,20 @@ Fault taxonomy (the exception hierarchy mirrors recoverability):
   orchestrator's watchdog diagnostics then raise a
   :class:`~repro.core.channel.TokenStarvationError` naming the stalled
   endpoint, and the manager recovers via checkpoint restore.
+* distributed-transport chaos verbs — ``worker-hang`` livelocks the
+  target worker's round loop (the supervisor must detect and kill it),
+  ``ring-corrupt`` flips one byte in a staged shm frame after its
+  checksums are computed (the reader must raise
+  :class:`RingCorruption`), and ``wakeup-loss`` drops one shm wakeup
+  post (the reader's cursor check must self-heal).  All three fire
+  inside worker processes through the inherited fault hook.
 """
 
 from __future__ import annotations
 
 import json
 import random
+import time
 from dataclasses import dataclass
 from enum import Enum
 from typing import Any, Dict, List, Optional, Tuple
@@ -46,6 +54,9 @@ class FaultKind(Enum):
     CONTROLLER_CRASH = "controller-crash"
     HEARTBEAT_LOSS = "heartbeat-loss"
     TOKEN_STALL = "token-stall"
+    WORKER_HANG = "worker-hang"
+    RING_CORRUPT = "ring-corrupt"
+    WAKEUP_LOSS = "wakeup-loss"
 
 
 #: Manager lifecycle points at which faults may fire.
@@ -58,7 +69,21 @@ INJECTION_POINTS = (
 
 #: Kinds that fire *inside* the running simulation (armed as the
 #: orchestrator's fault hook) rather than at a verb boundary.
-MID_RUN_KINDS = (FaultKind.CONTROLLER_CRASH, FaultKind.TOKEN_STALL)
+MID_RUN_KINDS = (
+    FaultKind.CONTROLLER_CRASH,
+    FaultKind.TOKEN_STALL,
+    FaultKind.WORKER_HANG,
+    FaultKind.RING_CORRUPT,
+    FaultKind.WAKEUP_LOSS,
+)
+
+#: Mid-run kinds that only make sense inside a forked dist worker; the
+#: injector routes them through :meth:`FaultInjector._fire_transport_fault`.
+_TRANSPORT_FAULT_KINDS = (
+    FaultKind.WORKER_HANG,
+    FaultKind.RING_CORRUPT,
+    FaultKind.WAKEUP_LOSS,
+)
 
 
 # -- exceptions ----------------------------------------------------------
@@ -115,6 +140,38 @@ class WorkerCrash(FaultError):
             at_cycle=at_cycle,
         )
         self.worker_index = worker_index
+
+
+class WorkerHang(WorkerCrash):
+    """A :mod:`repro.dist` worker stopped making lockstep progress.
+
+    Raised by the run driver after the supervisor's adaptive deadline
+    expired and the worker was killed (SIGTERM -> SIGKILL).  Subclasses
+    :class:`WorkerCrash` because recovery is identical — checkpoint
+    restore onto the survivors — but the distinct type keeps hang
+    verdicts countable separately from clean crashes.
+    """
+
+
+class RingCorruption(FaultError):
+    """A shm ring frame failed its integrity check (CRC or sequence).
+
+    Carries the directed ring identity (``"ring:<src>-><dst>"``) as the
+    fault target so the manager's per-pair circuit breaker can count
+    repeat offenders and degrade that run's transport shm -> pipe.
+    Corruption is *never* decoded into simulation state — the reader
+    raises before any window leaves the transport.
+    """
+
+    def __init__(self, message: str, ring: str = "ring:?",
+                 at_cycle: Optional[int] = None) -> None:
+        super().__init__(
+            message,
+            kind=FaultKind.RING_CORRUPT,
+            target=ring,
+            at_cycle=at_cycle,
+        )
+        self.ring = ring
 
 
 _EXCEPTION_FOR_KIND = {
@@ -292,6 +349,22 @@ class ResilienceStats:
     #: Distributed runs that asked for the shared-memory transport but
     #: fell back to pipes (``/dev/shm`` unavailable or denied).
     shm_fallbacks: int = 0
+    #: Workers the supervisor declared hung (adaptive deadline blown).
+    hangs_detected: int = 0
+    #: Worker processes forcibly killed (hang kills + join-timeout
+    #: escalations), as opposed to exiting on their own.
+    workers_killed: int = 0
+    #: Worker processes that outlived the post-run join grace and had
+    #: to be SIGKILLed to avoid a process leak.
+    join_timeouts: int = 0
+    #: Shm frames that failed their CRC or sequence check.
+    ring_corruptions: int = 0
+    #: Runs whose transport was degraded shm -> pipe after the per-pair
+    #: ring circuit breaker tripped.
+    transport_degradations: int = 0
+    #: Distributed runs that exhausted their restart budget and fell
+    #: back to the serial engine as the last-resort degraded mode.
+    serial_fallbacks: int = 0
 
 
 # -- the injector --------------------------------------------------------
@@ -406,6 +479,12 @@ class FaultInjector:
             if spec.probability < 1.0 \
                     and self.rng.random() >= spec.probability:
                 continue
+            if spec.kind in _TRANSPORT_FAULT_KINDS:
+                # These only make sense inside a dist worker; in a
+                # serial run (or the wrong worker) the spec stays armed
+                # so a later distributed phase can still fire it.
+                self._fire_transport_fault(cycle, entry)
+                continue
             entry.remaining -= 1
             if spec.kind is FaultKind.TOKEN_STALL:
                 self._stall_link(cycle, spec)
@@ -440,6 +519,79 @@ class FaultInjector:
                 )
                 return entry.spec
         return None
+
+    def _fire_transport_fault(self, cycle: int, entry: "_ArmedSpec") -> None:
+        """Fire a worker-hang / ring-corrupt / wakeup-loss verb.
+
+        Runs inside a forked dist worker, where :mod:`repro.dist.worker`
+        publishes the process's worker id and outbound channels as
+        module globals.  Outside a worker (serial run, or a worker that
+        is not the spec's target) the spec is left armed untouched.
+        """
+        spec = entry.spec
+        try:
+            from repro.dist import worker as dist_worker
+        except ImportError:  # pragma: no cover - dist always ships
+            return
+        worker_id = dist_worker._WORKER_ID
+        if worker_id is None:
+            return  # serial run: transport verbs have nothing to hit
+        if spec.kind is FaultKind.WORKER_HANG:
+            if spec.target is not None \
+                    and spec.target != f"worker:{worker_id}":
+                return
+            entry.remaining -= 1
+            self._record(
+                "runworkload", spec, f"worker:{worker_id}", cycle=cycle,
+                note="livelocking round loop",
+            )
+            while True:  # the supervisor's SIGKILL is the only way out
+                time.sleep(60.0)
+        # Ring verbs: find the victim send channel.  The spec target
+        # names a directed ring ("ring:SRC->DST"); only the producing
+        # worker arms the flag.
+        channels = dist_worker._SEND_CHANNELS
+        ring: Optional[Any] = None
+        if spec.target is not None:
+            try:
+                src_text, dst_text = \
+                    spec.target.split(":", 1)[1].split("->")
+                src, dst = int(src_text), int(dst_text)
+            except (IndexError, ValueError):
+                raise ConfigError(
+                    f"bad {spec.kind.value} target {spec.target!r}; "
+                    f"expected 'ring:SRC->DST'"
+                ) from None
+            if src != worker_id:
+                return  # some other worker produces that ring
+            ring = channels.get(dst)
+        else:
+            for channel in sorted(channels):
+                if hasattr(channels[channel], "corrupt_next_send"):
+                    ring = channels[channel]
+                    break
+        entry.remaining -= 1
+        if ring is None or not hasattr(ring, "corrupt_next_send"):
+            # Pipe transport (or no outbound peer): nothing to corrupt.
+            # Consume the spec so the plan still terminates, and log
+            # the miss so chaos runs stay diagnosable.
+            self._record(
+                "runworkload", spec, spec.target, cycle=cycle,
+                note="no shm ring on this worker; ignored",
+            )
+            return
+        if spec.kind is FaultKind.RING_CORRUPT:
+            ring.corrupt_next_send = True
+            self._record(
+                "runworkload", spec, f"ring:{ring.src}->{ring.dst}",
+                cycle=cycle, note="bit-flip armed",
+            )
+        else:
+            ring.drop_next_wakeup = True
+            self._record(
+                "runworkload", spec, f"ring:{ring.src}->{ring.dst}",
+                cycle=cycle, note="wakeup drop armed",
+            )
 
     def _stall_link(self, cycle: int, spec: FaultSpec) -> None:
         """Lose an in-flight batch on the target link (transport loss)."""

@@ -136,6 +136,17 @@ def make_parser() -> argparse.ArgumentParser:
                              "mp.Queue pipes (the oracle default) or "
                              "zero-copy shared-memory rings (falls back "
                              "to pipes when /dev/shm is unavailable)")
+    parser.add_argument("--transport-timeout", type=float, default=120.0,
+                        metavar="SECONDS",
+                        help="per-hop progress deadline for worker "
+                             "channels (both transports); a peer that "
+                             "publishes nothing for this long raises "
+                             "TokenStarvationError (default 120)")
+    parser.add_argument("--hang-timeout", type=float, default=None,
+                        metavar="SECONDS",
+                        help="floor for the supervisor's adaptive "
+                             "hung-worker deadline; lower it for fast "
+                             "detection in CI (default 30)")
     parser.add_argument("--engine", default="scalar",
                         choices=("scalar", "batched"),
                         help="round-loop implementation: the scalar "
@@ -314,6 +325,28 @@ def _run_verb(
                 "  quarantined: "
                 + ", ".join(resilience["quarantined_hosts"])
             )
+        supervisor_counters = (
+            resilience.get("hangs_detected", 0),
+            resilience.get("workers_killed", 0),
+            resilience.get("join_timeouts", 0),
+            resilience.get("ring_corruptions", 0),
+            resilience.get("transport_degradations", 0),
+            resilience.get("serial_fallbacks", 0),
+        )
+        if any(supervisor_counters):
+            lines.append(
+                f"supervisor: {supervisor_counters[0]} hangs detected, "
+                f"{supervisor_counters[1]} workers killed, "
+                f"{supervisor_counters[2]} join timeouts, "
+                f"{supervisor_counters[3]} ring corruptions, "
+                f"{supervisor_counters[4]} transport degradations, "
+                f"{supervisor_counters[5]} serial fallbacks"
+            )
+        if resilience.get("quarantined_rings"):
+            lines.append(
+                "  quarantined rings: "
+                + ", ".join(resilience["quarantined_rings"])
+            )
         for entry in resilience.get("fault_log", []):
             lines.append(f"  {entry}")
         summary["resilience"] = resilience
@@ -376,6 +409,8 @@ def _main(args: argparse.Namespace, out) -> int:
         checkpoint_interval_cycles=checkpoint_cycles,
         workers=args.workers,
         transport=args.transport,
+        transport_timeout_s=args.transport_timeout,
+        hang_timeout_s=args.hang_timeout,
     )
     if args.telemetry_out or "status" in args.verbs:
         manager.enable_telemetry()

@@ -33,6 +33,8 @@ from repro import ReproError
 from repro.core.channel import TokenStarvationError
 from repro.dist.engine import DistributedRunResult, run_distributed
 from repro.dist.partition import PartitionPlan, plan_partitions
+from repro.dist.shm import DEFAULT_TRANSPORT_TIMEOUT_S
+from repro.dist.supervisor import SupervisorConfig
 from repro.faults.checkpoint import ReplayCheckpoint
 from repro.faults.plan import (
     FaultError,
@@ -40,8 +42,10 @@ from repro.faults.plan import (
     FaultPlan,
     HeartbeatLost,
     ResilienceStats,
+    RingCorruption,
     TransientFault,
     WorkerCrash,
+    WorkerHang,
 )
 from repro.faults.retry import CircuitBreaker, RetryPolicy
 from repro.faults.watchdog import TokenWatchdog
@@ -77,6 +81,9 @@ class FireSimManager:
         checkpoint_interval_cycles: Optional[int] = None,
         workers: int = 1,
         transport: str = "pipe",
+        transport_timeout_s: float = DEFAULT_TRANSPORT_TIMEOUT_S,
+        hang_timeout_s: Optional[float] = None,
+        ring_failure_threshold: int = 2,
     ) -> None:
         if workers < 1:
             raise ManagerError(f"workers must be >= 1, got {workers}")
@@ -84,12 +91,27 @@ class FireSimManager:
             raise ManagerError(
                 f"transport must be 'pipe' or 'shm', got {transport!r}"
             )
+        if transport_timeout_s <= 0:
+            raise ManagerError(
+                f"transport timeout must be positive, got {transport_timeout_s}"
+            )
         #: Worker processes for ``runworkload``; 1 = the serial engine.
         self.workers = workers
         #: Worker-to-worker token hop for distributed runs ("pipe" is
         #: the oracle default; "shm" selects the zero-copy ring and
         #: falls back to pipes when /dev/shm is unavailable).
         self.transport = transport
+        #: Progress deadline for both transports' ``recv`` — a peer
+        #: publishing nothing for this long is token starvation.
+        self.transport_timeout_s = transport_timeout_s
+        #: Distributed liveness supervision: heartbeat-based hang
+        #: detection with an optional floor override (``hang_timeout_s``
+        #: None keeps the SupervisorConfig default).
+        self.supervision = (
+            SupervisorConfig()
+            if hang_timeout_s is None
+            else SupervisorConfig(hang_timeout_s=hang_timeout_s)
+        )
         #: The last distributed run's merged result (``status`` reads it).
         self.last_distributed: Optional[DistributedRunResult] = None
         self.topology = topology
@@ -115,6 +137,11 @@ class FireSimManager:
         )
         self.retry_policy = retry_policy or RetryPolicy()
         self.breaker = CircuitBreaker()
+        #: Per-directed-ring breaker: repeated integrity faults on the
+        #: same worker pair degrade that run's transport shm -> pipe.
+        self.ring_breaker = CircuitBreaker(
+            failure_threshold=ring_failure_threshold
+        )
         self.heartbeats = HeartbeatMonitor()
         self.watchdog = TokenWatchdog()
         self.checkpoint_interval_cycles = checkpoint_interval_cycles
@@ -431,6 +458,17 @@ class FireSimManager:
         pre-fork checkpoint, drops to the surviving worker count, and
         reruns — deterministic elaboration makes the rerun
         cycle-identical, so the recovery is invisible in the results.
+
+        The same restore path handles the supervisor's taxonomy: a
+        hung worker (:class:`~repro.faults.plan.WorkerHang`) is treated
+        like a crash; a shm integrity fault
+        (:class:`~repro.faults.plan.RingCorruption`) keeps the worker
+        count but counts against the per-ring circuit breaker, which on
+        tripping degrades this run's transport shm -> pipe; and an
+        exhausted restart budget falls back to the *serial* engine as
+        the last-resort degraded mode instead of failing the workload —
+        the serial result is the oracle the distributed engine is
+        bit-equal to, so correctness is preserved at reduced speed.
         """
         sim = self.running
         assert sim is not None
@@ -462,7 +500,9 @@ class FireSimManager:
         checkpoint = ReplayCheckpoint.capture(sim, rebuild)
         self.fault_stats.checkpoints_taken += 1
         workers = self.workers
+        transport = self.transport
         restores = 0
+        result: Optional[DistributedRunResult] = None
         while True:
             plan = self._partition_plan(sim, workers)
             if self.injector is not None:
@@ -473,49 +513,93 @@ class FireSimManager:
                     plan,
                     total_cycles,
                     measure=self.telemetry is not None,
-                    transport=self.transport,
+                    transport=transport,
                     profile=self.profile_config,
+                    supervision=self.supervision,
+                    transport_timeout_s=self.transport_timeout_s,
+                    stats=self.fault_stats,
                 )
                 if (
-                    self.transport == "shm"
+                    transport == "shm"
                     and result.transport != "shm"
                 ):
                     self.fault_stats.shm_fallbacks += 1
                 break
-            except WorkerCrash as fault:
+            except (WorkerCrash, RingCorruption) as fault:
                 restores += 1
-                if restores > self.retry_policy.max_retries:
-                    self.fault_stats.giveups += 1
-                    raise ManagerError(
-                        f"runworkload failed after {restores - 1} "
-                        f"recoveries: {fault}"
-                    ) from fault
                 if self.injector is not None:
                     # The fault fired in a forked worker's copy of this
                     # injector; consume it here or the rerun re-injects.
                     self.injector.consume_next_mid_run()
+                if restores > self.retry_policy.max_retries:
+                    # Restart budget exhausted: last-resort degraded
+                    # mode.  Restore the pre-fork checkpoint, disarm
+                    # injection (every planned fault has had its
+                    # chance), and finish on the serial engine — the
+                    # oracle the distributed engine is bit-equal to.
+                    self.fault_stats.serial_fallbacks += 1
+                    self._trace_instant(
+                        "serial_fallback", restores=restores,
+                        fault=str(fault),
+                    )
+                    sim = self._restore_distributed(checkpoint)
+                    sim.simulation.fault_hook = None
+                    sim.simulation.run_until(total_cycles)
+                    break
+                if isinstance(fault, RingCorruption):
+                    # Transport fault, not a worker fault: keep the
+                    # worker count, but repeated corruption on one
+                    # directed ring trips its breaker and degrades the
+                    # transport to pipes for the rest of this run.
+                    self.fault_stats.ring_corruptions += 1
+                    self._trace_instant(
+                        "ring_corruption", ring=fault.ring,
+                        restores=restores,
+                    )
+                    if (
+                        self.ring_breaker.record_failure(fault.ring)
+                        and transport == "shm"
+                    ):
+                        transport = "pipe"
+                        self.fault_stats.transport_degradations += 1
+                        self._trace_instant(
+                            "transport_degraded", ring=fault.ring,
+                        )
+                else:
+                    if isinstance(fault, WorkerHang):
+                        self._trace_instant(
+                            "worker_hang", worker=fault.worker_index,
+                        )
+                    # One worker is gone; resume on the survivors.
+                    workers = max(1, workers - 1)
                 self._trace_instant(
                     "restore", checkpoint_cycle=checkpoint.cycle,
                     fault=str(fault),
                 )
-                sim = checkpoint.restore()
-                self.running = sim
-                self.fault_stats.restores += 1
-                self.fault_stats.replay_cycles += checkpoint.cycle
-                self.fault_stats.recoveries += 1
-                # One worker is gone; resume on the survivors.
-                workers = max(1, workers - 1)
-                if self.telemetry is not None:
-                    self.telemetry.attach_running(sim)
+                sim = self._restore_distributed(checkpoint)
         sim.simulation.fault_hook = None
-        self.last_distributed = result
-        if self.telemetry is not None:
-            self.telemetry.absorb_distributed(result)
+        if result is not None:
+            self.last_distributed = result
+            if self.telemetry is not None:
+                self.telemetry.absorb_distributed(result)
         return WorkloadResult(
             workload_name=workload.name,
             target_seconds=sim.simulation.current_time_s,
             node_results=sim.collect_results(),
         )
+
+    def _restore_distributed(
+        self, checkpoint: ReplayCheckpoint
+    ) -> RunningSimulation:
+        """Restore the pre-fork checkpoint and re-home bookkeeping."""
+        sim = checkpoint.restore()
+        self.running = sim
+        self.fault_stats.restores += 1
+        self.fault_stats.replay_cycles += checkpoint.cycle
+        self.fault_stats.recoveries += 1
+        if self.telemetry is not None:
+            self.telemetry.attach_running(sim)
+        return sim
 
     def _partition_plan(
         self, sim: RunningSimulation, workers: int
@@ -567,7 +651,14 @@ class FireSimManager:
             "stalls_detected": stats.stalls_detected,
             "watchdog_scans": stats.watchdog_scans,
             "shm_fallbacks": stats.shm_fallbacks,
+            "hangs_detected": stats.hangs_detected,
+            "workers_killed": stats.workers_killed,
+            "join_timeouts": stats.join_timeouts,
+            "ring_corruptions": stats.ring_corruptions,
+            "transport_degradations": stats.transport_degradations,
+            "serial_fallbacks": stats.serial_fallbacks,
             "quarantined_hosts": sorted(self.breaker.quarantined),
+            "quarantined_rings": sorted(self.ring_breaker.quarantined),
         }
         if self.injector is not None:
             summary["fault_log"] = list(self.injector.log)

@@ -90,6 +90,8 @@ class TelemetrySession:
         :attr:`phase_report`, shm-ring counters land as ``dist.shm.*``
         gauges, and each worker's trace track merges into the session's
         sink so the exported ``trace.json`` is one openable timeline.
+        Supervision reports (``result.supervision``) surface as
+        ``dist.supervisor.*`` gauges.
         """
         merged_ticks: Dict[str, float] = {}
         for worker in result.workers:
@@ -132,6 +134,23 @@ class TelemetrySession:
             self.registry.gauge(
                 f"dist.worker{worker.worker_id}.rate_mhz"
             ).set(worker.rate_mhz())
+        supervision = getattr(result, "supervision", None)
+        if supervision is not None:
+            self.registry.gauge("dist.supervisor.enabled").set(
+                1.0 if supervision.get("enabled") else 0.0
+            )
+            self.registry.gauge("dist.supervisor.polls").set(
+                float(supervision.get("polls", 0))
+            )
+            self.registry.gauge("dist.supervisor.beats").set(
+                float(supervision.get("beats", 0))
+            )
+            self.registry.gauge("dist.supervisor.hangs").set(
+                float(supervision.get("hangs", 0))
+            )
+            self.registry.gauge("dist.supervisor.deadline_s").set(
+                float(supervision.get("deadline_s", 0.0))
+            )
         if getattr(result, "profiled", False):
             self._absorb_profiles(result)
 
