@@ -306,6 +306,7 @@ def main(argv=None):
         "link_latency_cycles": LINK_LATENCY_CYCLES,
         "cycles": cycles,
         "trials": trials,
+        "quick": bool(args.quick),
         "host_cpu_count": os.cpu_count(),
         "serial": serial,
         "distributed": distributed,

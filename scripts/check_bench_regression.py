@@ -70,6 +70,13 @@ KNOWN_SCHEMAS = (
 #: least this much cheaper than the mp.Queue pipe, or the zero-copy
 #: transport has regressed to the point of pointlessness.
 SHM_OVER_PIPE_FLOOR = 1.5
+#: The floor applied to ``--quick`` runs (CI smoke).  At 400k cycles the
+#: per-round transport delta is tens of microseconds, so even with the
+#: median-of-paired-trials estimator a loaded shared CI runner can land
+#: a legitimate shm win well under the full-run margin; quick mode only
+#: asserts shm still *beats* pipes with headroom, and the strict 1.5x
+#: floor is enforced by the weekly full-length benchmark run.
+SHM_OVER_PIPE_QUICK_FLOOR = 1.1
 SHM_OVER_PIPE_METRIC = "speedup.shm_over_pipe_measured[2]"
 
 #: Absolute ceiling on the profiled-over-unprofiled round-time ratio:
@@ -140,7 +147,22 @@ def extract_ratios(document):
     return ratios
 
 
-def compare(baseline, current, tolerance):
+def shm_floor_for(current, quick_flag):
+    """The absolute shm-over-pipe floor that applies to ``current``.
+
+    Quick-scale measurements (CI smoke) get the relaxed floor; the
+    strict one applies to full-length runs.  Quickness is taken from
+    the document itself (``bench_dist.py --quick`` records
+    ``"quick": true``) or forced by the checker's own ``--quick`` flag,
+    so a CI pipeline cannot accidentally hold a 400k-cycle run to the
+    full-run margin.
+    """
+    if quick_flag or current.get("quick"):
+        return SHM_OVER_PIPE_QUICK_FLOOR
+    return SHM_OVER_PIPE_FLOOR
+
+
+def compare(baseline, current, tolerance, quick=False):
     """Return (failures, warnings) message lists for a document pair."""
     if baseline["schema"] != current["schema"]:
         return (
@@ -195,17 +217,19 @@ def compare(baseline, current, tolerance):
     # transport that stopped beating pipes.
     shm_ratio = cur_ratios.get(SHM_OVER_PIPE_METRIC)
     if shm_ratio is not None:
-        if shm_ratio < SHM_OVER_PIPE_FLOOR:
+        floor = shm_floor_for(current, quick)
+        label = "quick " if floor == SHM_OVER_PIPE_QUICK_FLOOR else ""
+        if shm_ratio < floor:
             failures.append(
                 f"{SHM_OVER_PIPE_METRIC}: {shm_ratio:.3f} is below the "
-                f"absolute floor {SHM_OVER_PIPE_FLOOR} — the shm "
+                f"absolute {label}floor {floor} — the shm "
                 "transport no longer beats pipes by the required margin"
             )
         else:
             print(
                 f"check_bench_regression: OK: {SHM_OVER_PIPE_METRIC}: "
-                f"{shm_ratio:.3f} clears the absolute floor "
-                f"{SHM_OVER_PIPE_FLOOR}"
+                f"{shm_ratio:.3f} clears the absolute {label}floor "
+                f"{floor}"
             )
     # Every profiler overhead ratio has an absolute ceiling: profiling
     # a run must never cost more than 5% of round time, and a baseline
@@ -288,6 +312,25 @@ def self_test(baseline, tolerance):
                     f"floor {SHM_OVER_PIPE_FLOOR} was NOT flagged when "
                     "baseline and current agree"
                 )
+            # Quick mode relaxes the floor but must not remove it: a
+            # ratio between the quick floor and the strict floor passes
+            # quick, and a ratio below the quick floor still fails.
+            ratios["2"] = (SHM_OVER_PIPE_QUICK_FLOOR + SHM_OVER_PIPE_FLOOR) / 2
+            sunk["quick"] = True
+            failures, _ = compare(sunk, copy.deepcopy(sunk), tolerance)
+            if failures:
+                fail(
+                    "self-test: a quick-run ratio above the quick floor "
+                    f"{SHM_OVER_PIPE_QUICK_FLOOR} was flagged: {failures}"
+                )
+            ratios["2"] = SHM_OVER_PIPE_QUICK_FLOOR - 0.05
+            failures, _ = compare(sunk, copy.deepcopy(sunk), tolerance)
+            if not failures:
+                fail(
+                    "self-test: shm-over-pipe ratio below the quick "
+                    f"floor {SHM_OVER_PIPE_QUICK_FLOOR} was NOT flagged "
+                    "in quick mode — quick runs are ungated"
+                )
     if baseline["schema"] == "repro.bench.dist/v3":
         # The profiler-overhead ceiling likewise: simulate a sleep
         # injected into the profiled path (ratio well above 1.05) in
@@ -322,6 +365,10 @@ def main(argv=None):
                         help="allowed fractional drop (default 0.20)")
     parser.add_argument("--self-test", action="store_true",
                         help="verify the gate flags a synthetic slowdown")
+    parser.add_argument("--quick", action="store_true",
+                        help="hold the measured shm-over-pipe ratio to "
+                             "the relaxed quick-run floor (also inferred "
+                             "from the document's own 'quick' marker)")
     args = parser.parse_args(argv)
     if not 0.0 < args.tolerance < 1.0:
         fail(f"tolerance must be in (0, 1), got {args.tolerance}")
@@ -333,7 +380,9 @@ def main(argv=None):
         parser.error("CURRENT is required unless --self-test is given")
     current = load(args.current)
 
-    failures, warnings = compare(baseline, current, args.tolerance)
+    failures, warnings = compare(
+        baseline, current, args.tolerance, quick=args.quick
+    )
     for warning in warnings:
         print(f"check_bench_regression: WARN: {warning}")
     if failures:

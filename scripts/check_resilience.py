@@ -20,6 +20,10 @@ enabled — and checks that:
   not a pass;
 * a session whose retry budget is exhausted exits non-zero with a
   one-line error;
+* the job server's graceful shutdown checkpoints a running preemptible
+  job (so it can resume cycle-exactly in a later serving session) and
+  its teardown audit reports no leaked ``/dev/shm`` segments — the
+  deep serve smoke lives in ``scripts/check_serve.py``;
 * distributed sessions over BOTH transports (``--transport pipe`` and
   ``--transport shm``) reproduce the serial session's ping results
   exactly — including a chaos run that crashes a worker mid-flight over
@@ -254,6 +258,45 @@ def main_check():
         if new_rings:
             fail(f"/dev/shm grew repro segments: {new_rings}")
 
+        # Serve layer: graceful shutdown of a busy server checkpoints
+        # the running preemptible job instead of discarding its work,
+        # and the audit confirms the children left no shm segments.
+        import time
+
+        from repro.serve import InProcessClient, JobServer, ServeFarm
+
+        server = JobServer(farm=ServeFarm({"f1.2xlarge": 2})).start()
+        client = InProcessClient(server)
+        job_id = client.submit({
+            "name": "draining", "topology": "single_rack",
+            "servers_per_rack": 2, "workload": "ping",
+            "duration_ms": 500.0, "ping_count": 20, "preemptible": True,
+        })
+        deadline = time.monotonic() + 30.0
+        while not any(e["event"] == "started" for e in server.events):
+            if time.monotonic() > deadline:
+                fail("serve: the job never started before shutdown")
+            time.sleep(0.02)
+        time.sleep(0.1)  # let it make progress worth checkpointing
+        report = client.shutdown()
+        if report["leaked_segments"]:
+            fail(f"serve: shutdown audit leaked segments: "
+                 f"{report['leaked_segments']}")
+        record = next(
+            job for job in client.jobs() if job["job_id"] == job_id
+        )
+        if record["state"] != "queued" or not record["checkpoint"]:
+            fail(
+                "serve: shutdown should park the running job as queued "
+                f"with a checkpoint, got state={record['state']!r} "
+                f"checkpoint={record['checkpoint']!r}"
+            )
+        if record["checkpoint"]["cycle"] <= 0:
+            fail("serve: shutdown checkpoint captured no progress")
+        server.stop()
+        if leaked_segments():
+            fail("serve: /dev/shm segments leaked after server stop")
+
         # Exhausted retry budgets surface as a clean non-zero exit.
         stubborn = os.path.join(tmp, "stubborn.json")
         with open(stubborn, "w") as fh:
@@ -275,7 +318,7 @@ def main_check():
         f"{resilience['retries']} retries, "
         f"{resilience['restores']} restore, cycle-exact recovery; "
         "pipe+shm distributed runs serial-exact, hang+corrupt chaos "
-        "recovered, /dev/shm leak-free)"
+        "recovered, serve shutdown checkpointed, /dev/shm leak-free)"
     )
     return 0
 

@@ -29,7 +29,11 @@ timestamps, switch byte counters, and workload results, for any worker
 count the topology supports.
 """
 
-from repro.dist.engine import DistributedRunResult, run_distributed
+from repro.dist.engine import (
+    DistributedRunResult,
+    RunAborted,
+    run_distributed,
+)
 from repro.dist.partition import (
     BoundaryLink,
     PartitionPlan,
@@ -64,6 +68,7 @@ __all__ = [
     "PartitionPlan",
     "PipeChannel",
     "RemoteAttachment",
+    "RunAborted",
     "ShardContext",
     "ShmRing",
     "Supervisor",

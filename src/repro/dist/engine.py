@@ -40,9 +40,9 @@ import multiprocessing
 from dataclasses import dataclass, field
 from queue import Empty
 from time import perf_counter
-from typing import Any, Dict, List, Optional, Tuple
+from typing import Any, Callable, Dict, List, Optional, Tuple
 
-from repro import ConfigError
+from repro import ConfigError, ReproError
 from repro.core.simulation import Simulation
 from repro.dist.partition import PartitionPlan
 from repro.dist.shm import (
@@ -90,6 +90,20 @@ _JOIN_TIMEOUT_S = 10.0
 #: without a result.  The put happens before the exit, so anything
 #: longer than a scheduler hiccup means the result is genuinely gone.
 _RESULT_GRACE_S = 2.0
+
+
+class RunAborted(ReproError, RuntimeError):
+    """A distributed run was stopped on purpose, not by a fault.
+
+    Raised when the caller's ``should_abort`` hook (the job server's
+    preemption/cancel seam) asks :func:`run_distributed` to stop
+    mid-run.  The parent simulation is left exactly as it was before
+    the call — no partial worker state is merged — so the caller can
+    restore its pre-fork checkpoint and later rerun deterministically.
+    Deliberately *not* a :class:`~repro.faults.plan.FaultError`: the
+    manager's retry/restore machinery must not treat an intentional
+    eviction as a host failure.
+    """
 
 
 @dataclass
@@ -365,6 +379,7 @@ def run_distributed(
     supervision: Optional[SupervisorConfig] = None,
     transport_timeout_s: float = DEFAULT_TRANSPORT_TIMEOUT_S,
     stats: Optional[Any] = None,
+    should_abort: Optional[Callable[[], bool]] = None,
 ) -> DistributedRunResult:
     """Advance ``simulation`` to ``target_cycle`` across forked workers.
 
@@ -402,6 +417,14 @@ def run_distributed(
     progress.  ``stats`` is an optional
     :class:`~repro.faults.plan.ResilienceStats` that collects hang /
     kill / join-timeout counters.
+
+    ``should_abort`` is the cooperative-stop seam for long-lived
+    callers (the :mod:`repro.serve` job server's preemption and cancel
+    paths): it is polled once per liveness sweep (~every
+    ``_POLL_INTERVAL_S``) and a truthy return tears the workers down
+    through the normal cleanup path — rings unlinked, processes
+    reaped — and raises :class:`RunAborted` without merging any worker
+    state into the parent simulation.
 
     Requires a platform with the ``fork`` start method (Linux): workers
     must inherit the elaborated simulation by memory image, because
@@ -480,6 +503,7 @@ def run_distributed(
     # the result may still be draining out of the queue's feeder pipe,
     # so they get _RESULT_GRACE_S before being declared failed.
     dead_ok_since: Dict[int, float] = {}
+    aborted = False
     try:
         for worker_id in range(plan.num_workers):
             process = context.Process(
@@ -494,6 +518,9 @@ def run_distributed(
             try:
                 message = result_queue.get(timeout=_POLL_INTERVAL_S)
             except Empty:
+                if should_abort is not None and should_abort():
+                    aborted = True
+                    break
                 verdict = supervisor.poll(set(results))
                 if verdict is not None:
                     supervisor.kill(processes[verdict.worker_id])
@@ -542,7 +569,7 @@ def run_distributed(
                 _, worker_id, at_cycle, detail, kind_name, target = message
                 failure = (worker_id, at_cycle, detail, kind_name, target)
     finally:
-        if failure is not None:
+        if failure is not None or aborted:
             for process in processes.values():
                 if process.is_alive():
                     process.terminate()
@@ -565,6 +592,12 @@ def run_distributed(
             ring.destroy()
         if heartbeats is not None:
             heartbeats.destroy()
+
+    if aborted:
+        raise RunAborted(
+            f"distributed run aborted by caller at cycle {start_cycle} "
+            f"start (workers torn down, no state merged)"
+        )
 
     if failure is not None:
         worker_id, at_cycle, detail, kind_name, target = failure

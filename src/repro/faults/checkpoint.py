@@ -66,11 +66,14 @@ def state_digest(running: Any) -> str:
         parts.append(
             (f"link{index}", link.flits_a_to_b, link.flits_b_to_a)
         )
-    for switch_id in sorted(running.switches):
+    # Switch ids come from a process-global counter, so switch *names*
+    # differ across re-elaborations of the same topology; key on the
+    # topology position (sorted-id rank), which is stable.
+    for position, switch_id in enumerate(sorted(running.switches)):
         switch = running.switches[switch_id]
         stats = switch.stats
         parts.append((
-            switch.name, stats.packets_in, stats.packets_out,
+            f"switch@{position}", stats.packets_in, stats.packets_out,
             stats.packets_dropped, stats.bytes_in, stats.bytes_out,
             stats.bytes_dropped, stats.broadcasts,
             switch.queued_packets(), switch.queued_bytes(),
@@ -205,6 +208,37 @@ class ReplayCheckpoint:
             cycle=running.simulation.current_cycle,
             digest=state_digest(running),
         )
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Portable form: everything but the rebuild recipe.
+
+        A replay checkpoint is just ``(cycle, digest)`` plus knowledge
+        of how to re-elaborate the target — and the latter travels as a
+        job spec, not a closure.  The job server ships this dict across
+        process and serialization boundaries (a preempted job's
+        checkpoint lives in the server's records until resume) and
+        reconstitutes with :meth:`from_dict` next to a fresh rebuild
+        closure built from the same spec.
+        """
+        return {"cycle": self.cycle, "digest": self.digest}
+
+    @classmethod
+    def from_dict(
+        cls, rebuild: Callable[[], Any], payload: Dict[str, Any]
+    ) -> "ReplayCheckpoint":
+        """Reattach a portable checkpoint to a rebuild recipe."""
+        try:
+            cycle = int(payload["cycle"])
+            digest = str(payload["digest"])
+        except (KeyError, TypeError, ValueError) as exc:
+            raise CheckpointError(
+                f"malformed portable checkpoint {payload!r}: {exc}"
+            ) from exc
+        if cycle < 0:
+            raise CheckpointError(
+                f"portable checkpoint cycle must be >= 0, got {cycle}"
+            )
+        return cls(rebuild=rebuild, cycle=cycle, digest=digest)
 
     def restore(self) -> Any:
         """Rebuild, replay to the checkpoint cycle, verify the digest."""

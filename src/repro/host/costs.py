@@ -10,7 +10,7 @@ the FPGAs being harnessed.  For the 1024-node datacenter simulation
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Mapping
+from typing import Any, Dict, Mapping
 
 from repro.host.instances import FPGA_RETAIL_PRICE, InstanceType, instance_type
 
@@ -73,3 +73,53 @@ def simulation_cost(
     if pricing == "on-demand":
         return report.on_demand_per_hour * hours
     raise ValueError(f"unknown pricing model {pricing!r}")
+
+
+def pricing_for_job(preemptible: bool) -> str:
+    """The cheapest pricing model a job's eviction tolerance allows.
+
+    Section V-C's cost arithmetic has two columns because the two
+    pricing models trade money for a revocation guarantee: spot
+    capacity is ~4x cheaper but can be reclaimed by the market, so only
+    jobs that tolerate preemption (the manager checkpoints and resumes
+    them) may use it; a job that must not be evicted needs on-demand
+    capacity.  The job server's cost optimizer maps ``preemptible``
+    straight onto that choice.
+    """
+    return "spot" if preemptible else "on-demand"
+
+
+def hourly_rate(instance_counts: Mapping[str, int], pricing: str) -> float:
+    """$/hour for a fleet under one pricing model."""
+    report = cost_report(instance_counts)
+    if pricing == "spot":
+        return report.spot_per_hour
+    if pricing == "on-demand":
+        return report.on_demand_per_hour
+    raise ValueError(f"unknown pricing model {pricing!r}")
+
+
+def job_cost_estimate(
+    instance_counts: Mapping[str, int],
+    hours: float,
+    preemptible: bool,
+) -> Dict[str, Any]:
+    """Price one job for the scheduler: pricing choice, rate, total.
+
+    Returns a JSON-ready dict so the job server can attach it to job
+    records and the ``jobs`` CLI verb can print it:
+    ``{"pricing", "hourly_rate", "estimated_cost", "savings_vs_on_demand"}``.
+    ``savings_vs_on_demand`` is what choosing spot saved (0.0 for
+    on-demand jobs) — the number the optimizer exists to maximize.
+    """
+    if hours < 0:
+        raise ValueError(f"hours must be >= 0, got {hours}")
+    pricing = pricing_for_job(preemptible)
+    rate = hourly_rate(instance_counts, pricing)
+    on_demand = hourly_rate(instance_counts, "on-demand")
+    return {
+        "pricing": pricing,
+        "hourly_rate": rate,
+        "estimated_cost": rate * hours,
+        "savings_vs_on_demand": (on_demand - rate) * hours,
+    }

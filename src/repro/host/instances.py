@@ -11,7 +11,7 @@ spot prices and ~$440/hour on-demand (Section V-C).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict
+from typing import Dict, Mapping
 
 
 @dataclass(frozen=True)
@@ -94,3 +94,27 @@ def instance_type(name: str) -> InstanceType:
         raise ValueError(
             f"unknown instance type {name!r}; known: {sorted(INSTANCE_TYPES)}"
         ) from None
+
+
+def fpga_slot_capacity(
+    instance_counts: Mapping[str, int], blades_per_fpga: int = 1
+) -> int:
+    """Simulated-blade slots a fleet offers (the run-farm capacity unit).
+
+    Each FPGA hosts ``blades_per_fpga`` simulated server blades (1
+    standard, up to 4 with supernode packing), so a fleet of
+    ``{instance type name: count}`` provides ``sum(fpgas) *
+    blades_per_fpga`` schedulable blade slots.  The job scheduler
+    (:mod:`repro.serve`) allocates against this number and must never
+    exceed it — an oversubscribed FPGA slot has no physical meaning.
+    """
+    if blades_per_fpga < 1:
+        raise ValueError(
+            f"blades_per_fpga must be >= 1, got {blades_per_fpga}"
+        )
+    fpgas = 0
+    for name, count in instance_counts.items():
+        if count < 0:
+            raise ValueError(f"negative count for {name}")
+        fpgas += instance_type(name).fpgas * count
+    return fpgas * blades_per_fpga

@@ -67,6 +67,12 @@ VERBS = (
     "terminaterunfarm",
 )
 
+#: Service verbs (:mod:`repro.serve`): ``serve`` runs the job server in
+#: the foreground; the rest talk to it over ``--serve-socket``.  They
+#: cannot be mixed with the lifecycle verbs above — a service session
+#: and a batch session are different things.
+SERVE_VERBS = ("serve", "submit", "jobs", "cancel")
+
 
 def build_topology(args: argparse.Namespace) -> SwitchNode:
     if args.topology == "single_rack":
@@ -110,8 +116,10 @@ def make_parser() -> argparse.ArgumentParser:
         prog="firesim",
         description="FireSim reproduction manager",
     )
-    parser.add_argument("verbs", nargs="+", choices=VERBS, metavar="verb",
-                        help=f"lifecycle verbs, in order: {', '.join(VERBS)}")
+    parser.add_argument("verbs", nargs="+", choices=VERBS + SERVE_VERBS,
+                        metavar="verb",
+                        help=f"lifecycle verbs, in order: {', '.join(VERBS)}; "
+                             f"or service verbs: {', '.join(SERVE_VERBS)}")
     parser.add_argument("--topology", default="single_rack",
                         choices=("single_rack", "two_tier", "datacenter"))
     parser.add_argument("--racks", type=int, default=2)
@@ -173,6 +181,35 @@ def make_parser() -> argparse.ArgumentParser:
                         metavar="MS",
                         help="take a recovery checkpoint every MS "
                              "milliseconds of target time")
+    serve = parser.add_argument_group("service verbs (serve/submit/jobs/cancel)")
+    serve.add_argument("--serve-socket", metavar="PATH",
+                       default="/tmp/firesim-serve.sock",
+                       help="unix socket the job server listens on and "
+                            "client verbs connect to")
+    serve.add_argument("--farm", metavar="TYPE=N[,TYPE=N]",
+                       default="f1.16xlarge=2",
+                       help="the shared run farm's instances (serve); "
+                            "capacity is its total FPGA slots")
+    serve.add_argument("--event-log", metavar="FILE.jsonl", default=None,
+                       help="append one JSON line per job event (serve)")
+    serve.add_argument("--drain", action="store_true",
+                       help="on SIGINT/SIGTERM let running and queued "
+                            "jobs finish instead of checkpointing them "
+                            "(serve)")
+    serve.add_argument("--job-name", default=None,
+                       help="name for a submitted job (default: the "
+                            "workload name)")
+    serve.add_argument("--priority", type=int, default=0,
+                       help="submitted job's priority; higher runs first "
+                            "and may preempt lower (default 0)")
+    serve.add_argument("--no-preempt", action="store_true",
+                       help="submitted job may not be checkpoint-evicted "
+                            "(and is priced on-demand, not spot)")
+    serve.add_argument("--wait", action="store_true",
+                       help="after submit, block until the job finishes "
+                            "and print its outcome")
+    serve.add_argument("--job-id", type=int, default=None,
+                       help="target job for cancel")
     return parser
 
 
@@ -376,7 +413,180 @@ def main(
         return 1
 
 
+def _parse_farm(spec: str) -> Dict[str, int]:
+    """Parse ``TYPE=N[,TYPE=N]`` into instance counts."""
+    counts: Dict[str, int] = {}
+    for part in spec.split(","):
+        part = part.strip()
+        if not part:
+            continue
+        name, _, count = part.partition("=")
+        try:
+            counts[name.strip()] = int(count)
+        except ValueError:
+            raise ConfigError(
+                f"bad --farm entry {part!r}; expected TYPE=N"
+            ) from None
+    if not counts:
+        raise ConfigError(f"--farm {spec!r} names no instances")
+    return counts
+
+
+def _spec_from_args(args: argparse.Namespace) -> Dict[str, Any]:
+    """A submitted job's spec, from the same flags runworkload uses."""
+    return {
+        "name": args.job_name or args.workload,
+        "topology": args.topology,
+        "racks": args.racks,
+        "servers_per_rack": args.servers_per_rack,
+        "server_type": args.server_type,
+        "workload": args.workload,
+        "duration_ms": args.duration_ms,
+        "ping_count": args.ping_count,
+        "priority": args.priority,
+        "preemptible": not args.no_preempt,
+        "engine": args.engine,
+        "workers": args.workers,
+        "transport": args.transport,
+        "link_latency_us": args.link_latency_us,
+        "fpgas_per_instance": args.fpgas_per_instance,
+        "supernode": args.supernode,
+        "checkpoint_interval_ms": args.checkpoint_interval,
+        "max_retries": args.max_retries,
+    }
+
+
+def _serve_forever(args: argparse.Namespace, out) -> Dict[str, Any]:
+    """The ``serve`` verb: run the job server until signalled."""
+    import time
+
+    from repro.obs.session import TelemetrySession
+    from repro.serve.api import SocketEndpoint
+    from repro.serve.farm import ServeFarm
+    from repro.serve.server import JobServer
+
+    farm = ServeFarm(_parse_farm(args.farm))
+    server = JobServer(farm=farm, event_log=args.event_log).start()
+    session = None
+    if args.telemetry_out:
+        session = TelemetrySession(trace=False)
+        session.attach_server(server)
+    endpoint = SocketEndpoint(server, args.serve_socket).start()
+    server.install_signal_handlers()
+    print(
+        f"serving {farm.capacity} FPGA slots "
+        f"({args.farm}) on {args.serve_socket}",
+        file=out, flush=True,
+    )
+    try:
+        while not server._shut_down:
+            time.sleep(0.1)
+    except KeyboardInterrupt:
+        print("shutting down"
+              + (" (draining)" if args.drain else " (checkpointing)"),
+              file=out, flush=True)
+        endpoint.close()  # refuse new tenants before winding down
+        server.stop(drain=args.drain)
+    finally:
+        endpoint.close()
+        if not server._shut_down:
+            server.stop(drain=args.drain)
+    if session is not None and args.telemetry_out:
+        session.dump(args.telemetry_out)
+    summary = {
+        "leaked_segments": list(server.leaked),
+        "events": len(server.events),
+        "stats": dict(vars(server.stats)),
+    }
+    if server.leaked:
+        print(f"leaked /dev/shm segments: {server.leaked}", file=out)
+    return summary
+
+
+def _serve_main(args: argparse.Namespace, out) -> int:
+    """Dispatch service verbs (one invocation may chain client verbs)."""
+    from repro.serve.client import UnixSocketClient
+
+    if "serve" in args.verbs:
+        if args.verbs != ["serve"]:
+            raise ConfigError(
+                "'serve' runs the server in the foreground and must be "
+                "the only verb"
+            )
+        summary = _serve_forever(args, out)
+        if args.json:
+            print(json.dumps({"verbs": {"serve": summary}}, indent=2,
+                             sort_keys=True), file=out)
+        return 0
+
+    client = UnixSocketClient(args.serve_socket)
+    summaries: Dict[str, Any] = {}
+    for verb in args.verbs:
+        if verb == "submit":
+            job_id = client.submit(_spec_from_args(args))
+            summary: Dict[str, Any] = {"job_id": job_id}
+            if not args.json:
+                print(f"submitted job {job_id}", file=out)
+            if args.wait:
+                record = client.wait(job_id)
+                summary["job"] = record
+                if not args.json:
+                    print(f"job {job_id} {record['state']}", file=out)
+                if record["state"] != "done":
+                    summaries[verb] = summary
+                    if args.json:
+                        print(json.dumps({"verbs": summaries}, indent=2,
+                                         sort_keys=True), file=out)
+                    return 1
+        elif verb == "jobs":
+            description = client.describe()
+            summary = description
+            if not args.json:
+                farm = description["farm"]
+                print(
+                    f"farm: {farm['used_slots']}/{farm['capacity_slots']} "
+                    "slots in use",
+                    file=out,
+                )
+                for job in description["jobs"]:
+                    line = (
+                        f"  #{job['job_id']} {job['name']!r} "
+                        f"{job['state']} prio={job['priority']} "
+                        f"slots={job['slots']} "
+                        f"pricing={job['cost'].get('pricing', '?')}"
+                    )
+                    if job["preemptions"]:
+                        line += f" preemptions={job['preemptions']}"
+                    if job["error"]:
+                        line += f" error={job['error']}"
+                    print(line, file=out)
+        elif verb == "cancel":
+            if args.job_id is None:
+                raise ConfigError("cancel requires --job-id")
+            outcome = client.cancel(args.job_id)
+            summary = outcome
+            if not args.json:
+                print(
+                    f"job {args.job_id} -> {outcome['state']}", file=out
+                )
+        else:
+            raise ConfigError(f"unknown service verb {verb!r}")
+        summaries[verb] = summary
+    if args.json:
+        print(json.dumps({"verbs": summaries}, indent=2, sort_keys=True),
+              file=out)
+    return 0
+
+
 def _main(args: argparse.Namespace, out) -> int:
+    serve_verbs = [verb for verb in args.verbs if verb in SERVE_VERBS]
+    if serve_verbs:
+        if len(serve_verbs) != len(args.verbs):
+            raise ConfigError(
+                "service verbs (serve/submit/jobs/cancel) cannot be mixed "
+                "with lifecycle verbs in one invocation"
+            )
+        return _serve_main(args, out)
     topology = build_topology(args)
     run_config = RunFarmConfig(
         link_latency_cycles=max(1, round(args.link_latency_us * 3200)),

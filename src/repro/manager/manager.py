@@ -26,16 +26,17 @@ from __future__ import annotations
 
 import random
 from contextlib import nullcontext
+from dataclasses import dataclass
 from time import perf_counter
 from typing import Any, Callable, ContextManager, Dict, List, Optional, Set
 
 from repro import ReproError
 from repro.core.channel import TokenStarvationError
-from repro.dist.engine import DistributedRunResult, run_distributed
+from repro.dist.engine import DistributedRunResult, RunAborted, run_distributed
 from repro.dist.partition import PartitionPlan, plan_partitions
 from repro.dist.shm import DEFAULT_TRANSPORT_TIMEOUT_S
 from repro.dist.supervisor import SupervisorConfig
-from repro.faults.checkpoint import ReplayCheckpoint
+from repro.faults.checkpoint import ReplayCheckpoint, state_digest
 from repro.faults.plan import (
     FaultError,
     FaultInjector,
@@ -65,6 +66,32 @@ from repro.obs.trace import get_trace_sink
 
 class ManagerError(ReproError, RuntimeError):
     """Lifecycle verbs ran out of order, or a step exhausted its retries."""
+
+
+#: Verdicts a segmented run's control hook may return at a boundary.
+CONTROL_CONTINUE = "continue"
+CONTROL_PREEMPT = "preempt"
+CONTROL_CANCEL = "cancel"
+
+
+@dataclass
+class SegmentedOutcome:
+    """How a segmented workload run ended.
+
+    ``status`` is ``"done"`` (ran to the workload's full duration),
+    ``"preempted"`` (stopped at a segment boundary on the control
+    hook's orders, checkpoint recorded), or ``"cancelled"`` (stopped
+    and discarded).  ``cycle``/``digest`` name the exact stopping point
+    — for a preempted run they are the portable checkpoint a later
+    ``resume_cycle``/``resume_digest`` call resumes from,
+    cycle-identically (the digest proves it).  ``result`` is only set
+    when ``status == "done"``.
+    """
+
+    status: str
+    cycle: int
+    digest: str
+    result: Optional[WorkloadResult] = None
 
 
 class FireSimManager:
@@ -114,6 +141,12 @@ class FireSimManager:
         )
         #: The last distributed run's merged result (``status`` reads it).
         self.last_distributed: Optional[DistributedRunResult] = None
+        #: Cooperative-stop hook for distributed runs: polled by the
+        #: engine's collection loop; a truthy return tears workers down
+        #: and raises :class:`~repro.dist.engine.RunAborted`.  The job
+        #: server sets this so a running distributed job can be
+        #: preempted or cancelled without SIGKILLing its process group.
+        self.abort_check: Optional[Callable[[], bool]] = None
         self.topology = topology
         self.run_config = run_config or RunFarmConfig()
         self.host_config = host_config or HostConfig()
@@ -381,19 +414,73 @@ class FireSimManager:
         self, workload: WorkloadSpec
     ) -> WorkloadResult:
         """Segmented run with checkpoint/restore recovery."""
+        outcome = self.runworkload_segmented(workload)
+        assert outcome.result is not None  # no control hook => ran to done
+        return outcome.result
+
+    def runworkload_segmented(
+        self,
+        workload: WorkloadSpec,
+        segment_cycles: Optional[int] = None,
+        control: Optional[Callable[[int, int], Optional[str]]] = None,
+        resume_cycle: int = 0,
+        resume_digest: Optional[str] = None,
+    ) -> SegmentedOutcome:
+        """Run a workload in checkpointable segments (the serving seam).
+
+        The engine between segments is exactly :meth:`runworkload`'s
+        resilient path — deterministic segments, a replay checkpoint at
+        every boundary, fault-triggered restores — plus an external
+        *control hook*: before each segment, ``control(current_cycle,
+        total_cycles)`` may return ``"preempt"`` or ``"cancel"`` to
+        stop the run at that boundary.  A preempted run's
+        :class:`SegmentedOutcome` carries the portable checkpoint
+        ``(cycle, digest)``; passing it back as
+        ``resume_cycle``/``resume_digest`` on a fresh manager replays
+        to that cycle, *proves* the replayed state matches via the
+        digest, and continues — the whole point being that a
+        preempted-and-resumed job is bit-identical to one that ran
+        undisturbed.  This is what :mod:`repro.serve` preemption rides
+        on.
+
+        Serial-engine only (``workers == 1``): a distributed run's
+        worker state never returns to the parent mid-run, so its only
+        sound checkpoint is the pre-fork cycle — the job server
+        therefore treats a distributed job as one segment and uses
+        :attr:`abort_check` instead.
+        """
+        if self.workers > 1:
+            raise ManagerError(
+                "segmented runs require the serial engine (workers == 1); "
+                "distributed jobs preempt via abort_check at round "
+                "granularity instead"
+            )
         sim = self.running
-        assert sim is not None
+        if sim is None:
+            raise ManagerError("infrasetup must run before runworkload")
         if sim.simulation.current_cycle != 0:
             raise ManagerError(
                 "resilient runworkload needs a fresh simulation at cycle 0 "
                 f"(at cycle {sim.simulation.current_cycle}); rerun "
                 "infrasetup first"
             )
+        if resume_cycle < 0:
+            raise ManagerError(
+                f"resume cycle must be >= 0, got {resume_cycle}"
+            )
         workload.validate_against(sim)
         for job in workload.jobs:
             job.setup(sim.blade(job.node_index))
         total_cycles = sim.simulation.clock.cycles(workload.duration_seconds)
-        interval = self.checkpoint_interval_cycles or total_cycles
+        interval = (
+            segment_cycles
+            or self.checkpoint_interval_cycles
+            or total_cycles
+        )
+        if interval < 1:
+            raise ManagerError(
+                f"segment length must be >= 1 cycle, got {interval}"
+            )
 
         def rebuild() -> RunningSimulation:
             # Deterministic re-execution: elaboration and job setup are
@@ -403,12 +490,51 @@ class FireSimManager:
                 job.setup(fresh.blade(job.node_index))
             return fresh
 
+        if resume_cycle > 0:
+            # Resume from a portable checkpoint: replay to the recorded
+            # cycle and let the digest check prove cycle-exactness
+            # before a single new segment runs.
+            if resume_digest is None:
+                raise ManagerError(
+                    "resume_cycle without resume_digest: an unverified "
+                    "resume could silently diverge"
+                )
+            self._trace_instant(
+                "resume", checkpoint_cycle=resume_cycle,
+            )
+            sim = ReplayCheckpoint.from_dict(
+                rebuild, {"cycle": resume_cycle, "digest": resume_digest}
+            ).restore()
+            self.running = sim
+            self.fault_stats.restores += 1
+            self.fault_stats.replay_cycles += resume_cycle
+            if self.telemetry is not None:
+                self.telemetry.attach_running(sim)
+
         checkpoint = ReplayCheckpoint.capture(sim, rebuild)
         self.fault_stats.checkpoints_taken += 1
         if self.injector is not None:
             self.injector.arm(sim.simulation)
         restores = 0
         while sim.simulation.current_cycle < total_cycles:
+            if control is not None:
+                verdict = control(sim.simulation.current_cycle, total_cycles)
+                if verdict in (CONTROL_PREEMPT, CONTROL_CANCEL):
+                    sim.simulation.fault_hook = None
+                    status = (
+                        "preempted" if verdict == CONTROL_PREEMPT
+                        else "cancelled"
+                    )
+                    return SegmentedOutcome(
+                        status=status,
+                        cycle=sim.simulation.current_cycle,
+                        digest=state_digest(sim),
+                    )
+                if verdict not in (None, CONTROL_CONTINUE):
+                    raise ManagerError(
+                        f"unknown control verdict {verdict!r}; expected "
+                        "'continue', 'preempt', or 'cancel'"
+                    )
             target = min(sim.simulation.current_cycle + interval, total_cycles)
             try:
                 sim.simulation.run_until(target)
@@ -440,10 +566,15 @@ class FireSimManager:
                 checkpoint = ReplayCheckpoint.capture(sim, rebuild)
                 self.fault_stats.checkpoints_taken += 1
         sim.simulation.fault_hook = None
-        return WorkloadResult(
-            workload_name=workload.name,
-            target_seconds=sim.simulation.current_time_s,
-            node_results=sim.collect_results(),
+        return SegmentedOutcome(
+            status="done",
+            cycle=sim.simulation.current_cycle,
+            digest=state_digest(sim),
+            result=WorkloadResult(
+                workload_name=workload.name,
+                target_seconds=sim.simulation.current_time_s,
+                node_results=sim.collect_results(),
+            ),
         )
 
     def _run_workload_distributed(
@@ -518,6 +649,7 @@ class FireSimManager:
                     supervision=self.supervision,
                     transport_timeout_s=self.transport_timeout_s,
                     stats=self.fault_stats,
+                    should_abort=self.abort_check,
                 )
                 if (
                     transport == "shm"
@@ -525,6 +657,11 @@ class FireSimManager:
                 ):
                     self.fault_stats.shm_fallbacks += 1
                 break
+            except RunAborted:
+                # Deliberate stop (job-server preempt/cancel), not a
+                # fault: workers are already torn down, no state merged.
+                sim.simulation.fault_hook = None
+                raise
             except (WorkerCrash, RingCorruption) as fault:
                 restores += 1
                 if self.injector is not None:

@@ -76,6 +76,17 @@ class TelemetrySession:
         for blade in running.blades.values():
             blade.register_metrics(self.registry)
 
+    def attach_server(self, server: Any) -> None:
+        """Wire a :class:`~repro.serve.server.JobServer`'s counters in.
+
+        Exposes the server's :class:`~repro.serve.server.ServeStats`
+        as ``serve.*`` gauges (submitted/started/preemptions/queued/
+        running/used_slots/...), so a metrics dump of a serving session
+        includes the scheduler's view of the farm.  Reflective — any
+        numeric attribute the stats object grows is picked up.
+        """
+        self.registry.register_source("serve", server.stats)
+
     def absorb_distributed(self, result: Any) -> None:
         """Fold a distributed run's per-worker measurements into the
         session.

@@ -1,0 +1,128 @@
+"""Wire protocol and unix-socket endpoint for the job server.
+
+One request, one reply, newline-delimited JSON objects:
+
+* ``{"op": "submit", "spec": {...}}`` → ``{"ok": true, "job_id": N}``
+* ``{"op": "jobs"}`` → ``{"ok": true, "jobs": [...], "farm": {...},
+  "stats": {...}}``
+* ``{"op": "cancel", "job_id": N}`` → ``{"ok": true, "state": "..."}``
+* ``{"op": "wait", "job_id": N, "timeout_s": T}`` → the job record
+* ``{"op": "shutdown", "drain": bool}`` → ``{"ok": true,
+  "leaked_segments": [...]}``
+
+Any failure — unknown op, malformed JSON, a :class:`ReproError` from
+the server — comes back as ``{"ok": false, "error": "<one line>"}``;
+the CLI turns that into its standard one-line-error + nonzero exit.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import os
+from typing import Any, Dict
+
+from repro import ReproError
+from repro.serve.server import JobServer, ServeError
+
+
+async def handle_request(
+    server: JobServer, request: Dict[str, Any]
+) -> Dict[str, Any]:
+    """Dispatch one decoded request against the server; never raises."""
+    try:
+        op = request.get("op")
+        if op == "submit":
+            job_id = await server.submit(request["spec"])
+            return {"ok": True, "job_id": job_id}
+        if op == "jobs":
+            description = await server.describe()
+            return {"ok": True, **description}
+        if op == "cancel":
+            outcome = await server.cancel(int(request["job_id"]))
+            return {"ok": True, **outcome}
+        if op == "wait":
+            record = await server.wait(
+                int(request["job_id"]),
+                timeout_s=float(request.get("timeout_s", 120.0)),
+            )
+            return {"ok": True, "job": record}
+        if op == "shutdown":
+            outcome = await server.shutdown(
+                drain=bool(request.get("drain", False))
+            )
+            return {"ok": True, **outcome}
+        return {"ok": False, "error": f"unknown op {op!r}"}
+    except ReproError as exc:
+        return {"ok": False, "error": str(exc)}
+    except (KeyError, TypeError, ValueError) as exc:
+        return {"ok": False, "error": f"malformed request: {exc}"}
+
+
+class SocketEndpoint:
+    """Unix-domain-socket front door, served on the server's own loop."""
+
+    def __init__(self, server: JobServer, path: str) -> None:
+        self.server = server
+        self.path = path
+        self._unix_server: Any = None
+
+    async def _handle(self, reader: asyncio.StreamReader,
+                      writer: asyncio.StreamWriter) -> None:
+        try:
+            while True:
+                line = await reader.readline()
+                if not line:
+                    break
+                try:
+                    request = json.loads(line)
+                except json.JSONDecodeError as exc:
+                    reply = {"ok": False, "error": f"bad JSON: {exc}"}
+                else:
+                    reply = await handle_request(self.server, request)
+                writer.write(
+                    (json.dumps(reply, sort_keys=True) + "\n").encode()
+                )
+                await writer.drain()
+                if request.get("op") == "shutdown" and reply.get("ok"):
+                    break
+        finally:
+            writer.close()
+
+    async def _start(self) -> None:
+        if os.path.exists(self.path):
+            raise ServeError(
+                f"socket path {self.path} already exists; is another "
+                "server running? remove it if not"
+            )
+        self._unix_server = await asyncio.start_unix_server(
+            self._handle, path=self.path
+        )
+
+    def start(self) -> "SocketEndpoint":
+        """Bind the socket on the server's loop (callable off-loop)."""
+        future = asyncio.run_coroutine_threadsafe(
+            self._start(), self.server.loop
+        )
+        future.result(timeout=10.0)
+        return self
+
+    def close(self) -> None:
+        if self._unix_server is not None:
+            async def _close() -> None:
+                self._unix_server.close()
+                await self._unix_server.wait_closed()
+
+            coro = _close()
+            try:
+                asyncio.run_coroutine_threadsafe(
+                    coro, self.server.loop
+                ).result(timeout=10.0)
+            except RuntimeError:
+                # The server's loop already closed (stop() ran first);
+                # its sockets died with it, only the path is left.
+                coro.close()
+            finally:
+                self._unix_server = None
+        if os.path.exists(self.path):
+            os.unlink(self.path)

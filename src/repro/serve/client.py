@@ -1,0 +1,117 @@
+"""Clients for the job server: in-process (tests) and unix-socket (CLI).
+
+Both expose the same synchronous surface — ``submit`` / ``jobs`` /
+``cancel`` / ``wait`` / ``shutdown`` — so tests and CLI verbs share
+code paths.  Server-side failures surface as :class:`ServeError`, which
+the CLI's standard error handling turns into one line + exit 1.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import socket
+from typing import Any, Dict, List
+
+from repro.serve.server import JobServer, ServeError
+
+
+class InProcessClient:
+    """Drive a :class:`JobServer` in this process, synchronously.
+
+    Thin ``run_coroutine_threadsafe`` wrappers over the server's
+    coroutine API — what the tests and the single-process ``serve``
+    CLI verb use.
+    """
+
+    def __init__(self, server: JobServer, timeout_s: float = 300.0) -> None:
+        self.server = server
+        self.timeout_s = timeout_s
+
+    def _call(self, coro: Any) -> Any:
+        future = asyncio.run_coroutine_threadsafe(coro, self.server.loop)
+        return future.result(timeout=self.timeout_s)
+
+    def submit(self, spec: Dict[str, Any]) -> int:
+        return self._call(self.server.submit(spec))
+
+    def jobs(self) -> List[Dict[str, Any]]:
+        return self._call(self.server.jobs())
+
+    def describe(self) -> Dict[str, Any]:
+        return self._call(self.server.describe())
+
+    def cancel(self, job_id: int) -> Dict[str, Any]:
+        return self._call(self.server.cancel(job_id))
+
+    def wait(self, job_id: int,
+             timeout_s: float = 120.0) -> Dict[str, Any]:
+        return self._call(self.server.wait(job_id, timeout_s=timeout_s))
+
+    def shutdown(self, drain: bool = False) -> Dict[str, Any]:
+        return self._call(self.server.shutdown(drain=drain))
+
+
+class UnixSocketClient:
+    """Talk to a served :class:`~repro.serve.api.SocketEndpoint`.
+
+    One connection per request keeps the client trivially stateless;
+    the protocol is newline-delimited JSON (see :mod:`repro.serve.api`).
+    """
+
+    def __init__(self, path: str, timeout_s: float = 300.0) -> None:
+        self.path = path
+        self.timeout_s = timeout_s
+
+    def _call(self, request: Dict[str, Any]) -> Dict[str, Any]:
+        try:
+            with socket.socket(socket.AF_UNIX, socket.SOCK_STREAM) as sock:
+                sock.settimeout(self.timeout_s)
+                sock.connect(self.path)
+                sock.sendall(
+                    (json.dumps(request, sort_keys=True) + "\n").encode()
+                )
+                chunks = []
+                while True:
+                    chunk = sock.recv(65536)
+                    if not chunk:
+                        break
+                    chunks.append(chunk)
+                    if chunk.endswith(b"\n"):
+                        break
+        except OSError as exc:
+            raise ServeError(
+                f"cannot reach job server at {self.path}: {exc}"
+            ) from exc
+        reply = json.loads(b"".join(chunks))
+        if not reply.get("ok"):
+            raise ServeError(reply.get("error", "server error"))
+        return reply
+
+    def submit(self, spec: Dict[str, Any]) -> int:
+        return int(self._call({"op": "submit", "spec": spec})["job_id"])
+
+    def jobs(self) -> List[Dict[str, Any]]:
+        return list(self._call({"op": "jobs"})["jobs"])
+
+    def describe(self) -> Dict[str, Any]:
+        return self._call({"op": "jobs"})
+
+    def cancel(self, job_id: int) -> Dict[str, Any]:
+        return self._call({"op": "cancel", "job_id": job_id})
+
+    def wait(self, job_id: int,
+             timeout_s: float = 120.0) -> Dict[str, Any]:
+        return self._call(
+            {"op": "wait", "job_id": job_id, "timeout_s": timeout_s}
+        )["job"]
+
+    def shutdown(self, drain: bool = False) -> Dict[str, Any]:
+        return self._call({"op": "shutdown", "drain": drain})
+
+
+def connect(server_or_path: Any) -> Any:
+    """Pick the right client for a live server object or a socket path."""
+    if isinstance(server_or_path, JobServer):
+        return InProcessClient(server_or_path)
+    return UnixSocketClient(str(server_or_path))

@@ -1,0 +1,138 @@
+"""Priority scheduler with aging and checkpoint-backed preemption.
+
+Pure decision logic, no I/O and no asyncio — the server calls
+:meth:`Scheduler.plan` whenever the world changes (submit, job finished,
+preemption confirmed) and executes the returned actions.  Keeping it
+pure makes the two scheduling invariants property-testable directly
+(``tests/test_serve.py``):
+
+* **no oversubscription** — started jobs' slots never exceed the farm's
+  FPGA capacity (the farm ledger independently asserts this too);
+* **no starvation** — a queued job's *effective* priority rises as it
+  waits (``priority + rounds_waiting // aging_every``), so any job
+  eventually outranks a stream of fresh high-priority arrivals, and
+  within one priority level the queue is FIFO by submission order.
+
+Preemption: when the best queued job cannot fit, running jobs that are
+``preemptible`` and *strictly* lower-priority are evicted
+(lowest-effective-priority first) until the blocked job would fit.  The
+victim checkpoints at its next segment boundary and re-enters the queue;
+its slots free only when the checkpoint actually lands — the scheduler
+never double-counts in-flight evictions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from repro.serve.farm import ServeFarm
+from repro.serve.job import JobRecord, JobState
+
+#: Rounds a job must wait to gain one effective-priority point.
+AGING_EVERY = 4
+
+
+@dataclass(frozen=True)
+class Action:
+    """One scheduling decision: start a queued job or preempt a runner."""
+
+    kind: str  # "start" | "preempt"
+    job_id: int
+
+
+def effective_priority(record: JobRecord,
+                       aging_every: int = AGING_EVERY) -> int:
+    """Submitted priority plus an aging credit for time spent queued."""
+    return record.spec.priority + record.rounds_waiting // aging_every
+
+
+class Scheduler:
+    """Plans starts/preemptions for a farm + job table; mutates neither."""
+
+    def __init__(self, aging_every: int = AGING_EVERY) -> None:
+        if aging_every < 1:
+            raise ValueError(f"aging_every must be >= 1, got {aging_every}")
+        self.aging_every = aging_every
+
+    def _queue_order(self, queued: List[JobRecord]) -> List[JobRecord]:
+        return sorted(
+            queued,
+            key=lambda r: (
+                -effective_priority(r, self.aging_every), r.submit_seq
+            ),
+        )
+
+    def plan(
+        self,
+        records: Dict[int, JobRecord],
+        farm: ServeFarm,
+        preempting: frozenset = frozenset(),
+    ) -> List[Action]:
+        """Decide what to do now.
+
+        ``preempting`` holds job ids already ordered to checkpoint but
+        not yet confirmed — their slots are still allocated, and they
+        must not be ordered again.  Returned actions are ordered:
+        preemptions first (they free capacity), then starts that fit
+        *current* free capacity.  Starts freed by an in-flight
+        preemption happen on the next plan, once the slots are real.
+        """
+        queued = self._queue_order([
+            r for r in records.values() if r.state == JobState.QUEUED
+        ])
+        running = [
+            r for r in records.values()
+            if r.state == JobState.RUNNING and r.job_id not in preempting
+        ]
+        actions: List[Action] = []
+        free = farm.free
+
+        # Start everything that fits, best-first.  A job that doesn't
+        # fit does NOT block smaller lower-ranked jobs (backfill), but
+        # the head job's preemption demand is computed first so
+        # backfill can't starve it.
+        blocked: List[JobRecord] = []
+        for record in queued:
+            slots = record.spec.fpga_slots()
+            if slots <= free:
+                actions.append(Action("start", record.job_id))
+                free -= slots
+            else:
+                blocked.append(record)
+
+        if blocked and running:
+            # Free capacity for the best blocked job by evicting
+            # strictly lower-priority preemptible runners, cheapest
+            # eviction (lowest effective priority) first.
+            head = blocked[0]
+            head_rank = effective_priority(head, self.aging_every)
+            need = head.spec.fpga_slots() - free
+            victims = sorted(
+                (
+                    r for r in running
+                    if r.spec.preemptible
+                    and effective_priority(r, self.aging_every) < head_rank
+                ),
+                key=lambda r: (
+                    effective_priority(r, self.aging_every), -r.submit_seq
+                ),
+            )
+            reclaimable = 0
+            chosen: List[JobRecord] = []
+            for victim in victims:
+                if reclaimable >= need:
+                    break
+                chosen.append(victim)
+                reclaimable += victim.spec.fpga_slots()
+            if reclaimable >= need:
+                actions = [
+                    Action("preempt", v.job_id) for v in chosen
+                ] + actions
+        return actions
+
+    def age(self, records: Dict[int, JobRecord]) -> None:
+        """Credit one waiting round to every queued job."""
+        for record in records.values():
+            if record.state == JobState.QUEUED:
+                record.rounds_waiting += 1

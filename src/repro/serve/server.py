@@ -1,0 +1,521 @@
+"""The job server: manager-as-a-service (paper Section III-B3).
+
+Upstream FireSim's manager is a batch tool — one invocation, one run.
+:class:`JobServer` makes it a long-lived service the way the paper's
+"simulation-cloud" framing implies: an asyncio event loop (running in a
+daemon thread so synchronous callers and the CLI can drive it) owns a
+job table, a :class:`~repro.serve.farm.ServeFarm` slot ledger, and a
+:class:`~repro.serve.scheduler.Scheduler`; every accepted job runs in
+its own forked process group via
+:func:`~repro.serve.job.run_job_child`, so tenants cannot perturb each
+other's target-time determinism — the bit-equality tests in
+``tests/test_serve.py`` hold the server to that.
+
+Preemption is checkpoint-backed: a victim is *ordered* to stop, stops
+at its next segment boundary, ships back a portable
+``(cycle, digest)`` checkpoint, and re-enters the queue; when
+rescheduled it replays to that cycle and the digest proves the resumed
+run is the same run.  Graceful shutdown drains or checkpoints every
+job, reaps every child, and audits /dev/shm for leaked transport
+segments.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import multiprocessing
+import os
+import signal
+import threading
+import time
+from typing import Any, Dict, List, Optional
+
+from repro import ReproError
+from repro.dist.shm import leaked_segments
+from repro.serve.farm import ServeFarm
+from repro.serve.job import (
+    JobRecord,
+    JobSpec,
+    JobState,
+    TERMINAL_STATES,
+    run_job_child,
+)
+from repro.serve.scheduler import AGING_EVERY, Scheduler
+
+
+class ServeError(ReproError):
+    """A server operation failed (unknown job, bad state, shut down)."""
+
+
+class ServeStats:
+    """Numeric counters exposed as ``serve.*`` gauges via telemetry."""
+
+    def __init__(self) -> None:
+        self.submitted = 0
+        self.rejected = 0
+        self.started = 0
+        self.completed = 0
+        self.failed = 0
+        self.cancelled = 0
+        self.preemptions = 0
+        self.resumes = 0
+        self.queued = 0
+        self.running = 0
+        self.capacity_slots = 0
+        self.used_slots = 0
+        self.schedule_rounds = 0
+
+
+class JobServer:
+    """Long-lived multi-tenant run-farm service.
+
+    Thread model: one asyncio loop in a daemon thread owns all mutable
+    state (job table, farm ledger, in-flight sets).  Each running job
+    gets a pump in a worker thread (``asyncio.to_thread``) that blocks
+    on the child's pipe; it only *reads* and reports back into the loop.
+    Commands to children (preempt/cancel) are sent from the loop thread
+    — the ``multiprocessing.Pipe`` is full-duplex, and the two threads
+    touch opposite directions only.
+    """
+
+    def __init__(
+        self,
+        farm: Optional[ServeFarm] = None,
+        event_log: Optional[str] = None,
+        aging_every: int = AGING_EVERY,
+        poll_interval_s: float = 0.02,
+    ) -> None:
+        self.farm = farm or ServeFarm()
+        self.scheduler = Scheduler(aging_every=aging_every)
+        self.stats = ServeStats()
+        self.stats.capacity_slots = self.farm.capacity
+        self.records: Dict[int, JobRecord] = {}
+        self.events: List[Dict[str, Any]] = []
+        self.event_log = event_log
+        self.poll_interval_s = poll_interval_s
+        self.leaked: List[str] = []
+        self._next_id = 1
+        self._seq = 0
+        self._event_seq = 0
+        self._preempting: set = set()
+        self._cancelling: set = set()
+        self._pipes: Dict[int, Any] = {}
+        self._procs: Dict[int, Any] = {}
+        self._tasks: Dict[int, asyncio.Task] = {}
+        self._accepting = True
+        self._no_new_starts = False
+        self._shut_down = False
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._thread: Optional[threading.Thread] = None
+        self._mp = multiprocessing.get_context("fork")
+
+    # -- lifecycle ------------------------------------------------------
+
+    def start(self) -> "JobServer":
+        """Run the event loop in a daemon thread; idempotent."""
+        if self._thread is not None:
+            return self
+        ready = threading.Event()
+
+        def _run() -> None:
+            loop = asyncio.new_event_loop()
+            asyncio.set_event_loop(loop)
+            self._loop = loop
+            ready.set()
+            loop.run_forever()
+            # Drain callbacks scheduled during the final iteration.
+            loop.run_until_complete(loop.shutdown_asyncgens())
+            loop.close()
+
+        self._thread = threading.Thread(
+            target=_run, name="repro-serve", daemon=True
+        )
+        self._thread.start()
+        ready.wait()
+        self._emit("serving", farm=self.farm.describe())
+        return self
+
+    @property
+    def loop(self) -> asyncio.AbstractEventLoop:
+        if self._loop is None:
+            raise ServeError("server not started")
+        return self._loop
+
+    def stop(self, drain: bool = False, timeout_s: float = 60.0) -> None:
+        """Graceful shutdown from any thread: see :meth:`shutdown`."""
+        if self._loop is None or self._shut_down:
+            return
+        future = asyncio.run_coroutine_threadsafe(
+            self.shutdown(drain=drain), self.loop
+        )
+        future.result(timeout=timeout_s)
+        self.loop.call_soon_threadsafe(self.loop.stop)
+        assert self._thread is not None
+        self._thread.join(timeout=timeout_s)
+
+    def install_signal_handlers(self) -> None:
+        """SIGINT/SIGTERM → graceful shutdown (the ``serve`` verb)."""
+
+        def _handler(signum: int, frame: Any) -> None:
+            raise KeyboardInterrupt
+
+        signal.signal(signal.SIGTERM, _handler)
+        signal.signal(signal.SIGINT, _handler)
+
+    # -- events ---------------------------------------------------------
+
+    def _emit(self, event: str, job_id: Optional[int] = None,
+              **fields: Any) -> None:
+        record: Dict[str, Any] = {
+            "seq": self._event_seq,
+            "ts": round(time.time(), 6),
+            "event": event,
+        }
+        self._event_seq += 1
+        if job_id is not None:
+            record["job_id"] = job_id
+        record.update(fields)
+        self.events.append(record)
+        if self.event_log:
+            with open(self.event_log, "a", encoding="utf-8") as handle:
+                handle.write(json.dumps(record, sort_keys=True) + "\n")
+
+    def _sync_gauges(self) -> None:
+        states = [r.state for r in self.records.values()]
+        self.stats.queued = sum(1 for s in states if s == JobState.QUEUED)
+        self.stats.running = sum(1 for s in states if s == JobState.RUNNING)
+        self.stats.used_slots = self.farm.used
+
+    # -- public API (coroutines on the server loop) ---------------------
+
+    async def submit(self, spec_dict: Dict[str, Any]) -> int:
+        """Validate, admit, and (maybe immediately) schedule a job."""
+        if not self._accepting:
+            raise ServeError("server is shutting down; not accepting jobs")
+        spec = JobSpec.from_dict(spec_dict)
+        slots = spec.fpga_slots()
+        if slots > self.farm.capacity:
+            self.stats.rejected += 1
+            raise ServeError(
+                f"job {spec.name!r} needs {slots} FPGA slots but the farm "
+                f"has {self.farm.capacity}; it can never be scheduled"
+            )
+        job_id = self._next_id
+        self._next_id += 1
+        self._seq += 1
+        record = JobRecord(
+            job_id=job_id, spec=spec, submit_seq=self._seq,
+        )
+        record.cost = self.farm.job_cost(
+            slots, spec.duration_ms / 3.6e6, spec.preemptible
+        )
+        self.records[job_id] = record
+        self.stats.submitted += 1
+        self._emit(
+            "submitted", job_id, name=spec.name, slots=slots,
+            priority=spec.priority, preemptible=spec.preemptible,
+            pricing=record.cost["pricing"],
+        )
+        self._schedule()
+        return job_id
+
+    async def jobs(self) -> List[Dict[str, Any]]:
+        listing = [
+            record.to_dict()
+            for record in sorted(
+                self.records.values(), key=lambda r: r.job_id
+            )
+        ]
+        return listing
+
+    async def describe(self) -> Dict[str, Any]:
+        self._sync_gauges()
+        return {
+            "farm": self.farm.describe(),
+            "jobs": await self.jobs(),
+            "stats": {
+                key: value for key, value in vars(self.stats).items()
+            },
+        }
+
+    async def cancel(self, job_id: int) -> Dict[str, Any]:
+        record = self._record(job_id)
+        if record.state in TERMINAL_STATES:
+            raise ServeError(
+                f"job {job_id} already {record.state.value}; nothing to "
+                "cancel"
+            )
+        if record.state == JobState.RUNNING:
+            # Order the child to stop at its next boundary; the pump's
+            # terminal message completes the cancellation.
+            self._cancelling.add(job_id)
+            self._send_command(job_id, "cancel")
+        else:
+            # Queued or preempted: never reaches a child, settle now.
+            self._settle(record, JobState.CANCELLED)
+            self._emit("cancelled", job_id, where="queue")
+            self._schedule()
+        return {"job_id": job_id, "state": record.state.value}
+
+    async def wait(self, job_id: int,
+                   timeout_s: float = 120.0) -> Dict[str, Any]:
+        """Block until a job reaches a terminal state; return its record."""
+        record = self._record(job_id)
+        deadline = time.monotonic() + timeout_s
+        while record.state not in TERMINAL_STATES:
+            if time.monotonic() > deadline:
+                raise ServeError(
+                    f"timed out waiting for job {job_id} "
+                    f"(state {record.state.value})"
+                )
+            await asyncio.sleep(self.poll_interval_s)
+        return record.to_dict()
+
+    async def shutdown(self, drain: bool = False,
+                       timeout_s: float = 120.0) -> Dict[str, Any]:
+        """Stop accepting, then drain or checkpoint/cancel everything.
+
+        ``drain=True`` lets running *and queued* jobs finish;
+        ``drain=False`` checkpoints running preemptible jobs (their
+        state survives as portable checkpoints in the job table),
+        cancels the rest, and cancels the queue.  Either way every
+        child is reaped and /dev/shm is audited for leaked transport
+        segments before the ``shutdown`` event is logged.
+        """
+        if self._shut_down:
+            return {"leaked_segments": list(self.leaked)}
+        self._accepting = False
+        if not drain:
+            # Checkpointed victims must stay parked, not be rescheduled
+            # by the very preemption that was meant to park them.
+            self._no_new_starts = True
+            for record in list(self.records.values()):
+                if record.state == JobState.QUEUED:
+                    self._settle(record, JobState.CANCELLED)
+                    self._emit("cancelled", record.job_id, where="queue")
+                elif record.state == JobState.RUNNING:
+                    if record.spec.preemptible:
+                        if record.job_id not in self._preempting:
+                            self._preempting.add(record.job_id)
+                            self._send_command(record.job_id, "preempt")
+                    elif record.job_id not in self._cancelling:
+                        self._cancelling.add(record.job_id)
+                        self._send_command(record.job_id, "cancel")
+        deadline = time.monotonic() + timeout_s
+        while any(
+            r.state == JobState.RUNNING for r in self.records.values()
+        ) or (drain and any(
+            r.state in (JobState.QUEUED, JobState.PREEMPTED)
+            for r in self.records.values()
+        )):
+            if time.monotonic() > deadline:
+                self._emit("shutdown_timeout")
+                for job_id in list(self._procs):
+                    self._kill(job_id)
+                break
+            await asyncio.sleep(self.poll_interval_s)
+        for task in list(self._tasks.values()):
+            try:
+                await asyncio.wait_for(task, timeout=10.0)
+            except (asyncio.TimeoutError, asyncio.CancelledError):
+                pass
+            except Exception:  # noqa: BLE001 - already logged as failed
+                pass
+        self.leaked = leaked_segments()
+        self._shut_down = True
+        self._sync_gauges()
+        self._emit(
+            "shutdown", drained=drain, leaked_segments=list(self.leaked),
+        )
+        return {"leaked_segments": list(self.leaked)}
+
+    # -- internals (loop thread only) -----------------------------------
+
+    def _record(self, job_id: int) -> JobRecord:
+        try:
+            return self.records[job_id]
+        except KeyError:
+            raise ServeError(f"unknown job id {job_id}") from None
+
+    def _send_command(self, job_id: int, command: str) -> None:
+        pipe = self._pipes.get(job_id)
+        if pipe is None:
+            return
+        try:
+            pipe.send((command,))
+        except (OSError, ValueError):
+            pass  # child already exiting; the pump will report it
+
+    def _settle(self, record: JobRecord, state: JobState) -> None:
+        """Move a job to a terminal state and free its slots."""
+        record.state = state
+        self.farm.release(record.job_id)
+        if state == JobState.CANCELLED:
+            self.stats.cancelled += 1
+        elif state == JobState.FAILED:
+            self.stats.failed += 1
+        elif state == JobState.DONE:
+            self.stats.completed += 1
+        self._sync_gauges()
+
+    def _schedule(self) -> None:
+        """One scheduling round: age, plan, execute the plan."""
+        if self._shut_down or self._no_new_starts:
+            return
+        self.stats.schedule_rounds += 1
+        self.scheduler.age(self.records)
+        plan = self.scheduler.plan(
+            self.records, self.farm, frozenset(self._preempting)
+        )
+        for action in plan:
+            record = self.records[action.job_id]
+            if action.kind == "preempt":
+                if record.state != JobState.RUNNING:
+                    continue
+                self._preempting.add(record.job_id)
+                self._emit(
+                    "preempting", record.job_id,
+                    by="scheduler",
+                )
+                self._send_command(record.job_id, "preempt")
+            elif record.state == JobState.QUEUED:
+                self._start(record)
+        self._sync_gauges()
+
+    def _start(self, record: JobRecord) -> None:
+        slots = record.spec.fpga_slots()
+        self.farm.allocate(record.job_id, slots)
+        record.state = JobState.RUNNING
+        resumed = record.checkpoint is not None and \
+            (record.checkpoint.get("cycle") or 0) > 0
+        if resumed:
+            self.stats.resumes += 1
+        self.stats.started += 1
+        self._emit(
+            "started", record.job_id, slots=slots,
+            resumed=resumed,
+            resume_cycle=(record.checkpoint or {}).get("cycle", 0),
+        )
+        task = self.loop.create_task(self._run_job(record))
+        self._tasks[record.job_id] = task
+
+    async def _run_job(self, record: JobRecord) -> None:
+        job_id = record.job_id
+        parent, child = self._mp.Pipe(duplex=True)
+        process = self._mp.Process(
+            target=run_job_child,
+            args=(record.spec.to_dict(), record.checkpoint, child),
+            name=f"serve-job-{job_id}",
+        )
+        process.start()
+        child.close()
+        self._pipes[job_id] = parent
+        self._procs[job_id] = process
+        try:
+            terminal = await asyncio.to_thread(
+                self._pump, process, parent, record
+            )
+        finally:
+            self._pipes.pop(job_id, None)
+        self._on_terminal(record, terminal)
+        self._reap(job_id, process)
+        self._tasks.pop(job_id, None)
+        self._schedule()
+
+    def _pump(self, process: Any, pipe: Any,
+              record: JobRecord) -> tuple:
+        """Worker thread: block on the child's pipe until terminal.
+
+        Only reads the pipe (commands go down from the loop thread) and
+        only touches ``record`` for monotonic progress counters.
+        """
+        while True:
+            try:
+                if pipe.poll(self.poll_interval_s):
+                    message = pipe.recv()
+                    if message[0] == "progress":
+                        continue
+                    return message
+                elif not process.is_alive():
+                    # One last drain: the child may have sent its
+                    # terminal message right before exiting.
+                    if pipe.poll(0):
+                        message = pipe.recv()
+                        if message[0] != "progress":
+                            return message
+                        continue
+                    return (
+                        "failed",
+                        f"job process exited without a result "
+                        f"(exitcode {process.exitcode})",
+                    )
+            except (EOFError, OSError):
+                return (
+                    "failed",
+                    f"job pipe closed without a result "
+                    f"(exitcode {process.exitcode})",
+                )
+
+    def _on_terminal(self, record: JobRecord, terminal: tuple) -> None:
+        """Loop thread: apply a child's terminal message."""
+        job_id = record.job_id
+        kind = terminal[0]
+        was_cancelling = job_id in self._cancelling
+        self._preempting.discard(job_id)
+        self._cancelling.discard(job_id)
+        if kind == "preempted" and was_cancelling:
+            # Preempt order landed first, but the user asked to cancel:
+            # honor the cancel; the checkpoint is discarded.
+            kind = "cancelled"
+            terminal = ("cancelled", terminal[1].get("cycle", 0))
+        if kind == "done":
+            record.result = terminal[1]
+            record.checkpoint = None
+            self._settle(record, JobState.DONE)
+            self._emit("completed", job_id,
+                       target_ms=terminal[1].get("target_ms"))
+        elif kind == "preempted":
+            checkpoint = terminal[1]
+            record.checkpoint = checkpoint
+            record.preemptions += 1
+            self.stats.preemptions += 1
+            self.farm.release(job_id)
+            # Back into the queue, keeping its aging credit so repeated
+            # preemption raises its effective priority (no starvation).
+            record.state = JobState.QUEUED
+            self._emit(
+                "preempted", job_id,
+                cycle=checkpoint.get("cycle"),
+                digest=(checkpoint.get("digest") or "")[:16],
+            )
+            self._sync_gauges()
+        elif kind == "cancelled":
+            self._settle(record, JobState.CANCELLED)
+            self._emit("cancelled", job_id, where="running",
+                       cycle=terminal[1])
+        else:
+            record.error = str(terminal[1])
+            self._settle(record, JobState.FAILED)
+            self._emit("failed", job_id, error=record.error)
+
+    def _reap(self, job_id: int, process: Any) -> None:
+        process.join(timeout=10.0)
+        if process.is_alive():
+            self._kill(job_id)
+            process.join(timeout=10.0)
+        self._procs.pop(job_id, None)
+
+    def _kill(self, job_id: int) -> None:
+        """Escalate: SIGTERM the job's process group, then SIGKILL."""
+        process = self._procs.get(job_id)
+        if process is None or process.pid is None:
+            return
+        for signum in (signal.SIGTERM, signal.SIGKILL):
+            if not process.is_alive():
+                return
+            try:
+                os.killpg(process.pid, signum)
+            except (ProcessLookupError, PermissionError):
+                return
+            process.join(timeout=5.0)
