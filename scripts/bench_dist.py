@@ -3,64 +3,84 @@
 
 Usage: python scripts/bench_dist.py [--cycles N] [--workers 2,4,8]
                                     [--trials N] [--out BENCH_dist.json]
-                                    [--quick]
+                                    [--phase-report PATH] [--quick]
 
-Runs the Figure-8 sim-rate configuration (the paper's 2 us / 6400-cycle
-link latency, a two-tier 8-node cluster scaled to what one container
-can elaborate) through the serial engine and through ``repro.dist`` at
-each requested worker count, once per transport (``pipe`` and ``shm``),
-and emits ``BENCH_dist.json`` (schema ``repro.bench.dist/v3``).
+Runs the paper's scale-out configuration — a two-tier cluster with
+2 us / 6400-cycle rack-to-root trunk links and 0.5 us / 1600-cycle
+server links, sized to what one container can elaborate — through the
+serial engines and through ``repro.dist`` at each requested worker
+count, once per transport (``pipe`` and ``shm``), and emits
+``BENCH_dist.json`` (schema ``repro.bench.dist/v4``).
 
-Three rate families are reported, clearly labeled:
+The latency-heterogeneous links exercise the distributed engine's
+adaptive exchange quantum (paper Fig 9: simulation rate grows with
+token batch size).  Partitions are rack-aligned — each worker owns
+whole racks (ToR switch + its blades), exactly how FireSim places a
+rack's blades and ToR on one instance — so every cross-worker link is
+a 6400-cycle trunk.  The simulation quantum is the 1600-cycle server
+link, but the exchange quantum derived from the partition's boundary
+latency floor is 6400 cycles: workers exchange one coalesced message
+per peer every *four* rounds, which is where distributed execution
+earns its win over the serial engines (the serial round loop pays its
+per-round cost at every 1600-cycle quantum; a worker pays transport
+only at exchange boundaries).
+
+Two serial baselines anchor the document, measured **once** up front
+and reused across every worker count (v3 re-ran the serial leg inside
+every worker-count trial, which tripled CI wall time for identical
+numbers):
+
+* ``serial.scalar`` — the scalar oracle with a
+  :class:`~repro.obs.rate.RateMonitor` attached: the instrumented
+  reference run that supplies the end cycle every distributed run must
+  reproduce, and the subtrahend for per-round transport overhead
+  (unchanged from v3 so overhead ratios stay comparable).
+* ``serial.batched`` — the batched numpy engine, **uninstrumented**
+  (plain ``run_until`` under ``perf_counter``), best of ``--trials``
+  runs.  This is the parity baseline: the distributed engine now
+  defaults to the batched loop, so "dist beats serial" means beating
+  the fastest serial configuration with no monitor attached — not the
+  scalar oracle with a rate probe riding along.
+
+Distributed runs use the batched engine too (the ``--workers > 1``
+default).  Rate families reported per transport per worker count:
 
 * ``measured_mhz`` — wall-clock achieved MHz on THIS host, best of
-  ``--trials`` uninstrumented runs (best-of filters scheduler noise on
-  shared CI hosts).  Containers typically pin all workers to one core,
-  so measured distributed rates mostly show transport overhead, not
-  scaling.
-* ``modeled_mhz`` — the critical-path model: each worker's measured
-  per-model tick seconds plus one transport hop (WORKER_PIPE or
-  SHM_RING) per boundary link per round, assuming one core per worker.
-  This is the same model-what-you-cannot-measure technique
-  :mod:`repro.host.perfmodel` uses for the paper's F1 fleet, and it is
-  where the scaling claim lives (``speedup.modeled``).
+  ``--trials`` uninstrumented runs.  Only meaningful as a parity
+  number when the host has at least one core per worker
+  (``host_cpu_count`` is recorded so the gate can tell).
+* ``measured_critical_path_mhz`` — cycles over the *maximum worker CPU
+  seconds* (``time.process_time`` per worker: blocking waits burn no
+  CPU).  On a core-starved container the workers time-slice one core
+  and wall clock measures the slicing, not the simulator; the critical
+  path is what wall clock would approach with a core per worker, and
+  it is measured, not modeled.  The parity gate
+  (``check_bench_regression.py --parity``) uses it whenever
+  ``host_cpu_count < workers``.
+* ``modeled_mhz`` — the analytic critical-path model (worker tick
+  seconds + transport-spec hops per exchange), the same technique
+  :mod:`repro.host.perfmodel` uses for the paper's F1 fleet.
 * ``transport_overhead_per_round_s`` — measured seconds per lockstep
-  round the distributed run pays beyond the serial engine's round
-  (``quantum/rate_dist - quantum/rate_serial``).  Both transports tick
-  identical models on the same host, so the pipe/shm overhead ratio
-  (``speedup.shm_over_pipe_measured``) is a host-independent measure of
-  the transport substrate itself — the number the shm tentpole is
-  gated on.
+  round the distributed run pays beyond the batched serial round (the
+  engine the workers actually run, so the delta is transport plus
+  lockstep, not engine choice).  The pipe and shm legs of each trial
+  run back-to-back, so their overhead ratio
+  (``speedup.shm_over_pipe_measured``) cancels host drift and isolates
+  the transport substrate.
 
-Shared CI hosts drift in speed on minute timescales, so the overhead
-ratio is computed from *paired* trials: each trial runs serial, pipe,
-and shm back-to-back (a host slowdown hits all three legs), yielding
-one ratio per trial, and the reported ratio is the median across
-trials.  Headline rates are best-of across the same trials.
+``speedup.parity`` carries the gate's inputs: wall-clock and
+critical-path ratios of every distributed run over the batched serial
+baseline.  The adaptive exchange fields (``round_quantum``,
+``rounds_per_exchange``, ``exchange_rounds``) flow through from
+:meth:`~repro.dist.engine.DistributedRunResult.to_dict`.
 
-v3 adds the round-phase profiler's numbers:
-
-* ``phase_breakdown`` per transport per worker count — the profiled
-  run's compute/transport/wait shares of attributed round time
-  (:class:`repro.obs.prof.PhaseReport`), the measured decomposition
-  that explains WHERE each transport's overhead goes;
-* ``profiler.overhead_ratio`` per transport — the measured
-  profiled-over-unprofiled round-time ratio at the smallest worker
-  count, the "overhead below 5% of round time" number CI gates under
-  ``check_bench_regression.PROFILER_OVERHEAD_CEILING``.  Measured
-  *within one run* by the alternate-round probe
-  (``ProfileConfig(overhead_probe=True)``): every worker records
-  phases on alternate rounds and times the others minimally, and the
-  ratio of median recorded-round to median minimal-round duration is
-  the profiler's round-time cost.  Back-to-back A/B legs cannot
-  measure this on a shared host — run-to-run drift is ~+-10-20%, an
-  order of magnitude above the profiler's ~2us-per-round cost, and no
-  min/median over a handful of legs sheds it (a null-op recorder
-  "measures" the same overhead as the real one).  Interleaving the
-  two populations round-by-round inside one run cancels the drift.
-  The per-trial ratios ship alongside for transparency; the gate's
-  self-test proves an injected per-round sleep blows the measured
-  ratio past the ceiling.
+v3's profiler numbers are retained unchanged: ``phase_breakdown`` per
+transport per worker count and ``profiler.overhead_ratio`` from the
+alternate-round probe (recorded and minimally-timed rounds interleave
+within one run so host drift cancels).  ``--phase-report PATH``
+additionally dumps the full per-worker :class:`~repro.obs.prof.PhaseReport`
+of each profiled run — the artifact CI uploads when the parity gate
+fails, so a regression arrives with its own phase attribution.
 
 Exits non-zero if the distributed runs diverge from serial cycle
 counts — the benchmark doubles as an equivalence check.
@@ -72,49 +92,85 @@ import argparse
 import json
 import os
 import sys
+import time
 
 sys.path.insert(
     0, os.path.join(os.path.dirname(os.path.abspath(__file__)), "..", "src")
 )
 
-from repro.dist import plan_partitions, run_distributed  # noqa: E402
-from repro.manager.mapper import HostConfig, map_topology  # noqa: E402
+from repro.dist import run_distributed  # noqa: E402
+from repro.dist.partition import plan_from_assignment  # noqa: E402
 from repro.manager.runfarm import RunFarmConfig, elaborate  # noqa: E402
 from repro.manager.topology import two_tier  # noqa: E402
 from repro.obs.prof import PhaseReport, ProfileConfig  # noqa: E402
 from repro.obs.rate import RateMonitor  # noqa: E402
 
-RACKS = 4
-SERVERS_PER_RACK = 2
-LINK_LATENCY_CYCLES = 6400  # the 2 us network used throughout the paper
-#: One FPGA per instance: every blade is its own shard, so up to
-#: 8 blades + switch hosts partition cleanly across 8 workers.
-HOSTS = HostConfig(fpgas_per_instance=1)
+RACKS = 8
+SERVERS_PER_RACK = 4
+LINK_LATENCY_CYCLES = 6400  # 2 us rack-to-root trunks (the paper's links)
+SERVER_LINK_LATENCY_CYCLES = 1600  # 0.5 us blade <-> ToR links
 
 TRANSPORTS = ("pipe", "shm")
 
 
-def build(link_latency_cycles):
+def build(engine="scalar"):
     root = two_tier(num_racks=RACKS, servers_per_rack=SERVERS_PER_RACK)
     running = elaborate(
-        root, RunFarmConfig(link_latency_cycles=link_latency_cycles)
+        root,
+        RunFarmConfig(
+            link_latency_cycles=LINK_LATENCY_CYCLES,
+            server_link_latency_cycles=SERVER_LINK_LATENCY_CYCLES,
+            engine=engine,
+        ),
     )
     return running, root
 
 
-def serial_trial(cycles):
-    """One uninstrumented serial run: (rate_mhz, report, end_cycle)."""
-    running, _ = build(LINK_LATENCY_CYCLES)
+def rack_assignment(root, workers):
+    """Rack-aligned partitioning: worker ``i`` owns racks ``i mod W``.
+
+    FireSim's deployment shape: a ToR switch and its blades share a
+    host, so only the long rack-to-root trunks cross workers — which
+    keeps the boundary-latency floor at the trunk latency and lets the
+    adaptive quantum batch four rounds per exchange.
+    """
+    assignment = {f"switch{root.switch_id}": 0}
+    for index, rack in enumerate(root.downlinks):
+        worker = index % workers
+        assignment[f"switch{rack.switch_id}"] = worker
+        for server in rack.iter_servers():
+            assignment[f"node{server.node_index}"] = worker
+    return assignment
+
+
+def serial_oracle(cycles):
+    """The instrumented scalar reference run: (report, end_cycle)."""
+    running, _ = build(engine="scalar")
     monitor = RateMonitor().attach(running.simulation)
     running.simulation.run_until(cycles)
-    report = monitor.report()
-    return report.rate_mhz, report, running.simulation.current_cycle
+    return monitor.report(), running.simulation.current_cycle
+
+
+def serial_batched_trial(cycles):
+    """One uninstrumented batched serial run.
+
+    Returns ``(rate_mhz, wall_s, cpu_s, end_cycle)``.  No monitor, no
+    profiler: this is the number the distributed engine has to beat,
+    so nothing rides along on the run being timed.
+    """
+    running, _ = build(engine="batched")
+    wall_start = time.perf_counter()
+    cpu_start = time.process_time()
+    running.simulation.run_until(cycles)
+    wall_s = time.perf_counter() - wall_start
+    cpu_s = time.process_time() - cpu_start
+    rate_mhz = cycles / wall_s / 1e6 if wall_s > 0 else 0.0
+    return rate_mhz, wall_s, cpu_s, running.simulation.current_cycle
 
 
 def run_one(cycles, workers, transport, measure, profile=False):
-    running, root = build(LINK_LATENCY_CYCLES)
-    deployment = map_topology(root, HOSTS)
-    plan = plan_partitions(running, deployment, workers)
+    running, root = build(engine="batched")
+    plan = plan_from_assignment(rack_assignment(root, workers), workers)
     result = run_distributed(
         running.simulation, plan, cycles,
         measure=measure, transport=transport, profile=profile or None,
@@ -124,13 +180,14 @@ def run_one(cycles, workers, transport, measure, profile=False):
 
 def instrumented_summary(cycles, workers, transport):
     """One measure=True profiled run's profile (its wall clock pays for
-    the instrumentation, so rates come from the paired trials
-    instead)."""
+    the instrumentation, so rates come from the uninstrumented trials
+    instead).  Returns ``(summary, phase_report)``."""
     result, _ = run_one(cycles, workers, transport, measure=True,
                         profile=True)
     summary = result.to_dict()
     summary["modeled_mhz"] = summary.pop("modeled_rate_mhz", None)
     summary.pop("measured_rate_mhz", None)
+    summary.pop("measured_critical_path_mhz", None)
     report = PhaseReport.from_result(result)
     reconciliation = report.reconciliation()
     summary["phase_breakdown"] = {
@@ -140,7 +197,7 @@ def instrumented_summary(cycles, workers, transport):
     summary["profiler_self_overhead_ratio"] = (
         report.profiling_overhead_ratio()
     )
-    return summary
+    return summary, report
 
 
 def median(values):
@@ -157,48 +214,91 @@ def main(argv=None):
     parser.add_argument("--workers", default="2,4,8",
                         help="comma-separated worker counts")
     parser.add_argument("--trials", type=int, default=7,
-                        help="paired serial/pipe/shm trials per worker "
-                             "count (median ratio, best-of rates)")
+                        help="paired pipe/shm trials per worker count "
+                             "(median ratio, best-of rates)")
     parser.add_argument("--out", default="BENCH_dist.json")
+    parser.add_argument("--phase-report", default=None,
+                        help="also dump every profiled run's full "
+                             "PhaseReport to this JSON path (the CI "
+                             "failure artifact)")
     parser.add_argument("--quick", action="store_true",
                         help="shrink the run for CI smoke")
     args = parser.parse_args(argv)
     cycles = 400_000 if args.quick else args.cycles
     trials = min(args.trials, 5) if args.quick else args.trials
     worker_counts = [int(part) for part in args.workers.split(",")]
-    quantum = LINK_LATENCY_CYCLES
+    # The simulation quantum is the smallest link latency (the server
+    # links); the distributed engine's exchange quantum is the trunk
+    # latency, derived per partition and recorded in each summary.
+    quantum = SERVER_LINK_LATENCY_CYCLES
 
-    # One reference serial run supplies the document's serial block and
-    # the end cycle every distributed run must reproduce.
-    _, serial_report, serial_end = serial_trial(cycles)
-    serial_best = serial_report.rate_mhz
+    # Serial baselines: measured once per (topology, quantum) and
+    # reused for every worker count below.
+    oracle_report, serial_end = serial_oracle(cycles)
+    batched_rates, batched_walls, batched_cpus = [], [], []
+    for _ in range(trials):
+        rate, wall_s, cpu_s, end = serial_batched_trial(cycles)
+        if end != serial_end:
+            print(
+                f"bench_dist: FAIL: batched serial ended at cycle {end}, "
+                f"scalar oracle at {serial_end}",
+                file=sys.stderr,
+            )
+            return 1
+        batched_rates.append(rate)
+        batched_walls.append(wall_s)
+        batched_cpus.append(cpu_s)
+    parity_mhz = max(batched_rates)
+    # The per-round overhead subtrahend: the median batched serial
+    # round, the same engine the workers tick.
+    serial_round_s = quantum / (median(batched_rates) * 1e6)
     serial = {
-        "measured_mhz": serial_best,  # updated to best-of below
-        "trials": trials,
-        "wall_seconds": serial_report.wall_seconds,
-        "rounds": serial_report.rounds,
-        "cycles": serial_report.cycles,
+        "scalar": {
+            "engine": "scalar",
+            "instrumented": True,
+            "measured_mhz": oracle_report.rate_mhz,
+            "wall_seconds": oracle_report.wall_seconds,
+            "rounds": oracle_report.rounds,
+            "cycles": oracle_report.cycles,
+        },
+        "batched": {
+            "engine": "batched",
+            "instrumented": False,
+            "measured_mhz": parity_mhz,
+            "median_mhz": median(batched_rates),
+            "trials": trials,
+            "wall_seconds": min(batched_walls),
+            "cpu_seconds": median(batched_cpus),
+        },
     }
+    print(
+        f"serial: {oracle_report.rate_mhz:.3f} MHz scalar (instrumented "
+        f"oracle), {parity_mhz:.3f} MHz batched uninstrumented "
+        f"(parity baseline, best of {trials})"
+    )
 
     distributed = {transport: {} for transport in TRANSPORTS}
     speedup_modeled = {transport: {} for transport in TRANSPORTS}
     speedup_measured = {transport: {} for transport in TRANSPORTS}
+    parity_wall = {transport: {} for transport in TRANSPORTS}
+    parity_critical = {transport: {} for transport in TRANSPORTS}
     overhead = {transport: {} for transport in TRANSPORTS}
     shm_over_pipe = {}
+    phase_reports = {transport: {} for transport in TRANSPORTS}
     #: Per-trial alternate-round probe ratios at the smallest worker
     #: count; the gate value is the median across trials.
     probe_ratios = {transport: [] for transport in TRANSPORTS}
     profile_workers = min(worker_counts)
     for workers in worker_counts:
         rates = {transport: [] for transport in TRANSPORTS}
+        critical_rates = {transport: [] for transport in TRANSPORTS}
         trial_overheads = {transport: [] for transport in TRANSPORTS}
         trial_ratios = []
         for _ in range(trials):
-            # Paired legs: serial, pipe, shm back-to-back, so a host
-            # slowdown lands on all three and cancels in the ratio.
-            serial_mhz, _, _ = serial_trial(cycles)
-            serial_best = max(serial_best, serial_mhz)
-            serial_round_s = quantum / (serial_mhz * 1e6)
+            # Paired legs: pipe and shm back-to-back, so a host
+            # slowdown lands on both and cancels in their ratio (the
+            # serial subtrahend is a shared constant from the up-front
+            # baseline, so it drops out of the pipe/shm comparison).
             per_trial = {}
             for transport in TRANSPORTS:
                 result, dist_end = run_one(
@@ -223,6 +323,9 @@ def main(argv=None):
                     return 1
                 rate = result.measured_rate_mhz()
                 rates[transport].append(rate)
+                critical_rates[transport].append(
+                    result.measured_critical_path_mhz()
+                )
                 per_trial[transport] = (
                     quantum / (rate * 1e6) - serial_round_s
                 )
@@ -234,10 +337,7 @@ def main(argv=None):
                 # minimally-timed rounds interleave inside the run, so
                 # their duration ratio measures the profiler's
                 # round-time cost with host drift cancelled (see the
-                # module docstring).  Fork and result-shipping costs
-                # outside the loop (a profiled run ships its rings,
-                # once per run, not per round) stay out of the
-                # per-ROUND number the gate is about.
+                # module docstring).
                 for transport in TRANSPORTS:
                     probe_result, _ = run_one(
                         cycles, workers, transport, measure=False,
@@ -249,9 +349,14 @@ def main(argv=None):
                     if ratio is not None:
                         probe_ratios[transport].append(ratio)
         for transport in TRANSPORTS:
-            summary = instrumented_summary(cycles, workers, transport)
+            summary, report = instrumented_summary(
+                cycles, workers, transport
+            )
+            phase_reports[transport][str(workers)] = report.to_dict()
             best = max(rates[transport])
+            best_critical = max(critical_rates[transport])
             summary["measured_mhz"] = best
+            summary["measured_critical_path_mhz"] = best_critical
             per_round = median(trial_overheads[transport])
             summary["transport_overhead_per_round_s"] = per_round
             overhead[transport][str(workers)] = per_round
@@ -260,12 +365,21 @@ def main(argv=None):
                 speedup_modeled[transport][str(workers)] = summary[
                     "modeled_speedup"
                 ]
+            speedup_measured[transport][str(workers)] = (
+                best / serial["scalar"]["measured_mhz"]
+            )
+            parity_wall[transport][str(workers)] = best / parity_mhz
+            parity_critical[transport][str(workers)] = (
+                best_critical / parity_mhz
+            )
             modeled = summary.get("modeled_mhz")
             modeled_text = f"{modeled:.3f}" if modeled else "n/a"
             print(
                 f"workers={workers} transport={transport}: "
                 f"{best:.3f} MHz measured (best of {trials}), "
-                f"{modeled_text} MHz modeled, "
+                f"{best_critical:.3f} MHz critical-path "
+                f"({parity_critical[transport][str(workers)]:.2f}x "
+                f"batched serial), {modeled_text} MHz modeled, "
                 f"{per_round * 1e6:.1f} us/round transport overhead "
                 "(median)"
             )
@@ -276,13 +390,6 @@ def main(argv=None):
                 f"ratio {shm_over_pipe[str(workers)]:.2f}x "
                 f"(median of {len(trial_ratios)} paired trials)"
             )
-    serial["measured_mhz"] = serial_best
-    for transport in TRANSPORTS:
-        for workers_key, summary in distributed[transport].items():
-            speedup_measured[transport][workers_key] = (
-                summary["measured_mhz"] / serial_best
-            )
-    print(f"serial: {serial_best:.3f} MHz measured (best of all trials)")
     profiler_overhead = {
         transport: median(ratios)
         for transport, ratios in probe_ratios.items()
@@ -296,14 +403,16 @@ def main(argv=None):
         )
 
     document = {
-        "schema": "repro.bench.dist/v3",
+        "schema": "repro.bench.dist/v4",
         "topology": {
             "kind": "two_tier",
             "racks": RACKS,
             "servers_per_rack": SERVERS_PER_RACK,
             "nodes": RACKS * SERVERS_PER_RACK,
+            "partitioning": "rack-aligned",
         },
         "link_latency_cycles": LINK_LATENCY_CYCLES,
+        "server_link_latency_cycles": SERVER_LINK_LATENCY_CYCLES,
         "cycles": cycles,
         "trials": trials,
         "quick": bool(args.quick),
@@ -315,6 +424,13 @@ def main(argv=None):
             "modeled": speedup_modeled,
             "measured": speedup_measured,
             "shm_over_pipe_measured": shm_over_pipe,
+            "parity": {
+                "baseline": "serial batched, uninstrumented, best of "
+                            f"{trials}",
+                "serial_measured_mhz": parity_mhz,
+                "wall": parity_wall,
+                "critical_path": parity_critical,
+            },
         },
         "profiler": {
             "overhead_ratio": profiler_overhead,
@@ -323,19 +439,36 @@ def main(argv=None):
             "workers": profile_workers,
         },
         "note": (
-            "measured rates share this host's cores; modeled rates are "
-            "the one-core-per-worker critical path (worker tick seconds "
-            "+ transport hops), the same technique repro.host.perfmodel "
-            "uses where wall-clock cannot be measured. "
-            "shm_over_pipe_measured is the pipe/shm ratio of measured "
-            "per-round transport overhead (quantum/rate_dist - "
-            "quantum/rate_serial): both transports tick identical models "
-            "on the same host, so it isolates the transport substrate."
+            "measured rates share this host's cores; "
+            "measured_critical_path_mhz divides cycles by the maximum "
+            "worker CPU seconds (process_time: blocking waits burn no "
+            "CPU), so it is the measured one-core-per-worker rate a "
+            "core-starved container cannot show on the wall clock. "
+            "speedup.parity compares both against the uninstrumented "
+            "batched serial engine — the bar the distributed engine "
+            "must clear. shm_over_pipe_measured is the pipe/shm ratio "
+            "of measured per-round transport overhead (quantum/"
+            "rate_dist - quantum/rate_serial_batched): both transports "
+            "tick identical models on the same host, so it isolates "
+            "the transport substrate."
         ),
     }
     with open(args.out, "w") as fh:
         json.dump(document, fh, indent=2, sort_keys=True)
         fh.write("\n")
+    if args.phase_report:
+        with open(args.phase_report, "w") as fh:
+            json.dump(
+                {
+                    "schema": "repro.bench.dist.phases/v1",
+                    "cycles": cycles,
+                    "quick": bool(args.quick),
+                    "reports": phase_reports,
+                },
+                fh, indent=2, sort_keys=True,
+            )
+            fh.write("\n")
+        print(f"phase reports -> {args.phase_report}")
     best = max(
         (
             ratio

@@ -62,23 +62,24 @@ from repro.dist.worker import (
     shard_entry,
 )
 from repro.faults.plan import RingCorruption, WorkerCrash, WorkerHang
+from repro.host.perfmodel import exchange_quantum
 from repro.net.transport import SHM_RING, WORKER_PIPE, TransportSpec
 from repro.obs.prof import ProfileConfig
 
-#: Per-transport wire cost of one boundary batch's header and of one
-#: valid token.  Unlike FireSim's FPGA-side transport, which ships
-#: every token uncompressed, both worker transports move the sparse
-#: in-memory representation — payload scales with *valid* tokens, not
-#: the quantum.  Pipe: a pickled batch header is ~95 bytes (measured,
-#: rounded up) and each token pickles with its Flit wrapper.  Shm ring:
-#: an idle window is one 29-byte entry header and each valid token is
-#: 8 raw cycle bytes plus its pickled flit payload.
+#: Per-transport wire cost of one boundary window's entry-table row and
+#: of one valid token.  Unlike FireSim's FPGA-side transport, which
+#: ships every token uncompressed, both worker transports move the
+#: sparse in-memory representation — payload scales with *valid*
+#: tokens, not the quantum.  Both now ship the same coalesced
+#: :mod:`repro.dist.frame` payload (one 25-byte table row per window,
+#: 8 raw cycle bytes plus the pickled flit payload per valid token);
+#: the small constant covers table row + amortized blob overhead.
 _TRANSPORT_SPEC: Dict[str, TransportSpec] = {
     "pipe": WORKER_PIPE,
     "shm": SHM_RING,
 }
-_BATCH_WIRE_BYTES = {"pipe": 128, "shm": 32}
-_VALID_TOKEN_WIRE_BYTES = {"pipe": 64, "shm": 72}
+_BATCH_WIRE_BYTES = {"pipe": 32, "shm": 32}
+_VALID_TOKEN_WIRE_BYTES = {"pipe": 72, "shm": 72}
 
 #: How long the parent waits between liveness sweeps of the workers.
 _POLL_INTERVAL_S = 0.2
@@ -119,6 +120,11 @@ class DistributedRunResult:
     wall_seconds: float
     workers: List[WorkerResult] = field(default_factory=list)
     boundary_link_count: int = 0
+    #: Cycles between boundary token exchanges — equals ``quantum``
+    #: unless the adaptive derivation found headroom under the
+    #: partition's boundary-latency floor (paper Fig 9: rate grows with
+    #: batch size, bounded by link latency).
+    round_quantum: int = 0
     #: Transport that actually carried the boundary tokens ("pipe" or
     #: "shm") — may differ from the requested one after a fallback.
     transport: str = "pipe"
@@ -145,11 +151,39 @@ class DistributedRunResult:
     def num_workers(self) -> int:
         return self.plan.num_workers
 
+    @property
+    def rounds_per_exchange(self) -> int:
+        """Local rounds between boundary exchanges (>= 1)."""
+        round_quantum = self.round_quantum or self.quantum
+        return max(1, round_quantum // self.quantum)
+
+    @property
+    def exchange_rounds(self) -> int:
+        """Boundary exchanges actually performed (messages per channel)."""
+        return self.rounds // self.rounds_per_exchange
+
     def measured_rate_mhz(self) -> float:
         """Achieved simulation rate as actually observed on this host."""
         if self.wall_seconds <= 0.0:
             return 0.0
         return self.cycles / self.wall_seconds / 1e6
+
+    def measured_critical_path_mhz(self) -> float:
+        """Rate implied by the busiest worker's CPU seconds.
+
+        On hosts with fewer cores than workers the wall clock
+        serializes the workers, so ``measured_rate_mhz`` measures the
+        host, not the partitioning.  Blocking recv waits burn ~no CPU,
+        so the max per-worker ``process_time`` is the run's critical
+        path — what the same run achieves with a core per worker, which
+        is the deployment the paper's scale-out claim is about.
+        """
+        if not self.workers:
+            return 0.0
+        busiest = max(w.cpu_seconds for w in self.workers)
+        if busiest <= 0.0:
+            return 0.0
+        return self.cycles / busiest / 1e6
 
     def per_worker_rate_mhz(self) -> Dict[int, float]:
         return {w.worker_id: w.rate_mhz() for w in self.workers}
@@ -187,13 +221,18 @@ class DistributedRunResult:
         if worker.peer_count == 0 or self.rounds == 0:
             return 0.0
         spec = _TRANSPORT_SPEC[self.transport]
+        # The hop latency is paid once per *exchange*, amortized over
+        # the rounds it covers (Fig 9's batch-size lever); the
+        # bandwidth term is per-round regardless — each round still
+        # contributes one table row per boundary link plus its valid
+        # tokens to the coalesced payload.
         valid_per_round = worker.boundary_valid_tokens / self.rounds
         wire_bytes = (
             worker.boundary_link_count * _BATCH_WIRE_BYTES[self.transport]
             + valid_per_round * _VALID_TOKEN_WIRE_BYTES[self.transport]
         )
         return (
-            spec.one_way_latency_s
+            spec.one_way_latency_s / self.rounds_per_exchange
             + wire_bytes / spec.bandwidth_bytes_per_s
         )
 
@@ -255,6 +294,9 @@ class DistributedRunResult:
         out: Dict[str, Any] = {
             "num_workers": self.num_workers,
             "quantum": self.quantum,
+            "round_quantum": self.round_quantum or self.quantum,
+            "rounds_per_exchange": self.rounds_per_exchange,
+            "exchange_rounds": self.exchange_rounds,
             "cycles": self.cycles,
             "rounds": self.rounds,
             "boundary_links": self.boundary_link_count,
@@ -265,6 +307,10 @@ class DistributedRunResult:
             "transport_seconds": self.measured_transport_seconds(),
             "wall_seconds": self.wall_seconds,
             "measured_rate_mhz": self.measured_rate_mhz(),
+            "measured_critical_path_mhz": self.measured_critical_path_mhz(),
+            "worker_cpu_seconds_max": max(
+                (w.cpu_seconds for w in self.workers), default=0.0
+            ),
             "per_worker_rate_mhz": {
                 str(worker): rate
                 for worker, rate in sorted(self.per_worker_rate_mhz().items())
@@ -375,6 +421,7 @@ def run_distributed(
     measure: bool = False,
     transport: str = "pipe",
     shm_capacity: int = DEFAULT_RING_CAPACITY,
+    round_quantum: Optional[int] = None,
     profile: Optional[Any] = None,
     supervision: Optional[SupervisorConfig] = None,
     transport_timeout_s: float = DEFAULT_TRANSPORT_TIMEOUT_S,
@@ -398,6 +445,14 @@ def run_distributed(
     actually ran.  Ring segments are created pre-fork and unlinked in
     this function's ``finally``, so normal completion, worker crashes,
     and checkpoint-restore reruns all leave ``/dev/shm`` clean.
+
+    ``round_quantum`` sets how many cycles pass between boundary token
+    exchanges.  ``None`` (default) derives it adaptively: the largest
+    multiple of the simulation quantum that fits under the partition's
+    boundary-latency floor (paper Fig 9 — simulation rate grows with
+    token batch size, and link priming makes any exchange window up to
+    the link latency bit-exact).  An explicit value must be a positive
+    multiple of the quantum no larger than that floor.
 
     ``profile`` enables the distributed round-phase profiler: pass a
     :class:`~repro.obs.prof.ProfileConfig` (or ``True`` for defaults)
@@ -445,16 +500,33 @@ def run_distributed(
         supervision = SupervisorConfig()
     plan.validate_against(simulation)
     simulation.start()
+    quantum = simulation.quantum
+    latency_floor = plan.boundary_latency_floor(simulation)
+    if round_quantum is None:
+        round_quantum = exchange_quantum(latency_floor, quantum)
+    else:
+        if round_quantum < quantum or round_quantum % quantum != 0:
+            raise ConfigError(
+                f"round_quantum must be a positive multiple of the "
+                f"simulation quantum ({quantum}), got {round_quantum}"
+            )
+        if latency_floor is not None and round_quantum > latency_floor:
+            raise ConfigError(
+                f"round_quantum {round_quantum} exceeds the partition's "
+                f"boundary link-latency floor ({latency_floor} cycles); "
+                f"workers would outrun the primed token window"
+            )
     start_cycle = simulation.current_cycle
     if target_cycle <= start_cycle:
         return DistributedRunResult(
             plan=plan,
-            quantum=simulation.quantum,
+            quantum=quantum,
             start_cycle=start_cycle,
             end_cycle=start_cycle,
             rounds=0,
             wall_seconds=0.0,
             boundary_link_count=len(plan.boundaries(simulation)),
+            round_quantum=round_quantum,
             transport=transport,
             requested_transport=transport,
         )
@@ -477,10 +549,11 @@ def run_distributed(
         simulation=simulation,
         plan=plan,
         target_cycle=target_cycle,
-        quantum=simulation.quantum,
+        quantum=quantum,
         measure=measure,
         channels=channels,
         result_queue=result_queue,
+        round_quantum=round_quantum,
         profile=profile,
         heartbeats=heartbeats,
     )
@@ -641,6 +714,7 @@ def run_distributed(
         wall_seconds=wall_seconds,
         workers=ordered,
         boundary_link_count=len(plan.boundaries(simulation)),
+        round_quantum=round_quantum,
         transport=transport_used,
         channel_count=len(channels),
         requested_transport=transport,

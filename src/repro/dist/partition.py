@@ -137,6 +137,21 @@ class PartitionPlan:
                 )
         return out
 
+    def boundary_latency_floor(self, simulation: Simulation) -> Optional[int]:
+        """Smallest boundary-link latency, or None without boundaries.
+
+        This is the partition's token-exchange bound: link priming puts
+        ``latency`` tokens in flight per boundary direction, so workers
+        can batch up to this many cycles between exchanges without ever
+        outrunning a peer (paper Fig 9 — batch size is capped by link
+        latency).  The adaptive round quantum in
+        :func:`repro.dist.engine.run_distributed` derives from it.
+        """
+        return min(
+            (boundary.latency for boundary in self.boundaries(simulation)),
+            default=None,
+        )
+
     def describe(
         self,
         simulation: Optional[Simulation] = None,

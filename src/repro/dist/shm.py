@@ -39,21 +39,25 @@ larger than the ring (a worst-case dense window), the writer streams
 it through in chunks while the reader drains — ring-full is
 backpressure, not an error.
 
-Wire format, per round and per directed pair::
+Wire format, per exchange and per directed pair (the payload is the
+coalesced frame of :mod:`repro.dist.frame` — one entry table, one
+concatenated cycle column, ONE flit pickle for the whole exchange)::
 
     round header:  round_tag (i64) | entry_count (i32) | payload_bytes (i64)
                    | seq (i64) | payload_crc32 (u32) | header_crc32 (u32)
-    entry header:  link_index (i32) | kind (u8) | start_cycle (i64)
-                   | length (i64) | valid_count (i32) | flit_bytes (i32)
-    entry payload: valid_count * 8 bytes of int64 cycles (vectorized
-                   copy straight from the TokenStream's cycle column),
-                   then ``flit_bytes`` of pickled flit payload list.
+    entry table:   entry_count rows of link_index (i32) | kind (u8)
+                   | start_cycle (i64) | length (i64) | valid_count (i32)
+    cycle column:  sum(valid_count) int64 cycles, concatenated in entry
+                   order (vectorized copies straight from each
+                   TokenStream's cycle column)
+    flit blob:     one pickled list of per-DATA-entry flit lists,
+                   running to the payload's end.
 
-``kind`` encodes the window's gap semantics in the header so
+``kind`` encodes the window's gap semantics in the table so
 fault-injection paths survive the transport swap: ``DATA`` carries
-valid tokens, ``IDLE`` is a header-only empty window (the common case
-— no pickling at all), and ``LOST`` marks a window dropped in transit,
-which the consumer turns into a queue gap exactly as
+valid tokens, ``IDLE`` is a table-row-only empty window (the common
+case — no pickling at all), and ``LOST`` marks a window dropped in
+transit, which the consumer turns into a queue gap exactly as
 :meth:`~repro.core.channel.LinkEndpoint.discard_tail` would.
 
 Integrity: the round header carries a CRC32 over itself, a CRC32 over
@@ -65,10 +69,10 @@ simulation results.  The checks cost two ``zlib.crc32`` calls per
 round per direction, noise next to the encode loop.
 
 Flit payloads are arbitrary Python objects (Ethernet frames), so they
-still serialize through ``pickle``; "zero-copy" buys the cycle column
-(one vectorized copy into the ring) and the idle windows (29 header
-bytes, no object traffic), which together are nearly all of the
-per-round wire cost.
+still serialize through ``pickle`` — but only once per exchange per
+peer; "zero-copy" buys the cycle column (vectorized copies into the
+ring) and the idle windows (25 table bytes, no object traffic), which
+together are nearly all of the per-round wire cost.
 
 Segments are created by the parent *before* forking, inherited by the
 workers as mapped memory, and unlinked by the parent in the run
@@ -82,7 +86,6 @@ from __future__ import annotations
 
 import multiprocessing
 import os
-import pickle
 import struct
 import time
 import zlib
@@ -92,11 +95,9 @@ from typing import Any, List, Optional, Sequence, Tuple
 import numpy as np
 
 from repro.core.channel import TokenStarvationError
-from repro.core.token import TokenBatch
-from repro.dist.remote_link import LostWindow
+from repro.dist.frame import decode_entries, encode_entries
 from repro.faults.plan import RingCorruption
-from repro.obs.prof import P_SERIALIZE
-from repro.perf.stream import TokenStream
+from repro.obs.prof import P_COALESCE, P_SERIALIZE
 
 __all__ = [
     "DEFAULT_RING_CAPACITY",
@@ -127,17 +128,12 @@ HEARTBEAT_PREFIX = "repro-hb-"
 
 _CURSOR_BYTES = 16
 
-# Entry kinds: the header bits that carry window semantics.
-_DATA = 0  # valid tokens follow (cycles + pickled flits)
-_IDLE = 1  # empty window, header only
-_LOST = 2  # window lost in transit: consumer records a queue gap
-
 # round_tag, entry_count, payload_bytes, seq, payload_crc, header_crc.
 # The header CRC covers everything before itself; it is verified first
 # so a corrupted payload_bytes can never drive a garbage-sized read.
+# The payload that follows is the coalesced repro.dist.frame format.
 _ROUND = struct.Struct("<qiqqII")
 _HEADER_CRC_OFFSET = _ROUND.size - 4
-_ENTRY = struct.Struct("<iBqqii")
 
 #: Spin iterations before the first ``sched_yield``; on a shared core
 #: the peer cannot run while we spin, so this is deliberately tiny.
@@ -372,69 +368,27 @@ class ShmRing:
     # -- wire codec ------------------------------------------------------
 
     def send(self, round_tag: int, entries: Sequence[Tuple[int, Any]]) -> None:
-        """Encode and publish one round's wire entries.
+        """Encode and publish one exchange's wire entries as ONE frame.
 
         ``entries`` are ``(link_index, window)`` pairs in the producer's
         own representation — ``TokenStream`` for busy batched windows,
         ``TokenBatch`` for scalar or idle windows, ``LostWindow`` for
-        fault-injected transport loss.
+        fault-injected transport loss.  All of them leave as a single
+        coalesced payload (:mod:`repro.dist.frame`) under one ring
+        header — one publish, one wakeup, one pickle per peer per
+        exchange.
         """
         sink = self.phase_sink
         stage_start = time.perf_counter() if sink is not None else 0.0
         stage = self._stage
         del stage[:]
         stage += self._header  # round-header placeholder, packed below
-        pack = _ENTRY.pack
-        for link_index, window in entries:
-            if type(window) is LostWindow:
-                stage += pack(
-                    link_index, _LOST, window.start_cycle, window.length, 0, 0
-                )
-                continue
-            if isinstance(window, TokenStream):
-                tokens = window.tokens
-                valid = tokens.shape[0]
-                if valid:
-                    blob = pickle.dumps(
-                        tokens["flit"].tolist(),
-                        protocol=pickle.HIGHEST_PROTOCOL,
-                    )
-                    stage += pack(
-                        link_index, _DATA, window.start_cycle,
-                        window.length, valid, len(blob),
-                    )
-                    # The cycle column leaves as one vectorized copy —
-                    # no per-token Python objects, no pickling.
-                    cycles = np.ascontiguousarray(tokens["cycle"])
-                    stage += memoryview(cycles).cast("B")
-                    stage += blob
-                else:
-                    stage += pack(
-                        link_index, _IDLE, window.start_cycle,
-                        window.length, 0, 0,
-                    )
-                continue
-            flits = window.flits
-            if flits:
-                cycles_list = sorted(flits)
-                blob = pickle.dumps(
-                    [flits[cycle] for cycle in cycles_list],
-                    protocol=pickle.HIGHEST_PROTOCOL,
-                )
-                stage += pack(
-                    link_index, _DATA, window.start_cycle, window.length,
-                    len(cycles_list), len(blob),
-                )
-                stage += np.asarray(cycles_list, dtype=np.int64).tobytes()
-                stage += blob
-            else:
-                stage += pack(
-                    link_index, _IDLE, window.start_cycle, window.length, 0, 0
-                )
+        entry_count = encode_entries(entries, stage)
+        frame_done = time.perf_counter() if sink is not None else 0.0
         self._send_seq += 1
         payload_view = memoryview(stage)[_ROUND.size:]
         _ROUND.pack_into(
-            stage, 0, round_tag, len(entries), len(stage) - _ROUND.size,
+            stage, 0, round_tag, entry_count, len(stage) - _ROUND.size,
             self._send_seq, zlib.crc32(payload_view), 0,
         )
         header_crc = zlib.crc32(memoryview(stage)[:_HEADER_CRC_OFFSET])
@@ -447,10 +401,12 @@ class ShmRing:
             victim = _ROUND.size if len(stage) > _ROUND.size else 0
             stage[victim] ^= 0x01
         if sink is not None:
-            # The encode loop ran inside the round loop's send segment;
-            # hand its cost to the profiler's serialize phase so
-            # ``send`` nets out to the publish alone.
-            sink.accrue(P_SERIALIZE, time.perf_counter() - stage_start)
+            # The encode ran inside the round loop's send segment; hand
+            # the payload build to ``coalesce`` and the header/CRC
+            # framing to ``serialize`` so ``send`` nets out to the
+            # publish alone.
+            sink.accrue(P_COALESCE, frame_done - stage_start)
+            sink.accrue(P_SERIALIZE, time.perf_counter() - frame_done)
         self.sent_messages += 1
         self.sent_bytes += len(stage)
         cursors = self._cursors
@@ -480,36 +436,56 @@ class ShmRing:
         if pending > self.high_water_bytes:
             self.high_water_bytes = pending
 
-    def recv(self, expected_round: int) -> List[Tuple[int, Any]]:
-        """Block for one round message and decode its wire entries."""
+    def recv(
+        self, expected_round: int, block: bool = True
+    ) -> Optional[List[Tuple[int, Any]]]:
+        """Decode one exchange message; block for it unless told not to.
+
+        With ``block=False`` (the worker's lazy-receive sweep) a ring
+        with no published message returns ``None`` immediately instead
+        of sleeping on the wakeup semaphore — no permit is consumed and
+        no recovery heuristics run, so the sweep can never race the
+        peer's publish/release window.
+        """
         wakeup = self._wakeup
         cursors = self._cursors
-        if wakeup is not None and not wakeup.acquire(False):
-            if int(cursors[0]) > int(cursors[1]):
-                # Data is published but no permit posted: a lost wakeup
-                # (injected or a genuinely dropped post).  Self-heal by
-                # trusting the cursors — the payload-then-publish order
-                # guarantees the bytes are complete.
-                self.wakeup_recoveries += 1
-            else:
-                # Sleep on the futex until the peer's publish, so the
-                # peer gets the whole core; cap the wait so a dead peer
-                # still surfaces as starvation rather than a hang.
-                self.blocked_wakeups += 1
-                deadline = time.monotonic() + self.timeout_s
-                while not wakeup.acquire(True, 1.0):
-                    if int(cursors[0]) > int(cursors[1]):
-                        # Published without a permit mid-wait: recover
-                        # rather than starve on the missing post.
-                        self.wakeup_recoveries += 1
-                        break
-                    if time.monotonic() > deadline:
-                        raise TokenStarvationError(
-                            f"shm ring {self.name} (worker {self.src} -> "
-                            f"{self.dst}) stalled: peer published nothing "
-                            f"for {self.timeout_s:.0f}s",
-                            link_name=self.name,
-                        )
+        if wakeup is not None:
+            if not wakeup.acquire(False):
+                if not block:
+                    return None
+                if int(cursors[0]) > int(cursors[1]):
+                    # Data is published but no permit posted: a lost
+                    # wakeup (injected or a genuinely dropped post).
+                    # Self-heal by trusting the cursors — the
+                    # payload-then-publish order guarantees the bytes
+                    # are complete.
+                    self.wakeup_recoveries += 1
+                else:
+                    # Sleep on the futex until the peer's publish, so
+                    # the peer gets the whole core; cap the wait so a
+                    # dead peer still surfaces as starvation rather
+                    # than a hang.
+                    self.blocked_wakeups += 1
+                    deadline = time.monotonic() + self.timeout_s
+                    while not wakeup.acquire(True, 1.0):
+                        if int(cursors[0]) > int(cursors[1]):
+                            # Published without a permit mid-wait:
+                            # recover rather than starve on the
+                            # missing post.
+                            self.wakeup_recoveries += 1
+                            break
+                        if time.monotonic() > deadline:
+                            raise TokenStarvationError(
+                                f"shm ring {self.name} (worker "
+                                f"{self.src} -> {self.dst}) stalled: "
+                                f"peer published nothing for "
+                                f"{self.timeout_s:.0f}s",
+                                link_name=self.name,
+                            )
+        elif not block and int(cursors[0]) == int(cursors[1]):
+            # No wakeup semaphore (single-process tests): the cursor
+            # pair is the only publish signal.
+            return None
         header = self._read(_ROUND.size)
         (
             round_tag, entry_count, payload_bytes, seq,
@@ -543,32 +519,7 @@ class ShmRing:
                 f"({payload_bytes} bytes)",
                 ring=f"ring:{self.src}->{self.dst}",
             )
-        entries: List[Tuple[int, Any]] = []
-        unpack = _ENTRY.unpack_from
-        offset = 0
-        for _ in range(entry_count):
-            (
-                link_index, kind, start_cycle, length, valid, flit_bytes,
-            ) = unpack(payload, offset)
-            offset += _ENTRY.size
-            window: Any
-            if kind == _IDLE:
-                window = TokenBatch(start_cycle, length)
-            elif kind == _LOST:
-                window = LostWindow(start_cycle, length)
-            else:
-                cycles = np.frombuffer(
-                    payload, dtype=np.int64, count=valid, offset=offset
-                )
-                offset += 8 * valid
-                flits = pickle.loads(
-                    memoryview(payload)[offset:offset + flit_bytes]
-                )
-                offset += flit_bytes
-                window = TokenStream.from_wire(
-                    start_cycle, length, cycles, flits
-                )
-            entries.append((link_index, window))
+        entries = decode_entries(payload, entry_count)
         self.recv_messages += 1
         self.recv_bytes += _ROUND.size + payload_bytes
         return entries

@@ -10,12 +10,26 @@ queues, boundary links hand relabelled batches to per-peer outboxes
 that are flushed once per round.
 
 Synchronization is pure token exchange, exactly the paper's argument
-(Section III-B2): a worker entering round ``r > 0`` first drains one
-message per peer (the peer's round ``r - 1`` boundary output).  Link
-priming guarantees round 0 needs nothing, and from then on each
-received message extends every boundary queue by one quantum, so no
-worker can ever run ahead of a peer by more than the in-flight token
-window — lockstep without any clock, barrier, or coordinator.
+(Section III-B2), batched into *exchange rounds*: the run driver
+derives a ``round_quantum`` from the partition's boundary-latency
+floor (paper Fig 9: rate grows with batch size), and workers exchange
+one coalesced message per peer per ``round_quantum // quantum`` local
+rounds.  A worker entering exchange ``e > 0`` first drains one message
+per peer (the peer's exchange ``e - 1`` boundary output).  Link
+priming guarantees the whole first exchange needs nothing — the primed
+window is at least ``round_quantum`` deep — and from then on each
+received message extends every boundary queue by one round quantum, so
+no worker can ever run ahead of a peer by more than the in-flight
+token window — lockstep without any clock, barrier, or coordinator.
+
+Two latency hides ride on top of the lockstep (Section III-C's
+compute/transport overlap): sends are *eager* — each peer's coalesced
+message is posted as soon as the last local model producing toward
+that peer has ticked, while the rest of the shard is still computing —
+and receives are *lazy*: a non-blocking sweep first collects every
+peer message that already arrived, and only then does the worker block
+on the stragglers, so ``recv_wait`` measures true skew rather than
+delivery order.
 
 Workers are forked, so they inherit the fully elaborated simulation
 (models, primed links, armed fault hooks) by memory image; nothing is
@@ -34,6 +48,7 @@ from typing import Any, Dict, List, Optional, Tuple
 from repro.core.channel import TokenStarvationError
 from repro.core.simulation import Simulation, _Attachment
 from repro.core.token import TokenWindow
+from repro.dist.frame import decode_entries, encode_entries
 from repro.dist.partition import PartitionPlan
 from repro.dist.remote_link import (
     LostWindow,
@@ -52,6 +67,7 @@ from repro.dist.supervisor import (
 from repro.net.switch import SwitchModel
 from repro.net.tracer import LinkTracer
 from repro.obs.prof import (
+    P_COALESCE,
     P_COMPUTE,
     P_GAP,
     P_RECV_WAIT,
@@ -139,19 +155,23 @@ class WorkerResult:
 class PipeChannel:
     """The ``mp.Queue`` transport in the shm ring's send/recv shape.
 
-    ``send`` hands the *drained* entry list straight to the queue — the
-    feeder thread pickles it asynchronously, which is safe because the
-    outbox replaced its list on drain and shipped windows are immutable
-    once relabelled (no defensive copy).  ``recv`` blocks for the
-    peer's message with the same progress deadline as
+    ``send`` coalesces the *drained* entry list into one
+    :mod:`repro.dist.frame` payload before enqueueing, so the queue's
+    feeder thread pickles a single flat buffer instead of walking the
+    window object graph — the same wire bytes the shm ring publishes,
+    minus the ring's integrity header.  ``recv`` blocks for the peer's
+    message with the same progress deadline as
     :meth:`~repro.dist.shm.ShmRing.recv` — a peer that publishes
     nothing for ``timeout_s`` surfaces as token starvation, not a hang
-    — and enforces round ordering the same way.
+    — and enforces round ordering the same way.  ``recv(..., block=
+    False)`` polls: it returns None when no message is waiting, which
+    the lazy receive sweep uses to take whichever peers already
+    published before blocking on the rest.
     """
 
     __slots__ = (
         "_queue", "src", "dst", "timeout_s",
-        "sent_messages", "recv_messages",
+        "sent_messages", "recv_messages", "phase_sink",
     )
 
     def __init__(
@@ -164,20 +184,40 @@ class PipeChannel:
         self.timeout_s = timeout_s
         self.sent_messages = 0
         self.recv_messages = 0
+        #: Optional phase recorder; when set, the coalescing cost of
+        #: each send is accrued as the ``coalesce`` phase (the queue's
+        #: pickle + kernel copy stay in ``send``, where they land on
+        #: the feeder thread anyway).
+        self.phase_sink: Optional[Any] = None
 
     def send(self, round_tag: int, entries: List[WireEntry]) -> None:
+        sink = self.phase_sink
+        start = perf_counter() if sink is not None else 0.0
+        payload = bytearray()
+        entry_count = encode_entries(entries, payload)
+        if sink is not None:
+            sink.accrue(P_COALESCE, perf_counter() - start)
         self.sent_messages += 1
-        self._queue.put((round_tag, entries))
+        self._queue.put((round_tag, entry_count, payload))
 
-    def recv(self, expected_round: int) -> List[WireEntry]:
-        try:
-            round_tag, entries = self._queue.get(timeout=self.timeout_s)
-        except Empty:
-            raise TokenStarvationError(
-                f"pipe channel (worker {self.src} -> {self.dst}) "
-                f"stalled: peer published nothing for "
-                f"{self.timeout_s:.0f}s",
-            ) from None
+    def recv(
+        self, expected_round: int, block: bool = True
+    ) -> Optional[List[WireEntry]]:
+        if block:
+            try:
+                message = self._queue.get(timeout=self.timeout_s)
+            except Empty:
+                raise TokenStarvationError(
+                    f"pipe channel (worker {self.src} -> {self.dst}) "
+                    f"stalled: peer published nothing for "
+                    f"{self.timeout_s:.0f}s",
+                ) from None
+        else:
+            try:
+                message = self._queue.get_nowait()
+            except Empty:
+                return None
+        round_tag, entry_count, payload = message
         if round_tag != expected_round:
             raise TokenStarvationError(
                 f"worker {self.dst}: out-of-order token message from "
@@ -185,7 +225,7 @@ class PipeChannel:
                 f"{expected_round}"
             )
         self.recv_messages += 1
-        return entries
+        return decode_entries(payload, entry_count)
 
     def counters(self) -> Dict[str, int]:
         """Message counts, shaped like :meth:`ShmRing.counters`.
@@ -214,6 +254,11 @@ class ShardContext:
     #: chosen by the run driver; the round loop is transport-agnostic.
     channels: Dict[Tuple[int, int], Any]
     result_queue: Any
+    #: Cycles between boundary token exchanges — a multiple of
+    #: ``quantum`` no larger than the partition's boundary-latency
+    #: floor, derived by the run driver (0 means "every round", the
+    #: pre-adaptive behavior and the safe default).
+    round_quantum: int = 0
     #: A :class:`~repro.obs.prof.ProfileConfig` to enable the per-round
     #: phase profiler, or None (default) for the uninstrumented loop.
     profile: Optional[Any] = None
@@ -285,6 +330,91 @@ def _consumer_endpoints(
         index: links[index].to_a if side == "a" else links[index].to_b
         for index, side in inbound_side.items()
     }
+
+
+def _deliver_entries(
+    entries: List[WireEntry], endpoints: Dict[int, Any]
+) -> None:
+    """Push one peer message's windows into the local consuming queues."""
+    for link_index, batch in entries:
+        endpoint = endpoints[link_index]
+        if type(batch) is LostWindow:
+            endpoint.mark_gap(batch.start_cycle, batch.end_cycle)
+        else:
+            endpoint.push(batch)
+
+
+def _drain_exchange(
+    recv_list: List[Any],
+    exchange_tag: int,
+    endpoints: Dict[int, Any],
+    recorder: Optional[PhaseRecorder],
+) -> None:
+    """Collect one message per peer for ``exchange_tag``, lazily.
+
+    First a non-blocking sweep takes every message that already
+    arrived (delivery order between peers is irrelevant — each link's
+    windows ride one channel), then the stragglers are awaited with
+    the blocking path's starvation deadline.  Blocking first on an
+    arbitrary peer would charge one peer's skew to every channel;
+    this way ``recv_wait`` is the *max* peer skew, not the sum.
+    """
+    waiting = None
+    for channel in recv_list:
+        entries = channel.recv(exchange_tag, False)
+        if entries is None:
+            if waiting is None:
+                waiting = [channel]
+            else:
+                waiting.append(channel)
+            continue
+        if recorder is not None:
+            recorder.mark(P_RECV_WAIT)
+        _deliver_entries(entries, endpoints)
+        if recorder is not None:
+            recorder.mark(P_GAP)
+    if waiting is not None:
+        for channel in waiting:
+            entries = channel.recv(exchange_tag)
+            if recorder is not None:
+                recorder.mark(P_RECV_WAIT)
+            _deliver_entries(entries, endpoints)
+            if recorder is not None:
+                recorder.mark(P_GAP)
+
+
+def _flush_plan(
+    shard: List[Any],
+    attachments: Dict[Tuple[int, str], Any],
+    outboxes: Dict[int, Outbox],
+    send_channels: Dict[int, Any],
+) -> Dict[int, List[Tuple[Any, Outbox]]]:
+    """Eager-send schedule: ``id(model)`` -> the peers it completes.
+
+    For each peer, find the *last* model in shard (tick) order with a
+    boundary port producing toward that peer.  Once that model has
+    ticked on an exchange's final round, the peer's outbox holds the
+    full exchange payload, so the coalesced send can be posted while
+    the remaining shard models are still computing — the paper's
+    compute/transport overlap without threads.  Every peer has such a
+    model by construction (its outbox exists because some local
+    model's :class:`RemoteAttachment` feeds it), so the round loops
+    need no fallback flush.
+    """
+    peer_of_outbox = {id(outbox): peer for peer, outbox in outboxes.items()}
+    last_producer: Dict[int, int] = {}
+    for model in shard:
+        for port in model.ports:
+            attachment = attachments[(id(model), port)]
+            if isinstance(attachment, RemoteAttachment):
+                peer = peer_of_outbox[id(attachment._outbox)]
+                last_producer[peer] = id(model)
+    plan: Dict[int, List[Tuple[Any, Outbox]]] = {}
+    for peer, model_id in last_producer.items():
+        plan.setdefault(model_id, []).append(
+            (send_channels[peer], outboxes[peer])
+        )
+    return plan
 
 
 def _starvation_diagnostic(
@@ -404,8 +534,15 @@ def _setup_profile(
         return None, None
     clock = ClockSync(epoch_s=context.epoch_s, entry_s=entry_s)
     if config.overhead_probe:
+        # Alternate in blocks of one exchange period so the periodic
+        # drain/flush rounds land equally in both probe populations.
         recorder: PhaseRecorder = ProbeRecorder(
-            config.ring_capacity, sleep_s=config.probe_sleep_s
+            config.ring_capacity,
+            sleep_s=config.probe_sleep_s,
+            period=max(
+                1, (context.round_quantum or context.quantum)
+                // context.quantum,
+            ),
         )
     else:
         recorder = PhaseRecorder(config.ring_capacity)
@@ -489,19 +626,22 @@ def run_shard(context: ShardContext, worker_id: int) -> WorkerResult:
             recorder, clock, beat,
         )
     hook = simulation.fault_hook
+    round_quantum = context.round_quantum or quantum
+    rounds_per_exchange = max(1, round_quantum // quantum)
 
     # Hoist every per-round dict lookup the loop would otherwise repeat:
     # each model's (port, attachment) pairs, each boundary link's local
-    # consuming endpoint, and the per-peer channel/outbox pairings.
+    # consuming endpoint, and the eager-flush schedule (the per-peer
+    # channel/outbox pairs, attached to the last model feeding them).
+    flush_plan = _flush_plan(shard, attachments, outboxes, send_channels)
     rows = []
     for model in shard:
         ports = [
             (port, attachments[(id(model), port)]) for port in model.ports
         ]
-        rows.append((model, ports, dict(ports)))
+        rows.append((model, ports, dict(ports), flush_plan.get(id(model))))
     endpoints = _consumer_endpoints(simulation, inbound_side)
     recv_list = [recv_channels[peer] for peer in peers]
-    send_list = [(send_channels[peer], outboxes[peer]) for peer in peers]
 
     start_cycle = simulation.current_cycle
     cycle = start_cycle
@@ -518,31 +658,19 @@ def run_shard(context: ShardContext, worker_id: int) -> WorkerResult:
             recorder.round_begin()
         if beat is not None:
             beat(rounds, HB_RECV)
-        if rounds > 0:
+        exchange, phase = divmod(rounds, rounds_per_exchange)
+        if phase == 0 and rounds > 0:
             recv_start = perf_counter() if measure else 0.0
-            for channel in recv_list:
-                entries = channel.recv(rounds - 1)
-                if recorder is not None:
-                    # Blocking for the peer's message is recv_wait;
-                    # delivering its windows into local queues is gap
-                    # handling, marked after the delivery loop below.
-                    recorder.mark(P_RECV_WAIT)
-                for link_index, batch in entries:
-                    endpoint = endpoints[link_index]
-                    if type(batch) is LostWindow:
-                        endpoint.mark_gap(batch.start_cycle, batch.end_cycle)
-                    else:
-                        endpoint.push(batch)
-                if recorder is not None:
-                    recorder.mark(P_GAP)
+            _drain_exchange(recv_list, exchange - 1, endpoints, recorder)
             if measure:
                 transport_recv_s += perf_counter() - recv_start
         if beat is not None:
             beat(rounds, HB_COMPUTE)
         if hook is not None:
             hook(cycle, None)
+        flushing = phase == rounds_per_exchange - 1
         window = TokenWindow(cycle, cycle + quantum)
-        for model, ports, attachment_of in rows:
+        for model, ports, attachment_of, flushes in rows:
             try:
                 inputs = {
                     port: attachment.receive(quantum)
@@ -568,17 +696,24 @@ def run_shard(context: ShardContext, worker_id: int) -> WorkerResult:
                 valid_tokens_moved += batch.valid_count
             if hook is not None:
                 hook(cycle, model)
+            if flushing and flushes is not None:
+                # Eager flush: this model was the last producer toward
+                # these peers, so their exchange payload is complete —
+                # post it while the rest of the shard computes.
+                if recorder is not None:
+                    recorder.mark(P_COMPUTE)
+                send_start = perf_counter() if measure else 0.0
+                for channel, outbox in flushes:
+                    channel.send(exchange, outbox.drain())
+                if measure:
+                    transport_send_s += perf_counter() - send_start
+                if recorder is not None:
+                    recorder.mark(P_SEND)
         if recorder is not None:
             recorder.mark(P_COMPUTE)
         if beat is not None:
             beat(rounds, HB_SEND)
-        send_start = perf_counter() if measure else 0.0
-        for channel, outbox in send_list:
-            channel.send(rounds, outbox.drain())
-        if measure:
-            transport_send_s += perf_counter() - send_start
         if recorder is not None:
-            recorder.mark(P_SEND)
             recorder.round_end()
         cycle += quantum
         rounds += 1
@@ -634,67 +769,80 @@ def _run_shard_batched(
     """The batched-engine twin of the scalar loop in :func:`run_shard`.
 
     Same lockstep structure, expressed as the engine's round hooks:
-    ``pre_round`` drains one peer message per peer for rounds > 0 and
-    ``post_round`` flushes the boundary outboxes.  Boundary windows are
-    shipped in the producer's representation (streams for busy windows,
-    in-place-shifted empty batches for idle ones) via
+    ``pre_round`` drains one peer message per peer on each exchange
+    boundary (lazily — already-arrived messages first), and the eager
+    flush rides the engine's per-model fault-hook seam: the wrapped
+    ``hook`` posts a peer's coalesced send the moment its last
+    producing model has ticked on the exchange's final round, while
+    the engine is still ticking the rest of the shard.  Boundary
+    windows are shipped in the producer's representation (streams for
+    busy windows, in-place-shifted empty batches for idle ones) via
     :meth:`~repro.dist.remote_link.RemoteAttachment.ship` — the peer's
-    ``deliver`` pushes them unchanged.
+    delivery pushes them unchanged.
 
     Phase recording rides the same hooks: ``pre_round`` opens the row
-    and marks the recv/gap segments, ``post_round`` marks the engine's
-    tick loop as compute, the outbox flush as send, and closes the row.
+    and marks the recv/gap segments, the wrapped hook brackets each
+    eager flush as compute-then-send, and ``post_round`` marks the
+    engine's remaining tick loop as compute and closes the row.
     """
     from repro.perf.engine import RoundProgress, compile_slots, run_rounds
 
     simulation = context.simulation
     quantum = context.quantum
     measure = context.measure
+    round_quantum = context.round_quantum or quantum
+    rounds_per_exchange = max(1, round_quantum // quantum)
     endpoints = _consumer_endpoints(simulation, inbound_side)
     recv_list = [recv_channels[peer] for peer in peers]
-    send_list = [(send_channels[peer], outboxes[peer]) for peer in peers]
+    flush_plan = _flush_plan(shard, attachments, outboxes, send_channels)
     # [send_seconds, recv_seconds], mutated by the round hooks.
     transport_seconds = [0.0, 0.0]
+    # [exchange_tag, flushing], set by pre_round for the wrapped hook.
+    exchange_state = [0, False]
 
     def pre_round(cycle: int, rounds: int) -> None:
         if recorder is not None:
             recorder.round_begin()
         if beat is not None:
             beat(rounds, HB_RECV)
-        if rounds == 0:
-            return
-        recv_start = perf_counter() if measure else 0.0
-        for channel in recv_list:
-            entries = channel.recv(rounds - 1)
-            if recorder is not None:
-                recorder.mark(P_RECV_WAIT)
-            for link_index, batch in entries:
-                endpoint = endpoints[link_index]
-                if type(batch) is LostWindow:
-                    endpoint.mark_gap(batch.start_cycle, batch.end_cycle)
-                else:
-                    endpoint.push(batch)
-            if recorder is not None:
-                recorder.mark(P_GAP)
-        if measure:
-            transport_seconds[1] += perf_counter() - recv_start
+        exchange, round_phase = divmod(rounds, rounds_per_exchange)
+        exchange_state[0] = exchange
+        exchange_state[1] = round_phase == rounds_per_exchange - 1
+        if round_phase == 0 and rounds > 0:
+            recv_start = perf_counter() if measure else 0.0
+            _drain_exchange(recv_list, exchange - 1, endpoints, recorder)
+            if measure:
+                transport_seconds[1] += perf_counter() - recv_start
         if beat is not None:
             beat(rounds, HB_COMPUTE)
+
+    base_hook = simulation.fault_hook
+
+    def hook(cycle: int, model: Optional[Any]) -> None:
+        if base_hook is not None:
+            base_hook(cycle, model)
+        if model is None or not exchange_state[1]:
+            return
+        flushes = flush_plan.get(id(model))
+        if flushes is None:
+            return
+        if recorder is not None:
+            recorder.mark(P_COMPUTE)
+        send_start = perf_counter() if measure else 0.0
+        for channel, outbox in flushes:
+            channel.send(exchange_state[0], outbox.drain())
+        if measure:
+            transport_seconds[0] += perf_counter() - send_start
+        if recorder is not None:
+            recorder.mark(P_SEND)
 
     def post_round(cycle: int, rounds: int) -> None:
         if recorder is not None:
             # Everything since the last mark is the engine's tick loop.
             recorder.mark(P_COMPUTE)
+            recorder.round_end()
         if beat is not None:
             beat(rounds - 1, HB_SEND)
-        send_start = perf_counter() if measure else 0.0
-        for channel, outbox in send_list:
-            channel.send(rounds - 1, outbox.drain())
-        if measure:
-            transport_seconds[0] += perf_counter() - send_start
-        if recorder is not None:
-            recorder.mark(P_SEND)
-            recorder.round_end()
 
     def diagnose(model: Any, cycle: int) -> TokenStarvationError:
         return _starvation_diagnostic(
@@ -714,7 +862,7 @@ def _run_shard_batched(
         start_cycle,
         context.target_cycle,
         progress,
-        hook=simulation.fault_hook,
+        hook=hook if (peers or base_hook is not None) else None,
         measure=context.measure,
         pre_round=pre_round,
         post_round=post_round,

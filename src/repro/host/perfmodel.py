@@ -272,3 +272,25 @@ class SimulationRateModel:
             switches,
             blades_per_fpga=4 if supernode else 1,
         )
+
+
+def exchange_quantum(
+    latency_floor: Optional[int], quantum: int
+) -> int:
+    """Largest exchange window the token protocol permits, in cycles.
+
+    The distributed engine exchanges boundary tokens every
+    ``round_quantum`` cycles; correctness requires that window to stay
+    within the partition's boundary link-latency floor (link priming
+    keeps exactly ``latency`` tokens in flight per direction, so a
+    worker may run at most that far ahead of an unheard-from peer).
+    Figure 9's lever is maximizing the batch under that cap: this
+    returns the largest multiple of ``quantum`` that fits under
+    ``latency_floor``, or ``quantum`` itself when there is no floor
+    (no boundaries) or no headroom.
+    """
+    if quantum < 1:
+        raise ValueError(f"quantum must be positive, got {quantum}")
+    if latency_floor is None or latency_floor <= quantum:
+        return quantum
+    return (latency_floor // quantum) * quantum

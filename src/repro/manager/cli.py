@@ -155,11 +155,13 @@ def make_parser() -> argparse.ArgumentParser:
                         help="floor for the supervisor's adaptive "
                              "hung-worker deadline; lower it for fast "
                              "detection in CI (default 30)")
-    parser.add_argument("--engine", default="scalar",
+    parser.add_argument("--engine", default=None,
                         choices=("scalar", "batched"),
                         help="round-loop implementation: the scalar "
                              "reference engine or the vectorized batched "
-                             "engine (bit-identical results, faster)")
+                             "engine (bit-identical results, faster); "
+                             "default: batched when --workers > 1, "
+                             "scalar otherwise")
     parser.add_argument("--workload", default="ping", choices=("ping", "boot"))
     parser.add_argument("--duration-ms", type=float, default=4.0)
     parser.add_argument("--ping-count", type=int, default=10)
@@ -303,6 +305,11 @@ def _run_verb(
                 f"({distributed['channels']} {distributed['transport']} "
                 "channels)"
             )
+            lines.append(
+                f"  round quantum: {distributed['round_quantum']} cycles "
+                f"({distributed['rounds_per_exchange']} rounds per "
+                f"exchange, {distributed['exchange_rounds']} exchanges)"
+            )
             for worker, rate in sorted(
                 distributed["per_worker_rate_mhz"].items(),
                 key=lambda item: int(item[0]),
@@ -340,6 +347,11 @@ def _run_verb(
                 f"({distributed['rounds']} lockstep rounds, "
                 f"{distributed['channels']} {distributed['transport']} "
                 "channels)"
+            )
+            lines.append(
+                f"  round quantum: {distributed['round_quantum']} cycles "
+                f"({distributed['rounds_per_exchange']} rounds per "
+                f"exchange, {distributed['exchange_rounds']} exchanges)"
             )
             for worker, rate in sorted(
                 distributed["per_worker_rate_mhz"].items(),
@@ -404,6 +416,12 @@ def main(
     argv: Optional[Sequence[str]] = None, out=sys.stdout, err=sys.stderr
 ) -> int:
     args = make_parser().parse_args(argv)
+    if args.engine is None:
+        # Distributed runs default to the batched numpy engine — it is
+        # bit-identical to the scalar oracle and the parity gate in CI
+        # holds the distributed engine to the serial batched rate.
+        # Serial runs keep the scalar reference as their default.
+        args.engine = "batched" if args.workers > 1 else "scalar"
     try:
         return _main(args, out)
     except ReproError as exc:

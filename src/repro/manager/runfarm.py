@@ -43,6 +43,14 @@ class RunFarmConfig:
     """
 
     link_latency_cycles: int = 6400  # 2 us at 3.2 GHz
+    #: Latency for blade <-> switch links only; None (default) uses
+    #: ``link_latency_cycles`` everywhere.  Setting these apart makes
+    #: the topology latency-heterogeneous, which in a distributed run
+    #: exercises the adaptive round quantum: the exchange window is
+    #: derived from the partition's *smallest* boundary-link latency,
+    #: so short server links with long switch trunks still batch
+    #: correctly (paper Fig 9).
+    server_link_latency_cycles: Optional[int] = None
     switch_latency_cycles: int = 10
     switch_buffer_flits: int = 16384
     freq_hz: float = 3.2e9
@@ -62,6 +70,11 @@ class RunFarmConfig:
     def __post_init__(self) -> None:
         if self.link_latency_cycles < 1:
             raise ConfigError("link latency must be >= 1 cycle")
+        if (
+            self.server_link_latency_cycles is not None
+            and self.server_link_latency_cycles < 1
+        ):
+            raise ConfigError("server link latency must be >= 1 cycle")
         if self.fame5_blades_per_pipeline < 1:
             raise ConfigError("FAME-5 multiplexing factor must be >= 1")
         if self.engine not in ("scalar", "batched"):
@@ -84,6 +97,7 @@ class RunFarmConfig:
             )
         return {
             "link_latency_cycles": self.link_latency_cycles,
+            "server_link_latency_cycles": self.server_link_latency_cycles,
             "switch_latency_cycles": self.switch_latency_cycles,
             "switch_buffer_flits": self.switch_buffer_flits,
             "freq_hz": self.freq_hz,
@@ -95,8 +109,8 @@ class RunFarmConfig:
     def from_dict(cls, payload: Dict[str, object]) -> "RunFarmConfig":
         """Rebuild a config serialized by :meth:`to_dict`."""
         known = {
-            "link_latency_cycles", "switch_latency_cycles",
-            "switch_buffer_flits", "freq_hz",
+            "link_latency_cycles", "server_link_latency_cycles",
+            "switch_latency_cycles", "switch_buffer_flits", "freq_hz",
             "fame5_blades_per_pipeline", "engine",
         }
         unknown = set(payload) - known
@@ -229,6 +243,11 @@ def elaborate(
         switches[switch.switch_id] = model
 
     # Wire the links.
+    server_latency = (
+        config.server_link_latency_cycles
+        if config.server_link_latency_cycles is not None
+        else config.link_latency_cycles
+    )
     for switch in root.iter_switches():
         model = switches[switch.switch_id]
         for port, child in enumerate(switch.downlinks):
@@ -239,7 +258,7 @@ def elaborate(
                     port_name,
                     model,
                     f"port{port}",
-                    config.link_latency_cycles,
+                    server_latency,
                 )
             else:
                 child_model = switches[child.switch_id]

@@ -92,10 +92,10 @@ LOOPBACK = TransportSpec(
 #: instances, dearer than shared memory.  Calibrated by measuring
 #: ``multiprocessing`` queue transfers (small-message one-way ~20 us,
 #: 57 KB batches ~5 GB/s).  The distributed engine's critical-path
-#: model charges the latency once per round (each queue's feeder
-#: thread pickles and sends in parallel, so per-peer hops overlap) and
-#: the bandwidth term on the actual sparse wire payload per boundary
-#: link.
+#: model charges the latency once per token *exchange*, amortized over
+#: the rounds the exchange covers (each queue's feeder thread pickles
+#: and sends in parallel, so per-peer hops overlap) and the bandwidth
+#: term on the actual sparse wire payload per boundary link.
 WORKER_PIPE = TransportSpec(
     kind=TransportKind.PIPE,
     one_way_latency_s=20e-6,
@@ -109,9 +109,10 @@ WORKER_PIPE = TransportSpec(
 #: instead of controller/switch pairs.  No feeder thread, no syscall
 #: per message: the latency is a cursor publish plus the consumer's
 #: wakeup from an adaptive-backoff spin, and the bandwidth is memcpy
-#: into the mapped segment.  Idle windows ship as 29-byte headers, so
-#: the critical-path model charges a much smaller per-batch overhead
-#: than WORKER_PIPE's pickled representation.
+#: into the mapped segment.  Both transports now ship the coalesced
+#: :mod:`repro.dist.frame` payload — one 25-byte entry-table row per
+#: window, one cycle column, one flit blob per exchange — but the ring
+#: still wins on latency: no feeder thread and no kernel copy.
 SHM_RING = TransportSpec(
     kind=TransportKind.SHARED_MEMORY,
     one_way_latency_s=2e-6,

@@ -40,13 +40,18 @@ Phase vocabulary (one row of the ring per round):
 ``compute``
     model ticks, output relabelling, local queue traffic — the work the
     critical-path model charges as tick seconds;
+``coalesce``
+    flattening an exchange's boundary windows into the one columnar
+    payload per peer (:mod:`repro.dist.frame`): entry table, cycle
+    column, and the single flit pickle;
 ``serialize``
-    encoding boundary windows for the wire (the shm ring's staging
-    loop; zero under pipes, whose pickling happens on the feeder
-    thread and therefore surfaces in the *peer's* ``recv_wait``);
+    transport framing around the coalesced payload (the shm ring's
+    header pack, CRCs, and sequence stamp; near-zero under pipes,
+    whose byte shipping happens on the feeder thread and therefore
+    surfaces in the *peer's* ``recv_wait``);
 ``send``
     publishing the encoded bytes (ring write + wakeup, or queue put),
-    net of ``serialize``;
+    net of ``coalesce`` and ``serialize``;
 ``recv_wait``
     blocked waiting for peer round messages — lockstep slack plus the
     transport's decode cost;
@@ -70,24 +75,27 @@ from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-#: JSON artifact marker for exported phase reports.
-PROFILE_SCHEMA = "repro.obs.prof/v1"
+#: JSON artifact marker for exported phase reports.  v2 added the
+#: ``coalesce`` phase (the per-peer columnar payload build) between
+#: ``compute`` and ``serialize``.
+PROFILE_SCHEMA = "repro.obs.prof/v2"
 
 #: Phase order is the wire/report order and the per-round ring layout.
 PHASES: Tuple[str, ...] = (
-    "compute", "serialize", "send", "recv_wait", "gap", "idle",
+    "compute", "coalesce", "serialize", "send", "recv_wait", "gap", "idle",
 )
 P_COMPUTE = 0
-P_SERIALIZE = 1
-P_SEND = 2
-P_RECV_WAIT = 3
-P_GAP = 4
-P_IDLE = 5
+P_COALESCE = 1
+P_SERIALIZE = 2
+P_SEND = 3
+P_RECV_WAIT = 4
+P_GAP = 5
+P_IDLE = 6
 
 #: Phases that represent a worker *doing* something; a worker blocked in
 #: ``recv_wait`` or ``idle`` is waiting on a peer, so it cannot be the
 #: round's critical path.
-BUSY_PHASES = (P_COMPUTE, P_SERIALIZE, P_SEND, P_GAP)
+BUSY_PHASES = (P_COMPUTE, P_COALESCE, P_SERIALIZE, P_SEND, P_GAP)
 
 #: Chrome-trace pids 100, 101, ... host one worker each, clear of the
 #: manager's TARGET_PID/HOST_PID (1/2).
@@ -246,10 +254,10 @@ class PhaseRecorder:
         self._t0 = now
         self._last = now
         # Fresh lists instead of zeroing: the previous round's closed
-        # accumulator is owned by the ring now, and a 6-element literal
+        # accumulator is owned by the ring now, and a 7-element literal
         # allocates faster than a Python zeroing loop runs.
-        self._accum = [0.0, 0.0, 0.0, 0.0, 0.0, 0.0]
-        self._accrued = [0.0, 0.0, 0.0, 0.0, 0.0, 0.0]
+        self._accum = [0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0]
+        self._accrued = [0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0]
 
     def mark(self, phase: int) -> None:
         """Attribute the segment since the last boundary to ``phase``."""
@@ -261,10 +269,11 @@ class PhaseRecorder:
     def accrue(self, phase: int, seconds: float) -> None:
         """Re-attribute ``seconds`` of an enclosing segment to ``phase``.
 
-        Used by transport internals (the shm ring's staging loop): the
-        time stays inside whatever segment the loop will mark, and
-        ``round_end`` subtracts it from that segment's phase.  Accrued
-        serialize time is deducted from ``send``.
+        Used by transport internals (the frame codec's coalescing loop
+        and the shm ring's header framing): the time stays inside
+        whatever segment the loop will mark, and ``round_end`` subtracts
+        it from that segment's phase.  Accrued coalesce and serialize
+        time is deducted from ``send``.
         """
         self._accrued[phase] += seconds
         self._marks += 1
@@ -274,14 +283,17 @@ class PhaseRecorder:
         now = perf_counter()
         accum = self._accum
         total = now - self._t0
+        coalesce = self._accrued[P_COALESCE]
         serialize = self._accrued[P_SERIALIZE]
-        if serialize > 0.0:
+        encode = coalesce + serialize
+        if encode > 0.0:
+            accum[P_COALESCE] += coalesce
             accum[P_SERIALIZE] += serialize
-            # Staging ran inside the send segment; keep send net of it.
-            accum[P_SEND] = max(0.0, accum[P_SEND] - serialize)
+            # Encoding ran inside the send segment; keep send net of it.
+            accum[P_SEND] = max(0.0, accum[P_SEND] - encode)
         attributed = (
-            accum[P_COMPUTE] + accum[P_SERIALIZE] + accum[P_SEND]
-            + accum[P_RECV_WAIT] + accum[P_GAP]
+            accum[P_COMPUTE] + accum[P_COALESCE] + accum[P_SERIALIZE]
+            + accum[P_SEND] + accum[P_RECV_WAIT] + accum[P_GAP]
         )
         accum[P_IDLE] = max(0.0, total - attributed)
         slot = self.rounds % self.capacity
@@ -294,6 +306,7 @@ class PhaseRecorder:
         totals[3] += accum[3]
         totals[4] += accum[4]
         totals[5] += accum[5]
+        totals[6] += accum[6]
         self.rounds += 1
 
     def chronological(self) -> Tuple[np.ndarray, np.ndarray]:
@@ -333,6 +346,16 @@ class ProbeRecorder(PhaseRecorder):
     drift (~±10–20% on shared machines) that drowns the few-percent
     signal in any back-to-back A/B comparison.
 
+    ``period`` sets the alternation block size in rounds.  When the
+    distributed engine batches token exchanges (``rounds_per_exchange``
+    > 1), the exchange cadence is periodic in the round index: with
+    strict every-other-round alternation and an even period, the
+    drain rounds would all land in one population and the flush rounds
+    in the other, and the "overhead" ratio would measure drain-vs-flush
+    cost instead of the profiler.  Alternating in blocks of one full
+    exchange period puts the same mix of drain/compute/flush rounds in
+    both populations, keeping the ratio unbiased.
+
     The off-rounds still pay one stamp pair and four no-op method calls
     (<1 us against rounds hundreds of microseconds long), so the ratio
     marginally *under*-counts that sliver; the recorder's calibrated
@@ -343,19 +366,23 @@ class ProbeRecorder(PhaseRecorder):
     caught.
     """
 
-    __slots__ = ("off_durations", "_probe_on", "_index", "_sleep_s")
+    __slots__ = ("off_durations", "_probe_on", "_index", "_sleep_s",
+                 "_period")
 
-    def __init__(self, capacity: int = 2048, sleep_s: float = 0.0) -> None:
+    def __init__(
+        self, capacity: int = 2048, sleep_s: float = 0.0, period: int = 1
+    ) -> None:
         super().__init__(capacity)
         #: Total durations of the minimally-timed rounds (seconds).
         self.off_durations: List[float] = []
         self._probe_on = True
         self._index = 0
         self._sleep_s = sleep_s
+        self._period = max(1, period)
 
     def round_begin(self) -> None:
+        self._probe_on = not (self._index // self._period) & 1
         self._index += 1
-        self._probe_on = bool(self._index & 1)
         if self._probe_on:
             super().round_begin()
         else:
@@ -635,7 +662,7 @@ class PhaseReport:
 
         The critical-path model prices a round as tick seconds plus one
         idealized transport hop; the measured phase profile shows what
-        the host actually paid.  ``transport_share`` (serialize + send
+        the host actually paid.  ``transport_share`` (coalesce + serialize + send
         + recv_wait over all workers) is the Figure-9 knob: it shrinks
         as the token batch grows, exactly the paper's batch/latency
         trade-off.
@@ -646,7 +673,8 @@ class PhaseReport:
                 totals[phase] += seconds
         attributed = sum(totals.values())
         transport = (
-            totals["serialize"] + totals["send"] + totals["recv_wait"]
+            totals["coalesce"] + totals["serialize"] + totals["send"]
+            + totals["recv_wait"]
         )
         out: Dict[str, Any] = {
             "measured_rate_mhz": self.measured_rate_mhz,

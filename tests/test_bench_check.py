@@ -51,6 +51,38 @@ def dist_doc_v3(shm_over_pipe=2.0, profiler_pipe=1.01, profiler_shm=1.00):
     }
 
 
+def dist_doc_v4(
+    critical_4=1.3,
+    critical_8=1.2,
+    wall_4=0.4,
+    host_cpus=1,
+    quick=False,
+    shm_over_pipe=None,
+):
+    document = {
+        "schema": "repro.bench.dist/v4",
+        "quick": quick,
+        "host_cpu_count": host_cpus,
+        "speedup": {
+            "modeled": {"pipe": {"4": 2.9}, "shm": {"4": 3.5}},
+            "shm_over_pipe_measured": shm_over_pipe
+            or {"2": 1.3, "4": 1.5, "8": 1.7},
+            "parity": {
+                "critical_path": {
+                    "shm": {"2": 1.1, "4": critical_4, "8": critical_8}
+                },
+                "wall": {"shm": {"4": wall_4}},
+            },
+        },
+        "profiler": {
+            "overhead_ratio": {"pipe": 1.10, "shm": 1.07},
+            "method": "alternate-round probe",
+            "workers": 2,
+        },
+    }
+    return document
+
+
 def write(tmp_path, name, document):
     path = tmp_path / name
     path.write_text(json.dumps(document))
@@ -174,6 +206,102 @@ class TestCompare:
         assert any("floor" in f for f in failures)
 
 
+class TestShmGateKey:
+    def test_v3_gates_at_two_workers(self):
+        assert checker.shm_gate_key(dist_doc_v3()) == "2"
+
+    def test_v4_gates_at_highest_worker_count(self):
+        assert checker.shm_gate_key(dist_doc_v4()) == "8"
+
+    def test_v4_low_worker_dip_not_gated(self):
+        """2-worker shm ratio below the strict floor is fine in v4 as
+        long as the highest worker count clears it (the eager flush
+        legitimately narrows the 2-worker gap)."""
+        document = dist_doc_v4(
+            shm_over_pipe={
+                "2": checker.SHM_OVER_PIPE_FLOOR - 0.2,
+                "8": checker.SHM_OVER_PIPE_FLOOR + 0.2,
+            }
+        )
+        failures, _ = checker.compare(document, document, 0.20)
+        assert not any("shm_over_pipe" in f for f in failures)
+
+    def test_v4_sunk_at_gate_key_fails(self):
+        document = dist_doc_v4(
+            shm_over_pipe={"8": checker.SHM_OVER_PIPE_FLOOR - 0.2}
+        )
+        failures, _ = checker.compare(document, document, 0.20)
+        assert any("shm_over_pipe_measured[8]" in f for f in failures)
+
+
+class TestParityGate:
+    def test_healthy_document_passes(self):
+        assert checker.check_parity(dist_doc_v4()) == []
+
+    def test_v3_documents_not_gated(self):
+        assert checker.check_parity(dist_doc_v3()) == []
+
+    def test_critical_path_below_floor_fails(self):
+        sunk = dist_doc_v4(
+            critical_4=checker.PARITY_CRITICAL_PATH_FLOOR - 0.2
+        )
+        failures = checker.check_parity(sunk)
+        assert any("critical_path[shm][4]" in f for f in failures)
+
+    def test_sub_min_worker_counts_not_gated(self):
+        """The 2-worker ratio is informational: parity is claimed at
+        PARITY_MIN_WORKERS and up."""
+        document = dist_doc_v4()
+        document["speedup"]["parity"]["critical_path"]["shm"]["2"] = 0.5
+        assert checker.check_parity(document) == []
+
+    def test_quick_floor_relaxed_but_present(self):
+        mid = (
+            checker.PARITY_CRITICAL_PATH_QUICK_FLOOR
+            + checker.PARITY_CRITICAL_PATH_FLOOR
+        ) / 2
+        assert checker.check_parity(dist_doc_v4(critical_4=mid, quick=True)) == []
+        sunk = dist_doc_v4(
+            critical_4=checker.PARITY_CRITICAL_PATH_QUICK_FLOOR - 0.1,
+            quick=True,
+        )
+        assert checker.check_parity(sunk)
+
+    def test_missing_parity_ratios_fail(self):
+        document = dist_doc_v4()
+        document["speedup"]["parity"]["critical_path"]["shm"] = {"2": 1.1}
+        failures = checker.check_parity(document)
+        assert any("nothing to gate" in f for f in failures)
+
+    def test_wall_gated_only_with_core_headroom(self):
+        sunk_wall = checker.PARITY_WALL_FLOOR - 0.2
+        starved = dist_doc_v4(wall_4=sunk_wall, host_cpus=1)
+        assert not any(
+            ".wall[" in f for f in checker.check_parity(starved)
+        )
+        roomy = dist_doc_v4(
+            wall_4=sunk_wall,
+            host_cpus=4 + checker.PARITY_WALL_CPU_HEADROOM,
+        )
+        assert any(".wall[" in f for f in checker.check_parity(roomy))
+
+    def test_wall_never_gated_on_quick_runs(self):
+        quick = dist_doc_v4(
+            wall_4=checker.PARITY_WALL_FLOOR - 0.2,
+            host_cpus=16,
+            quick=True,
+        )
+        assert not any(".wall[" in f for f in checker.check_parity(quick))
+
+    def test_compare_runs_the_parity_gate(self):
+        sunk = dist_doc_v4(
+            critical_4=checker.PARITY_CRITICAL_PATH_FLOOR - 0.2,
+            critical_8=checker.PARITY_CRITICAL_PATH_FLOOR - 0.2,
+        )
+        failures, _ = checker.compare(sunk, sunk, 0.20)
+        assert any("critical_path" in f for f in failures)
+
+
 class TestMain:
     def test_regression_exits_nonzero(self, tmp_path):
         code = checker.main(
@@ -214,6 +342,29 @@ class TestMain:
             ["--self-test", write(tmp_path, "base.json", dist_doc_v3())]
         )
         assert code == 0
+
+    def test_self_test_covers_v4_schema(self, tmp_path):
+        """v4 self-test exercises the parity sink legs."""
+        code = checker.main(
+            ["--self-test", write(tmp_path, "base.json", dist_doc_v4())]
+        )
+        assert code == 0
+
+    def test_parity_mode_gates_single_document(self, tmp_path):
+        good = write(tmp_path, "good.json", dist_doc_v4())
+        assert checker.main(["--parity", good]) == 0
+        bad = write(
+            tmp_path,
+            "bad.json",
+            dist_doc_v4(critical_4=0.5, critical_8=0.5),
+        )
+        assert checker.main(["--parity", bad]) == 1
+
+    def test_parity_mode_rejects_pre_v4_documents(self, tmp_path):
+        with pytest.raises(SystemExit):
+            checker.main(
+                ["--parity", write(tmp_path, "v3.json", dist_doc_v3())]
+            )
 
     def test_unknown_schema_rejected(self, tmp_path):
         with pytest.raises(SystemExit):

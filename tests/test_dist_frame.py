@@ -1,0 +1,362 @@
+"""Coalesced wire format (repro.dist.frame) and the adaptive quantum.
+
+The frame codec is the one payload layout both worker transports ship,
+so it must round-trip every window representation the producers emit —
+batched streams, scalar dict-flit batches, idle windows, and the fault
+injector's LOST markers — inside a single multi-link payload.  The
+adaptive round quantum rides the same wire: workers exchange one
+coalesced message per ``round_quantum // quantum`` rounds, and the
+result must stay bit-identical to the serial oracle (paper Fig 9:
+batching is a rate lever, never a semantics lever).
+"""
+
+import numpy as np
+import pytest
+
+from repro import ConfigError
+from repro.core.token import Flit, TokenBatch
+from repro.dist import plan_from_assignment, plan_partitions, run_distributed
+from repro.dist.frame import (
+    DATA,
+    ENTRY_BYTES,
+    IDLE,
+    LOST,
+    decode_entries,
+    encode_entries,
+)
+from repro.dist.remote_link import LostWindow
+from repro.dist.shm import ShmRing, leaked_segments
+from repro.dist.worker import PipeChannel
+from repro.faults.plan import RingCorruption
+from repro.host.perfmodel import exchange_quantum
+from repro.manager.mapper import map_topology
+from repro.manager.runfarm import RunFarmConfig, elaborate
+from repro.manager.topology import two_tier
+from repro.perf.stream import TokenStream
+from repro.swmodel.apps.ping import RESULT_KEY, make_ping_client
+
+from tests.test_dist import ONE_FPGA, TARGET_CYCLES, build, fingerprint
+
+
+def stream_window(start, length, cycles_and_flits):
+    """A busy batched-engine window (the producer's TokenStream form)."""
+    cycles = np.asarray([c for c, _ in cycles_and_flits], dtype=np.int64)
+    flits = [flit for _, flit in cycles_and_flits]
+    return TokenStream.from_wire(start, length, cycles, flits)
+
+
+def batch_window(start, length, flits_by_cycle):
+    """A scalar-engine window (sparse dict of absolute cycle -> flit)."""
+    return TokenBatch(start, length, flits_by_cycle)
+
+
+def window_shape(entry):
+    """Normalized (link, kind, start, length, [(cycle, payload)...])."""
+    link, window = entry
+    if isinstance(window, LostWindow):
+        return (link, "lost", window.start_cycle, window.length, ())
+    if isinstance(window, TokenStream):
+        tokens = window.tokens
+        valid = tuple(
+            (int(row["cycle"]), row["flit"].data) for row in tokens
+        )
+        return (link, "data" if valid else "idle",
+                window.start_cycle, window.length, valid)
+    valid = tuple(
+        (cycle, window.flits[cycle].data)
+        for cycle in sorted(window.flits)
+    )
+    return (link, "data" if valid else "idle",
+            window.start_cycle, window.length, valid)
+
+
+class TestFrameCodec:
+    def test_entry_table_packs_without_padding(self):
+        assert ENTRY_BYTES == 25
+        assert (DATA, IDLE, LOST) == (0, 1, 2)
+
+    def test_multi_link_round_trip_mixed_kinds(self):
+        """One frame carries several links' windows of every kind."""
+        entries = [
+            (0, stream_window(1000, 640, [(1001, Flit("a")),
+                                          (1600, Flit("b", last=True))])),
+            (3, batch_window(1000, 640, {1005: Flit("c")})),
+            (1, TokenBatch(1000, 640)),          # idle, dict form
+            (7, stream_window(1000, 640, [])),   # idle, stream form
+            (2, LostWindow(1000, 640)),
+        ]
+        out = bytearray()
+        count = encode_entries(entries, out)
+        assert count == len(entries)
+        decoded = decode_entries(bytes(out), count)
+        assert [window_shape(e) for e in decoded] == [
+            (0, "data", 1000, 640, ((1001, "a"), (1600, "b"))),
+            (3, "data", 1000, 640, ((1005, "c"),)),
+            (1, "idle", 1000, 640, ()),
+            (7, "idle", 1000, 640, ()),
+            (2, "lost", 1000, 640, ()),
+        ]
+        # Decoded lost windows keep their gap arithmetic.
+        lost = decoded[4][1]
+        assert isinstance(lost, LostWindow)
+        assert lost.end_cycle == 1640
+
+    def test_flit_metadata_survives(self):
+        """last/index flags ride the blob, not just the payload."""
+        flit = Flit("payload", last=True, index=3)
+        out = bytearray()
+        count = encode_entries(
+            [(5, batch_window(0, 64, {7: flit}))], out
+        )
+        [(_, window)] = decode_entries(bytes(out), count)
+        tokens = window.tokens
+        restored = tokens["flit"][0]
+        assert (restored.data, restored.last, restored.index) == (
+            "payload", True, 3
+        )
+
+    def test_empty_frame_is_zero_bytes(self):
+        """An all-quiet exchange costs nothing beyond the ring header."""
+        out = bytearray()
+        assert encode_entries([], out) == 0
+        assert len(out) == 0
+        assert decode_entries(b"", 0) == []
+
+    def test_all_idle_frame_is_table_only(self):
+        out = bytearray()
+        count = encode_entries(
+            [(0, TokenBatch(0, 64)), (1, TokenBatch(0, 64))], out
+        )
+        assert len(out) == count * ENTRY_BYTES  # no cycle column, no blob
+        decoded = decode_entries(bytes(out), count)
+        assert [window_shape(e)[1] for e in decoded] == ["idle", "idle"]
+
+
+@pytest.fixture
+def ring():
+    ring = ShmRing.create(0, 1, capacity=1 << 16)
+    yield ring
+    ring.destroy()
+    assert leaked_segments() == []
+
+
+class TestCoalescedRing:
+    def test_multi_link_per_peer_single_publish(self, ring):
+        """All of a peer's links travel in one ring frame."""
+        entries = [
+            (0, stream_window(0, 640, [(5, Flit("x"))])),
+            (1, TokenBatch(0, 640)),
+            (2, stream_window(0, 640, [(10, Flit("y")), (11, Flit("z"))])),
+        ]
+        ring.send(0, entries)
+        counters = ring.counters()
+        assert counters["sent_messages"] == 1
+        received = ring.recv(0)
+        assert [window_shape(e) for e in received] == [
+            window_shape(e) for e in entries
+        ]
+
+    def test_lost_window_inside_coalesced_frame(self, ring):
+        """A LOST marker coexists with healthy windows in one frame."""
+        ring.send(
+            3,
+            [
+                (0, stream_window(0, 640, [(5, Flit("x"))])),
+                (1, LostWindow(0, 640)),
+                (2, TokenBatch(0, 640)),
+            ],
+        )
+        received = ring.recv(3)
+        kinds = [window_shape(e)[1] for e in received]
+        assert kinds == ["data", "lost", "idle"]
+
+    def test_corrupt_coalesced_frame_fails_payload_crc(self, ring):
+        ring.corrupt_next_send = True
+        ring.send(
+            0,
+            [
+                (0, stream_window(0, 640, [(5, Flit("x"))])),
+                (1, TokenBatch(0, 640)),
+            ],
+        )
+        try:
+            ring.recv(0)
+        except RingCorruption as corruption:
+            assert "payload failed its CRC32" in str(corruption)
+            assert corruption.ring == "ring:0->1"
+        else:
+            pytest.fail("corrupted coalesced frame was decoded")
+
+    def test_sequence_skew_detected_on_coalesced_frames(self, ring):
+        ring.send(0, [(0, TokenBatch(0, 64))])
+        ring._send_seq += 1  # one frame the reader never observes
+        ring.send(1, [(0, TokenBatch(64, 64))])
+        assert len(ring.recv(0)) == 1
+        with pytest.raises(RingCorruption, match="sequence skew"):
+            ring.recv(1)
+
+    def test_nonblocking_recv_returns_none_until_published(self, ring):
+        assert ring.recv(0, False) is None
+        ring.send(0, [(0, TokenBatch(0, 64))])
+        received = ring.recv(0, False)
+        assert received is not None and len(received) == 1
+        # The permit was consumed with the message: the ring is idle
+        # again, not primed with a stranded wakeup.
+        assert ring.recv(1, False) is None
+
+
+class TestCoalescedPipe:
+    def make_channel(self):
+        import multiprocessing
+
+        queue = multiprocessing.get_context("fork").Queue()
+        return PipeChannel(queue, 0, 1, timeout_s=5.0)
+
+    def test_round_trip_matches_ring_semantics(self):
+        channel = self.make_channel()
+        entries = [
+            (0, stream_window(0, 640, [(5, Flit("x"))])),
+            (1, LostWindow(0, 640)),
+            (2, TokenBatch(0, 640)),
+        ]
+        channel.send(7, entries)
+        received = channel.recv(7)
+        assert [window_shape(e) for e in received] == [
+            window_shape(e) for e in entries
+        ]
+        assert channel.counters() == {
+            "sent_messages": 1, "recv_messages": 1,
+        }
+
+    def test_nonblocking_recv_returns_none_when_empty(self):
+        channel = self.make_channel()
+        assert channel.recv(0, False) is None
+
+
+class TestAdaptiveQuantum:
+    def test_exchange_quantum_is_floor_aligned(self):
+        assert exchange_quantum(None, 160) == 160      # no boundaries
+        assert exchange_quantum(160, 160) == 160       # no headroom
+        assert exchange_quantum(640, 160) == 640       # exact multiple
+        assert exchange_quantum(700, 160) == 640       # rounds down
+        assert exchange_quantum(100, 160) == 160       # floor < quantum
+        with pytest.raises(ValueError):
+            exchange_quantum(640, 0)
+
+    def test_boundary_latency_floor(self):
+        running, root = build("two_tier_2x2")
+        deployment = map_topology(root, ONE_FPGA)
+        plan = plan_partitions(running, deployment, 2)
+        floor = plan.boundary_latency_floor(running.simulation)
+        assert floor is not None
+        assert floor >= running.simulation.quantum
+        lone = plan_from_assignment(
+            {key: 0 for key in running.simulation.partition_keys()},
+            num_workers=1,
+        )
+        assert lone.boundary_latency_floor(running.simulation) is None
+
+    def test_explicit_round_quantum_must_be_multiple(self):
+        running, root = build("two_tier_2x2")
+        deployment = map_topology(root, ONE_FPGA)
+        plan = plan_partitions(running, deployment, 2)
+        with pytest.raises(ConfigError, match="multiple of the"):
+            run_distributed(
+                running.simulation, plan, TARGET_CYCLES,
+                round_quantum=running.simulation.quantum + 1,
+            )
+
+    def test_explicit_round_quantum_capped_by_latency_floor(self):
+        running, root = build("two_tier_2x2")
+        deployment = map_topology(root, ONE_FPGA)
+        plan = plan_partitions(running, deployment, 2)
+        quantum = running.simulation.quantum
+        floor = plan.boundary_latency_floor(running.simulation)
+        too_big = (floor // quantum + 1) * quantum
+        with pytest.raises(ConfigError, match="latency floor"):
+            run_distributed(
+                running.simulation, plan, TARGET_CYCLES,
+                round_quantum=too_big,
+            )
+
+
+def hetero_build(engine="scalar"):
+    """Two-tier target whose server links are 4x shorter than trunks.
+
+    The global quantum follows the shortest link (160), while the
+    partition's boundary (the rack trunks) stays at 640 — so the
+    adaptive derivation batches 4 rounds per exchange.
+    """
+    root = two_tier(num_racks=2, servers_per_rack=2)
+    running = elaborate(
+        root,
+        RunFarmConfig(
+            link_latency_cycles=640,
+            server_link_latency_cycles=160,
+            engine=engine,
+        ),
+    )
+    blades = running.blades
+    last = max(blades)
+    blades[0].spawn(
+        "ping",
+        make_ping_client(blades[last].mac, count=4, interval_cycles=50_000),
+    )
+    # Rack-aligned shards: boundary links are the 640-cycle trunks only.
+    racks = [child for child in root.downlinks]
+    rack0 = {f"switch{racks[0].switch_id}", "node0", "node1"}
+    assignment = {
+        key: 0 if key in rack0 else 1
+        for key in running.simulation.partition_keys()
+    }
+    return running, plan_from_assignment(assignment, num_workers=2)
+
+
+class TestExchangeRoundEquivalence:
+    @pytest.fixture(scope="class")
+    def serial_expected(self):
+        running, _ = hetero_build()
+        running.simulation.run_until(TARGET_CYCLES)
+        return fingerprint(running)
+
+    @pytest.mark.parametrize("engine", ["scalar", "batched"])
+    @pytest.mark.parametrize("transport", ["pipe", "shm"])
+    def test_batched_exchanges_stay_bit_identical(
+        self, transport, engine, serial_expected
+    ):
+        running, plan = hetero_build(engine)
+        sim = running.simulation
+        assert sim.quantum == 160
+        assert plan.boundary_latency_floor(sim) == 640
+        result = run_distributed(
+            sim, plan, TARGET_CYCLES, transport=transport
+        )
+        assert result.round_quantum == 640
+        assert result.rounds_per_exchange == 4
+        assert result.exchange_rounds == result.rounds // 4
+        assert fingerprint(running) == serial_expected
+        assert serial_expected["blades"][0][RESULT_KEY]
+
+    def test_forced_per_round_exchange_matches_adaptive(
+        self, serial_expected
+    ):
+        """round_quantum == quantum (the pre-adaptive wire cadence)
+        produces the same bits — batching is pure scheduling."""
+        running, plan = hetero_build()
+        result = run_distributed(
+            running.simulation, plan, TARGET_CYCLES,
+            round_quantum=160,
+        )
+        assert result.rounds_per_exchange == 1
+        assert result.exchange_rounds == result.rounds
+        assert fingerprint(running) == serial_expected
+
+    def test_result_dict_carries_exchange_fields(self, serial_expected):
+        running, plan = hetero_build()
+        result = run_distributed(running.simulation, plan, TARGET_CYCLES)
+        doc = result.to_dict()
+        assert doc["round_quantum"] == 640
+        assert doc["rounds_per_exchange"] == 4
+        assert doc["exchange_rounds"] == result.exchange_rounds
+        assert "measured_critical_path_mhz" in doc
+        assert "worker_cpu_seconds_max" in doc
