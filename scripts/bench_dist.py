@@ -12,6 +12,17 @@ serial engines and through ``repro.dist`` at each requested worker
 count, once per transport (``pipe`` and ``shm``), and emits
 ``BENCH_dist.json`` (schema ``repro.bench.dist/v4``).
 
+Every blade runs continuous, phase-staggered ping traffic (rack-local
+neighbor pings plus a cross-rack trunk flow per rack) for the whole
+measured window.  This is not decoration: the serial batched engine
+fast-forwards provably idle spans in O(links) per *span*, so an idle
+farm — what earlier versions of this bench simulated — now costs the
+serial engine almost nothing and measures nothing about scaling.  A
+loaded farm is also what the paper's Figure 9 reports: simulation
+rate under a running workload.  The staggering (per-blade start
+offsets and slightly different intervals) keeps the blades' event
+queues out of phase, as real traffic would be.
+
 The latency-heterogeneous links exercise the distributed engine's
 adaptive exchange quantum (paper Fig 9: simulation rate grows with
 token batch size).  Partitions are rack-aligned — each worker owns
@@ -104,6 +115,7 @@ from repro.manager.runfarm import RunFarmConfig, elaborate  # noqa: E402
 from repro.manager.topology import two_tier  # noqa: E402
 from repro.obs.prof import PhaseReport, ProfileConfig  # noqa: E402
 from repro.obs.rate import RateMonitor  # noqa: E402
+from repro.swmodel.apps.ping import make_ping_client  # noqa: E402
 
 RACKS = 8
 SERVERS_PER_RACK = 4
@@ -111,6 +123,51 @@ LINK_LATENCY_CYCLES = 6400  # 2 us rack-to-root trunks (the paper's links)
 SERVER_LINK_LATENCY_CYCLES = 1600  # 0.5 us blade <-> ToR links
 
 TRANSPORTS = ("pipe", "shm")
+
+
+#: Enough pings to outlast any plausible ``--cycles`` (200 pings at a
+#: ~20k-cycle interval spans ~4M cycles; the default run is 2M).
+PING_COUNT = 200
+PING_INTERVAL_CYCLES = 20_000
+
+
+def attach_workload(running):
+    """Continuous staggered ping traffic across the whole farm.
+
+    Each blade pings its rack neighbor (interior server links) and the
+    first blade of every rack additionally pings the next rack's first
+    blade (trunk traffic that crosses workers in every partitioning).
+    Start offsets and per-blade interval skews keep the farm's event
+    queues out of phase so no provably-idle global round exists during
+    the measured window — the serial engine must simulate every round,
+    as it would under real traffic, instead of fast-forwarding an idle
+    farm for free.
+    """
+    blades = running.blades
+    for index in sorted(blades):
+        rack, slot = divmod(index, SERVERS_PER_RACK)
+        neighbor = rack * SERVERS_PER_RACK + (slot + 1) % SERVERS_PER_RACK
+        blades[index].spawn(
+            f"ping{index}",
+            make_ping_client(
+                blades[neighbor].mac,
+                count=PING_COUNT,
+                interval_cycles=PING_INTERVAL_CYCLES + 160 * index,
+            ),
+            start_cycle=617 * index,
+        )
+        if slot == 0:
+            trunk_peer = ((rack + 1) % RACKS) * SERVERS_PER_RACK
+            blades[index].spawn(
+                f"xping{index}",
+                make_ping_client(
+                    blades[trunk_peer].mac,
+                    count=PING_COUNT,
+                    interval_cycles=23_000 + 160 * index,
+                    ident=9,  # the rack-local client owns icmp/8
+                ),
+                start_cycle=313 * index + 101,
+            )
 
 
 def build(engine="scalar"):
@@ -123,6 +180,7 @@ def build(engine="scalar"):
             engine=engine,
         ),
     )
+    attach_workload(running)
     return running, root
 
 

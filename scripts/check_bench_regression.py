@@ -16,6 +16,17 @@ varies with the CI machine:
 
 * ``repro.bench.core/v1`` — ``speedup.batched_over_scalar`` (batched
   engine over the scalar oracle on the same host);
+* ``repro.bench.core/v2`` — ``speedup.batched_over_scalar`` plus
+  ``speedup.columnar_over_scalar`` (the columnar switch step over the
+  scalar switch oracle on the incast microbenchmark), both under the
+  usual relative band *and* under absolute floors
+  (``BATCHED_OVER_SCALAR_FLOOR``, relaxed on ``--quick`` runs whose
+  short Figure-8 window leaves less idle time to fast-forward, and
+  ``COLUMNAR_OVER_SCALAR_FLOOR``, never relaxed — the incast section
+  runs at full size even in quick mode).  The document's
+  ``parity.matrix`` (scalar-vs-batched fingerprint equality across
+  topologies x quanta) must also be present and all-true: a baseline
+  refresh can never ratify an engine that diverged from the oracle.
 * ``repro.bench.dist/v1`` — ``speedup.modeled`` per worker count (the
   one-core-per-worker critical-path model).  Worker counts present in
   only one document are ignored; measured dist speedups are skipped
@@ -91,11 +102,28 @@ DEFAULT_TOLERANCE = 0.20
 
 KNOWN_SCHEMAS = (
     "repro.bench.core/v1",
+    "repro.bench.core/v2",
     "repro.bench.dist/v1",
     "repro.bench.dist/v2",
     "repro.bench.dist/v3",
     "repro.bench.dist/v4",
 )
+
+#: Absolute floors on the core benchmark's ratios (core/v2): the
+#: batched engine must beat the scalar oracle on the Figure-8 run by at
+#: least this factor, or idle fast-forward / token batching has
+#: regressed to the point the tentpole claim no longer holds.
+BATCHED_OVER_SCALAR_FLOOR = 5.0
+#: The floor applied to ``--quick`` core runs: a 400k-cycle Figure-8
+#: window is mostly *traffic* (the pings finish around 160k cycles), so
+#: there is far less quiet tail for the batched engine to fast-forward
+#: through; quick mode only asserts batching still wins clearly, and
+#: the strict floor is enforced by the full-length run.
+BATCHED_OVER_SCALAR_QUICK_FLOOR = 2.0
+#: The columnar switch step must beat the scalar switch oracle on the
+#: switch-heavy incast microbenchmark by at least this factor.  Never
+#: relaxed: the incast section runs at full size even under --quick.
+COLUMNAR_OVER_SCALAR_FLOOR = 8.0
 
 #: Absolute floor on the measured 2-worker shm-over-pipe transport
 #: overhead ratio: the shared-memory ring must move a round's tokens at
@@ -180,6 +208,12 @@ def extract_ratios(document):
         if not isinstance(ratio, (int, float)):
             return {}
         return {"speedup.batched_over_scalar": float(ratio)}
+    if schema == "repro.bench.core/v2":
+        return {
+            f"speedup.{key}": float(speedup[key])
+            for key in ("batched_over_scalar", "columnar_over_scalar")
+            if isinstance(speedup.get(key), (int, float))
+        }
     if schema == "repro.bench.dist/v1":
         # One modeled ratio per worker count.
         return {
@@ -249,6 +283,74 @@ def profiler_ceiling_for(current, quick_flag):
     if quick_flag or current.get("quick"):
         return PROFILER_OVERHEAD_QUICK_CEILING
     return PROFILER_OVERHEAD_CEILING
+
+
+def check_core(document, quick=False):
+    """Absolute gates for a core/v2 document.
+
+    Returns a list of failure messages (empty when the document passes
+    or predates the v2 fields).  Two parts: the speedup floors (the
+    columnar floor never relaxes; the batched floor relaxes on quick
+    runs, whose short Figure-8 window has little idle tail to
+    fast-forward) and the parity matrix, which must exist and be
+    all-true — fingerprint equality with the scalar oracle is the
+    correctness claim the speedups ride on.
+    """
+    if document.get("schema") != "repro.bench.core/v2":
+        return []
+    quick = bool(quick or document.get("quick"))
+    ratios = extract_ratios(document)
+    batched_floor = (
+        BATCHED_OVER_SCALAR_QUICK_FLOOR if quick
+        else BATCHED_OVER_SCALAR_FLOOR
+    )
+    floors = {
+        "speedup.batched_over_scalar": (
+            batched_floor, "quick " if quick else ""
+        ),
+        "speedup.columnar_over_scalar": (COLUMNAR_OVER_SCALAR_FLOOR, ""),
+    }
+    failures = []
+    for metric, (floor, label) in sorted(floors.items()):
+        ratio = ratios.get(metric)
+        if ratio is None:
+            failures.append(
+                f"{metric}: missing from a core/v2 document"
+            )
+        elif ratio < floor:
+            failures.append(
+                f"{metric}: {ratio:.3f} is below the absolute "
+                f"{label}floor {floor} — the engine no longer beats "
+                "its scalar oracle by the required margin"
+            )
+        else:
+            print(
+                f"check_bench_regression: OK: {metric}: {ratio:.3f} "
+                f"clears the absolute {label}floor {floor}"
+            )
+    matrix = document.get("parity", {}).get("matrix", {})
+    if not matrix:
+        failures.append(
+            "parity.matrix is missing or empty — the scalar-vs-batched "
+            "equivalence matrix has nothing to gate; regenerate "
+            "BENCH_core.json with bench_core.py"
+        )
+    else:
+        diverged = sorted(
+            label for label, equal in matrix.items() if equal is not True
+        )
+        if diverged:
+            failures.append(
+                f"parity.matrix: {diverged} diverged — the batched "
+                "engine no longer matches the scalar oracle "
+                "bit-for-bit on those configurations"
+            )
+        else:
+            print(
+                f"check_bench_regression: OK: parity.matrix: all "
+                f"{len(matrix)} scalar-vs-batched configurations match"
+            )
+    return failures
 
 
 def check_parity(document, quick=False):
@@ -361,11 +463,15 @@ def compare(baseline, current, tolerance, quick=False):
     failures, warnings = [], []
     for metric in shared:
         if metric.startswith("speedup.shm_over_pipe_measured") or \
-                metric.startswith(PROFILER_METRIC_PREFIX):
+                metric.startswith(PROFILER_METRIC_PREFIX) or \
+                metric == "speedup.columnar_over_scalar":
             # Measured transport/profiler ratios shift with host load
             # and run length (CI's --quick runs are shorter than the
             # committed baseline), so they skip the baseline-relative
             # band; the absolute floor/ceiling below are their gates.
+            # The columnar incast ratio is the same kind of animal: a
+            # milliseconds-scale wall-clock pair whose magnitude swings
+            # ~40% with host load, gated on its absolute floor instead.
             continue
         base, cur = base_ratios[metric], cur_ratios[metric]
         floor = base * (1.0 - tolerance)
@@ -436,6 +542,9 @@ def compare(baseline, current, tolerance, quick=False):
     # the batched serial engine (absolute, like the floors above: a
     # baseline refresh cannot ratify losing to serial).
     failures.extend(check_parity(current, quick))
+    # core/v2: the speedup floors and the scalar-vs-batched parity
+    # matrix (absolute for the same reason).
+    failures.extend(check_core(current, quick))
     return failures, warnings
 
 
@@ -443,10 +552,10 @@ def scale_ratios(document, factor):
     """A copy of ``document`` with every comparable ratio scaled."""
     scaled = copy.deepcopy(document)
     speedup = scaled.setdefault("speedup", {})
-    if scaled["schema"] == "repro.bench.core/v1":
-        speedup["batched_over_scalar"] = (
-            speedup.get("batched_over_scalar", 0.0) * factor
-        )
+    if scaled["schema"] in ("repro.bench.core/v1", "repro.bench.core/v2"):
+        for key in ("batched_over_scalar", "columnar_over_scalar"):
+            if key in speedup:
+                speedup[key] = speedup[key] * factor
     elif scaled["schema"] == "repro.bench.dist/v1":
         speedup["modeled"] = {
             workers: ratio * factor
@@ -467,6 +576,86 @@ def scale_ratios(document, factor):
             ).items()
         }
     return scaled
+
+
+def self_test_core(baseline, tolerance):
+    """The core/v2 absolute gates must trip on injected regressions."""
+    # 1. Either ratio below its strict floor: flagged even when baseline
+    # and current agree (no refresh can ratify a sunk ratio).
+    for key, floor in (
+        ("batched_over_scalar", BATCHED_OVER_SCALAR_FLOOR),
+        ("columnar_over_scalar", COLUMNAR_OVER_SCALAR_FLOOR),
+    ):
+        sunk = copy.deepcopy(baseline)
+        sunk["speedup"][key] = floor - 0.5
+        failures, _ = compare(sunk, copy.deepcopy(sunk), tolerance)
+        if not failures:
+            fail(
+                f"self-test: speedup.{key} below the absolute floor "
+                f"{floor} was NOT flagged when baseline and current agree"
+            )
+    # 2. Quick mode relaxes the batched floor but must not remove it.
+    eased = copy.deepcopy(baseline)
+    eased["speedup"]["batched_over_scalar"] = (
+        BATCHED_OVER_SCALAR_QUICK_FLOOR + BATCHED_OVER_SCALAR_FLOOR
+    ) / 2
+    eased["quick"] = True
+    failures, _ = compare(eased, copy.deepcopy(eased), tolerance)
+    if failures:
+        fail(
+            "self-test: a quick-run batched ratio above the quick floor "
+            f"{BATCHED_OVER_SCALAR_QUICK_FLOOR} was flagged: {failures}"
+        )
+    sunk = copy.deepcopy(eased)
+    sunk["speedup"]["batched_over_scalar"] = (
+        BATCHED_OVER_SCALAR_QUICK_FLOOR - 0.5
+    )
+    failures, _ = compare(sunk, copy.deepcopy(sunk), tolerance)
+    if not failures:
+        fail(
+            "self-test: quick-run batched ratio below the quick floor "
+            f"{BATCHED_OVER_SCALAR_QUICK_FLOOR} was NOT flagged — "
+            "quick runs are ungated"
+        )
+    # 3. The columnar floor does NOT relax on quick runs (the incast
+    # section runs at full size either way).
+    sunk = copy.deepcopy(baseline)
+    sunk["quick"] = True
+    sunk["speedup"]["columnar_over_scalar"] = (
+        COLUMNAR_OVER_SCALAR_FLOOR - 0.5
+    )
+    failures, _ = compare(sunk, copy.deepcopy(sunk), tolerance)
+    if not failures:
+        fail(
+            "self-test: quick-run columnar ratio below the absolute "
+            f"floor {COLUMNAR_OVER_SCALAR_FLOOR} was NOT flagged — "
+            "the columnar floor must not relax"
+        )
+    # 4. The parity matrix: a diverged entry and a missing matrix must
+    # both trip the gate, baseline agreement notwithstanding.
+    matrix = baseline.get("parity", {}).get("matrix", {})
+    if not matrix:
+        fail(
+            "self-test: baseline carries no parity.matrix — regenerate "
+            "BENCH_core.json with bench_core.py"
+        )
+    diverged = copy.deepcopy(baseline)
+    diverged["parity"]["matrix"][sorted(matrix)[0]] = False
+    failures, _ = compare(diverged, copy.deepcopy(diverged), tolerance)
+    if not failures:
+        fail(
+            "self-test: a diverged parity.matrix entry was NOT flagged"
+        )
+    stripped = copy.deepcopy(baseline)
+    stripped["parity"]["matrix"] = {}
+    failures, _ = compare(stripped, copy.deepcopy(stripped), tolerance)
+    if not failures:
+        fail("self-test: an empty parity.matrix was NOT flagged")
+    print(
+        "check_bench_regression: core self-test OK (sunk ratios "
+        "flagged, quick floor relaxed but present, columnar floor "
+        "unrelaxed, parity divergence and absence flagged)"
+    )
 
 
 def self_test_parity(baseline, tolerance):
@@ -638,6 +827,8 @@ def self_test(baseline, tolerance):
                 )
     if baseline["schema"] == "repro.bench.dist/v4":
         self_test_parity(baseline, tolerance)
+    if baseline["schema"] == "repro.bench.core/v2":
+        self_test_core(baseline, tolerance)
     print(
         "check_bench_regression: self-test OK "
         f"(synthetic {1.0 - tolerance - 0.1:.2f}x slowdown flagged, "

@@ -72,6 +72,15 @@ class Fame1Model(ABC):
         queued packets still draining).  Models that do work even on
         quiet windows — server blades run their event queues and
         generate traffic — must not override this.
+
+        Subclasses that override this may additionally define
+        ``idle_horizon() -> Optional[int]``: the first cycle at or after
+        ``current_cycle`` at which the model could act without receiving
+        a valid token (``None`` meaning never).  The batched engine uses
+        it to fast-forward whole runs of provably idle rounds; returning
+        ``current_cycle`` opts a window out.  It is only consulted
+        immediately after :meth:`idle_outputs` returned a window, so
+        implementations may assume whatever that return established.
         """
         return None
 
@@ -172,3 +181,9 @@ class NullModel(Fame1Model):
         if type(self)._tick is not NullModel._tick:
             return None
         return {port: window.new_batch() for port in self.ports}
+
+    def idle_horizon(self) -> Optional[int]:
+        """A null sink never acts spontaneously (see the base docstring)."""
+        if type(self)._tick is not NullModel._tick:
+            return self.current_cycle
+        return None

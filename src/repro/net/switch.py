@@ -227,6 +227,21 @@ class SwitchModel(Fame1Model):
         self._route_cache.clear()
         self._route_version = self._mac_table.version
 
+    @property
+    def columnar_safe(self) -> bool:
+        """Whether the columnar fast path may shadow this switch.
+
+        The vectorized step in :mod:`repro.perf.switch` reproduces the
+        *stock* phases bit-for-bit; any subclass override (custom
+        routing, custom phases, custom idle handling) must fall back to
+        the scalar tick.
+        """
+        return (
+            self._idle_safe
+            and self._memoize_routes
+            and type(self).idle_outputs is SwitchModel.idle_outputs
+        )
+
     def enable_bandwidth_probe(self) -> None:
         """Record per-packet egress completions for bandwidth-vs-time plots."""
         self.egress_log = []
@@ -268,6 +283,15 @@ class SwitchModel(Fame1Model):
             return None
         return {port: window.new_batch() for port in self.ports}
 
+    def idle_horizon(self) -> Optional[int]:
+        """A drained switch only acts on arrival: no spontaneous wake.
+
+        (See :meth:`Fame1Model.idle_outputs` for the protocol.)
+        """
+        if not self._idle_safe or any(self._out_queues):
+            return self.current_cycle
+        return None
+
     # -- phases ---------------------------------------------------------
 
     def _ingress(
@@ -295,7 +319,10 @@ class SwitchModel(Fame1Model):
         """Sort this round's packets by timestamp and route to outputs."""
         pending = list(arrivals)
         heapq.heapify(pending)
+        # The sink and its enabled flag are stable within a phase —
+        # check once here, not once per packet.
         sink = get_trace_sink()
+        sink_on = sink.enabled
         memo = self._route_cache if self._memoize_routes else None
         if memo is not None and self._route_version != self._mac_table.version:
             memo.clear()
@@ -322,7 +349,7 @@ class SwitchModel(Fame1Model):
                 # (bytes_in == bytes_out + bytes_dropped + queued) holds.
                 self.stats.packets_dropped += 1
                 self.stats.bytes_dropped += frame.size_bytes
-                if sink.enabled:
+                if sink_on:
                     sink.target_instant(
                         "drop", "switch", timestamp, track=self.name,
                         args={"frame": frame.frame_id,
@@ -335,7 +362,7 @@ class SwitchModel(Fame1Model):
                     self._out_queues[out_port],
                     _QueuedPacket(timestamp, next(self._seq), frame),
                 )
-                if sink.enabled:
+                if sink_on:
                     sink.target_instant(
                         "enqueue", "switch", timestamp, track=self.name,
                         args={"frame": frame.frame_id,
@@ -344,21 +371,30 @@ class SwitchModel(Fame1Model):
                     )
 
     def _egress(self, window: TokenWindow) -> Dict[str, TokenBatch]:
+        # One sink fetch per phase, shared by every port drain.
+        sink = get_trace_sink()
         outputs: Dict[str, TokenBatch] = {}
         for port_index in range(self.config.num_ports):
-            outputs[f"port{port_index}"] = self._drain_port(port_index, window)
+            outputs[f"port{port_index}"] = self._drain_port(
+                port_index, window, sink
+            )
         return outputs
 
-    def _drain_port(self, port_index: int, window: TokenWindow) -> TokenBatch:
+    def _drain_port(
+        self, port_index: int, window: TokenWindow, sink=None
+    ) -> TokenBatch:
         batch = window.new_batch()
         queue = self._out_queues[port_index]
         pace = self.config.cycles_per_flit
-        sink = get_trace_sink()
+        if sink is None:
+            sink = get_trace_sink()
+        sink_on = sink.enabled
+        window_end = window.end
         cursor = max(self._port_next_free[port_index], window.start)
-        while queue and cursor < window.end:
+        while queue and cursor < window_end:
             packet = queue[0]
             start = max(cursor, packet.release_cycle)
-            if start >= window.end:
+            if start >= window_end:
                 break
             if packet.flits_emitted == 0:
                 # Buffer-occupancy drop model: a packet that cannot begin
@@ -368,44 +404,61 @@ class SwitchModel(Fame1Model):
                     heapq.heappop(queue)
                     self.stats.packets_dropped += 1
                     self.stats.bytes_dropped += packet.frame.size_bytes
-                    if sink.enabled:
+                    if sink_on:
                         sink.target_instant(
                             "drop", "switch", start, track=self.name,
                             args={"frame": packet.frame.frame_id,
                                   "port": port_index, "lag": lag},
                         )
                     continue
-            total_flits = packet.frame.flit_count
+            frame = packet.frame
+            total_flits = frame.flit_count
+            remaining = total_flits - packet.flits_emitted
             cycle = start
-            while packet.flits_emitted < total_flits and cycle < window.end:
-                is_last = packet.flits_emitted == total_flits - 1
-                batch.add(
-                    cycle,
-                    Flit(
-                        data=packet.frame,
-                        last=is_last,
-                        index=packet.flits_emitted,
-                    ),
-                )
-                packet.flits_emitted += 1
-                cycle += pace
+            if start + (remaining - 1) * pace < window_end:
+                # The window fully contains the rest of the packet:
+                # every emitted cycle is provably in-window and unique
+                # (cursor only moves forward, one flit per pace step),
+                # so skip add()'s per-flit validation and assign into
+                # the batch's flit dict directly.
+                flits = batch.flits
+                index = packet.flits_emitted
+                last_index = total_flits - 1
+                for _ in range(remaining):
+                    flits[cycle] = Flit(
+                        data=frame, last=index == last_index, index=index
+                    )
+                    index += 1
+                    cycle += pace
+                packet.flits_emitted = total_flits
+            else:
+                while packet.flits_emitted < total_flits and cycle < window_end:
+                    is_last = packet.flits_emitted == total_flits - 1
+                    batch.add(
+                        cycle,
+                        Flit(
+                            data=frame,
+                            last=is_last,
+                            index=packet.flits_emitted,
+                        ),
+                    )
+                    packet.flits_emitted += 1
+                    cycle += pace
             cursor = cycle
             self._port_next_free[port_index] = cycle
             if packet.flits_emitted == total_flits:
                 heapq.heappop(queue)
                 self.stats.packets_out += 1
-                self.stats.bytes_out += packet.frame.size_bytes
-                if sink.enabled:
+                self.stats.bytes_out += frame.size_bytes
+                if sink_on:
                     sink.target_span(
                         "dequeue", "switch", packet.release_cycle,
                         cycle - pace, track=self.name,
-                        args={"frame": packet.frame.frame_id,
+                        args={"frame": frame.frame_id,
                               "port": port_index},
                     )
                 if self.egress_log is not None:
-                    self.egress_log.append(
-                        (cycle - pace, packet.frame.size_bytes)
-                    )
+                    self.egress_log.append((cycle - pace, frame.size_bytes))
             else:
                 # Packet straddles the window; resume next round.
                 break

@@ -10,17 +10,27 @@ hot path:
 * :mod:`repro.perf.stream` — per-link token windows as numpy structured
   arrays over the whole quantum (idle-token elision, one array op per
   link per round instead of per-cycle Python calls);
+* :mod:`repro.perf.switch` — the columnar switch fast path: every stock
+  :class:`~repro.net.switch.SwitchModel` is shadowed by a
+  :class:`~repro.perf.switch.ColumnarSwitch` whose ingress/route/egress
+  phases run as numpy array programs over per-packet columns, and
+  switch-to-switch links carry
+  :class:`~repro.perf.switch.ColumnarBatch` windows with no ``Flit``
+  materialization at all;
 * :mod:`repro.perf.engine` — a precompiled round loop that moves those
   windows with inlined queue operations and skips ticking models whose
-  inputs carry no valid tokens and whose state provably cannot change.
+  inputs carry no valid tokens and whose state provably cannot change
+  (switches with empty queues, blades with no event due in the window).
 
 The scalar path stays untouched as the bit-equality oracle: cycle
 timestamps, switch counters, and tracer records are identical between
-the two engines (``tests/test_perf_engine.py`` asserts it), and
-``scripts/bench_core.py`` measures the speedup that CI's
+the two engines (``tests/test_perf_engine.py`` and
+``tests/test_columnar_switch.py`` assert it), and
+``scripts/bench_core.py`` measures the speedups that CI's
 ``bench-regression`` job then holds the tree to.
 """
 
 from repro.perf.stream import TOKEN_DTYPE, TokenStream
+from repro.perf.switch import ColumnarBatch, ColumnarSwitch
 
-__all__ = ["TOKEN_DTYPE", "TokenStream"]
+__all__ = ["TOKEN_DTYPE", "TokenStream", "ColumnarBatch", "ColumnarSwitch"]

@@ -20,8 +20,16 @@ are eliminated:
   valid tokens is asked for
   :meth:`~repro.core.fame.Fame1Model.idle_outputs` first; models that
   can prove an all-idle window leaves their state untouched (switches
-  with empty queues, tracers, null sinks) skip their tick entirely.
-  Server blades never elide — their event queues generate traffic.
+  with empty queues, tracers, null sinks, server blades with no queued
+  transmits and no event due before the window's end) skip their tick
+  entirely.
+* **Per-flit switch phases.**  Every stock switch is shadowed by a
+  :class:`~repro.perf.switch.ColumnarSwitch` whose ingress/route/egress
+  phases run as numpy array programs; windows between two shadowed
+  switches travel as :class:`~repro.perf.switch.ColumnarBatch` columns
+  and ``Flit`` objects are only materialized where egress crosses back
+  to a scalar consumer.  Shadows adopt the scalar queues at run start
+  and flush them back (bit-identically) when the run ends.
 
 Fault hooks fire at the same points as the scalar loop (round start
 with ``model=None``, then after each model), and the observer either
@@ -46,23 +54,39 @@ import numpy as np
 from repro.core.fame import Fame1Model
 from repro.core.token import TokenBatch, TokenWindow
 from repro.perf.stream import TokenStream
+from repro.perf.switch import ColumnarBatch, ColumnarSwitch
 
 
 class _Slot:
     """One model's precompiled tick plan: ports bound to endpoints."""
 
-    __slots__ = ("model", "tick", "idle", "in_ports", "out_ports", "name")
+    __slots__ = (
+        "model", "tick", "idle", "in_ports", "out_ports", "name",
+        "shadow", "raw",
+    )
 
     def __init__(
         self,
         model: Fame1Model,
         idle: Optional[Callable[[TokenWindow], Optional[Dict[str, Any]]]],
         in_ports: List[Tuple[str, Any]],
-        out_ports: List[Tuple[str, Any, int, bool, Any, Optional[Callable]]],
+        out_ports: List[
+            Tuple[str, Any, int, bool, Any, Optional[Callable], bool]
+        ],
+        shadow: Optional[ColumnarSwitch] = None,
     ) -> None:
         self.model = model
-        self.tick = model._tick
-        self.idle = idle
+        self.shadow = shadow
+        # A shadowed (raw) slot ticks through the columnar step and may
+        # receive inputs in any wire representation — ColumnarBatch,
+        # TokenStream, or TokenBatch — without conversion.
+        self.raw = shadow is not None
+        if shadow is not None:
+            self.tick = shadow.step
+            self.idle = shadow.idle_outputs
+        else:
+            self.tick = model._tick
+            self.idle = idle
         self.in_ports = in_ports
         self.out_ports = out_ports
         self.name = model.name
@@ -101,27 +125,116 @@ def compile_slots(
     ``link``/``side``.  Remote producers additionally expose ``ship``,
     which replaces the local enqueue with an outbox append.
     """
-    slots: List[_Slot] = []
+    # Pass 1: resolve attachments, decide which models get a columnar
+    # shadow, and learn which model consumes each link side so
+    # producers know when a window may stay in columnar form.
+    shadows: Dict[int, ColumnarSwitch] = {}
+    consumers: Dict[Tuple[int, str], int] = {}
+    resolved: List[List[Tuple[str, Any]]] = []
     for model in models:
-        in_ports: List[Tuple[str, Any]] = []
-        out_ports: List[Tuple[str, Any, int, bool, Any, Optional[Callable]]] = []
+        attachments: List[Tuple[str, Any]] = []
         for port in model.ports:
             attachment = get_attachment(model, port)
+            attachments.append((port, attachment))
+            consumers[(id(attachment.link), attachment.side)] = id(model)
+        resolved.append(attachments)
+        if getattr(model, "columnar_safe", False):
+            shadows[id(model)] = ColumnarSwitch(model)
+    slots: List[_Slot] = []
+    for model, attachments in zip(models, resolved):
+        in_ports: List[Tuple[str, Any]] = []
+        out_ports: List[
+            Tuple[str, Any, int, bool, Any, Optional[Callable], bool]
+        ] = []
+        for port, attachment in attachments:
             link = attachment.link
             if attachment.side == "a":
                 in_endpoint, out_endpoint, is_a = link.to_a, link.to_b, True
+                consumer_side = "b"
             else:
                 in_endpoint, out_endpoint, is_a = link.to_b, link.to_a, False
+                consumer_side = "a"
             in_ports.append((port, in_endpoint))
             ship = getattr(attachment, "ship", None)
-            out_ports.append(
-                (port, link, link.latency, is_a, out_endpoint, ship)
+            # Output windows stay columnar only when the local consumer
+            # is itself a shadowed switch; blade NICs and distributed
+            # boundary links get a materialized TokenStream.
+            columnar_ok = (
+                ship is None
+                and consumers.get((id(link), consumer_side)) in shadows
             )
+            out_ports.append(
+                (port, link, link.latency, is_a, out_endpoint, ship,
+                 columnar_ok)
+            )
+        shadow = shadows.get(id(model))
         idle = None
-        if type(model).idle_outputs is not Fame1Model.idle_outputs:
+        if (
+            shadow is None
+            and type(model).idle_outputs is not Fame1Model.idle_outputs
+        ):
             idle = model.idle_outputs
-        slots.append(_Slot(model, idle, in_ports, out_ports))
+        slots.append(_Slot(model, idle, in_ports, out_ports, shadow))
     return slots
+
+
+def _idle_fast_forward(
+    slots: List[_Slot],
+    horizons: List[Callable[[], Optional[int]]],
+    endpoints: List[Any],
+    quantum: int,
+    cycle: int,
+    target_cycle: int,
+) -> int:
+    """Skip as many provably idle rounds as the cluster allows.
+
+    Called only right after a round in which *every* slot took its idle
+    path, with no fault hook, distributed barrier, or tick tracing
+    attached.  A further round is a no-op iff (a) no model acts
+    spontaneously before the round's window closes — bounded by each
+    model's ``idle_horizon`` — and (b) no in-flight window delivers a
+    valid token, so every consumer idles again.  Both are stable across
+    skipped rounds: untouched models cannot schedule new events and
+    idle windows cannot spawn valid tokens.
+
+    Running those rounds would only relabel the in-flight empty windows
+    and bump counters, so the skip does exactly that and returns the
+    number of rounds elided (0 when any condition fails).
+    """
+    horizon = target_cycle
+    for idle_horizon in horizons:
+        due = idle_horizon()
+        if due is not None and due < horizon:
+            if due - cycle < quantum:
+                return 0
+            horizon = due
+    skipped = (horizon - cycle) // quantum
+    if skipped <= 0:
+        return 0
+    for endpoint in endpoints:
+        if endpoint._gap_at is not None:
+            return 0
+        for entry in endpoint._queue:
+            kind = type(entry)
+            if kind is TokenBatch:
+                if entry.flits:
+                    return 0
+            elif kind is TokenStream:
+                if entry.tokens.shape[0]:
+                    return 0
+            else:
+                # Loss placeholders / columnar windows always carry
+                # payload semantics a consumer must see round by round.
+                return 0
+    delta = skipped * quantum
+    for endpoint in endpoints:
+        for entry in endpoint._queue:
+            entry.start_cycle += delta
+        endpoint._consumed_until += delta
+        endpoint._pushed_until += delta
+    for slot in slots:
+        slot.model.current_cycle += delta
+    return skipped
 
 
 def run_rounds(
@@ -165,6 +278,48 @@ def run_rounds(
     rounds = 0
     tokens_moved = 0
     valid_tokens_moved = 0
+    # Idle fast-forward: after a round in which every model took its
+    # idle path, the cluster can sleep until the earliest idle horizon
+    # (a blade's next due event) — provided nothing external observes
+    # individual rounds (fault hooks, distributed barriers, tick
+    # tracing) and no in-flight window carries a valid token.  Skipped
+    # rounds are accounted arithmetically, bit-identically to running
+    # them: state is untouched by construction, in-flight idle windows
+    # are relabelled, and per-round token counts are exact multiples.
+    horizons: Optional[List[Callable[[], Optional[int]]]] = None
+    endpoints: List[Any] = []
+    ports_per_round = 0
+    if (
+        hook is None
+        and pre_round is None
+        and post_round is None
+        and not trace_ticks
+    ):
+        horizons = []
+        seen: Dict[int, Any] = {}
+        for slot in slots:
+            target = slot.shadow if slot.shadow is not None else slot.model
+            horizon = getattr(target, "idle_horizon", None)
+            if slot.idle is None or horizon is None:
+                horizons = None
+                break
+            horizons.append(horizon)
+            ports_per_round += len(slot.out_ports)
+            for _port, endpoint in slot.in_ports:
+                seen[id(endpoint)] = endpoint
+            for out in slot.out_ports:
+                if out[5] is not None:  # remote ship: rounds are observed
+                    horizons = None
+                    break
+                seen[id(out[4])] = out[4]
+            if horizons is None:
+                break
+        endpoints = list(seen.values())
+    # Columnar shadows take over their model's queues for the duration
+    # of this run; flush (in the finally) writes the scalar form back.
+    for slot in slots:
+        if slot.shadow is not None:
+            slot.shadow.adopt()
     try:
         while cycle < target_cycle:
             if pre_round is not None:
@@ -175,8 +330,10 @@ def run_rounds(
             window = TokenWindow(cycle, end)
             if timed or trace_ticks:
                 round_start = perf_counter()
+            quiet = horizons is not None
             for index, slot in enumerate(slots):
                 model = slot.model
+                raw = slot.raw
                 inputs = {}
                 busy = False
                 try:
@@ -187,16 +344,27 @@ def run_rounds(
                             if head.length == quantum:
                                 queue.popleft()
                                 endpoint._consumed_until += quantum
-                                batch = (
-                                    head
-                                    if type(head) is TokenBatch
-                                    else head.to_batch()
-                                )
+                                if raw or type(head) is TokenBatch:
+                                    # Columnar consumers take any wire
+                                    # representation as-is.
+                                    batch = head
+                                else:
+                                    batch = head.to_batch()
                             else:
                                 batch = endpoint.pop(quantum)
                         else:
                             batch = endpoint.pop(quantum)
-                        if batch.flits:
+                        if raw:
+                            kind = type(batch)
+                            if kind is ColumnarBatch:
+                                if batch._valid:
+                                    busy = True
+                            elif kind is TokenStream:
+                                if batch.tokens.shape[0]:
+                                    busy = True
+                            elif batch.flits:
+                                busy = True
+                        elif batch.flits:
                             busy = True
                         inputs[port] = batch
                 except LookupError as exc:
@@ -207,9 +375,20 @@ def run_rounds(
                     tick_start = perf_counter()
                 outputs = None
                 if not busy and slot.idle is not None:
-                    outputs = slot.idle(window)
+                    if horizons is not None:
+                        # The horizon pre-authorizes the idle window
+                        # (same condition idle_outputs checks), so the
+                        # just-popped empty input windows — garbage
+                        # otherwise — become the outputs: observably
+                        # identical empty quanta, zero allocation.
+                        due = horizons[index]()
+                        if due is None or due >= end:
+                            outputs = inputs
+                    else:
+                        outputs = slot.idle(window)
                 if outputs is None:
                     outputs = slot.tick(window, inputs)
+                    quiet = False
                 model.current_cycle = end
                 if timed:
                     tick_buf[index] = perf_counter() - tick_start
@@ -217,24 +396,36 @@ def run_rounds(
                     observer.record_model_tick(
                         slot.name, tick_start, perf_counter(), cycle, end
                     )
-                for port, link, latency, is_a, out_endpoint, ship in (
+                for port, link, latency, is_a, out_endpoint, ship, col_ok in (
                     slot.out_ports
                 ):
                     batch = outputs[port]
-                    flits = batch.flits
-                    valid = len(flits)
                     tokens_moved += batch.length
-                    if valid:
+                    if type(batch) is ColumnarBatch:
+                        # Columnar egress windows always carry tokens
+                        # (empty ports come back as plain TokenBatch).
+                        valid = batch._valid
                         valid_tokens_moved += valid
-                        shipped: Any = from_flits(
-                            batch.start_cycle, batch.length, flits, latency
-                        )
+                        if col_ok:
+                            shipped: Any = batch.shift(latency)
+                        else:
+                            shipped = batch.to_stream(latency)
                     else:
-                        # Idle-token elision: relabel the empty window in
-                        # place.  Outputs are never referenced again by
-                        # the producing model, so mutation is safe.
-                        batch.start_cycle += latency
-                        shipped = batch
+                        flits = batch.flits
+                        valid = len(flits)
+                        if valid:
+                            valid_tokens_moved += valid
+                            shipped = from_flits(
+                                batch.start_cycle, batch.length, flits,
+                                latency,
+                            )
+                        else:
+                            # Idle-token elision: relabel the empty
+                            # window in place.  Outputs are never
+                            # referenced again by the producing model,
+                            # so mutation is safe.
+                            batch.start_cycle += latency
+                            shipped = batch
                     if ship is not None:
                         ship(shipped, valid)
                     else:
@@ -263,7 +454,27 @@ def run_rounds(
                 observer.record_round(quantum, perf_counter() - round_start)
             if post_round is not None:
                 post_round(cycle, rounds)
+            if quiet and cycle < target_cycle:
+                if timed:
+                    skip_start = perf_counter()
+                skipped = _idle_fast_forward(
+                    slots, horizons, endpoints, quantum, cycle, target_cycle
+                )
+                if skipped:
+                    cycle += skipped * quantum
+                    rounds += skipped
+                    tokens_moved += skipped * quantum * ports_per_round
+                    if timed:
+                        # The monitor counts rounds as wall entries, so
+                        # the skip lands as one real measurement plus
+                        # zero-cost rounds — cycle/round totals stay
+                        # exact (the skipped rounds truly cost ~nothing).
+                        round_walls.append(perf_counter() - skip_start)
+                        round_walls.extend([0.0] * (skipped - 1))
     finally:
+        for slot in slots:
+            if slot.shadow is not None:
+                slot.shadow.flush()
         progress.cycle = cycle
         progress.rounds = rounds
         progress.tokens_moved = tokens_moved

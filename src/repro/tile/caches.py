@@ -168,21 +168,30 @@ class MemoryHierarchy:
         request cycle and the lines pipeline on the TileLink bus (L2 hits)
         or the DRAM channel bus (L2 misses).
         """
-        line = self.l2.config.line_bytes
+        l2 = self.l2
+        line = l2.config.line_bytes
         start_line = addr // line
         end_line = (addr + max(size, 1) - 1) // line
+        # Hot DMA path: every attribute used per line is hoisted once
+        # per transfer.
+        l2_lookup = l2.lookup
+        hit_latency = l2.config.hit_latency_cycles
+        bus = self.bus
+        bus_acquire = bus.acquire if bus is not None else None
+        dram_access = self.dram.access
         completion = cycle
         for line_index in range(start_line, end_line + 1):
             line_addr = line_index * line
-            hit, writeback = self.l2.lookup(line_addr, is_write)
+            hit, writeback = l2_lookup(line_addr, is_write)
             if hit:
-                if self.bus is not None:
-                    done = self.bus.acquire(cycle, line)
+                if bus_acquire is not None:
+                    done = bus_acquire(cycle, line)
                 else:
-                    done = completion + self.l2.config.hit_latency_cycles
+                    done = completion + hit_latency
             else:
                 if writeback is not None:
-                    self.dram.access(cycle, writeback, True)
-                done = self.dram.access(cycle, line_addr, is_write)
-            completion = max(completion, done)
+                    dram_access(cycle, writeback, True)
+                done = dram_access(cycle, line_addr, is_write)
+            if done > completion:
+                completion = done
         return completion
